@@ -1,0 +1,51 @@
+//! **Criterion bench A5** — archival repair throughput (Algorithm 2).
+//!
+//! The paper's requirement 3 (Section IV): "the method should be
+//! computationally efficient, so that large data sets can be repaired".
+//! After plan design, repairing one point is O(1) per feature (direct
+//! grid indexing + one Bernoulli + one O(1) alias draw), independent of
+//! `nR`, `nA`, and — thanks to the alias tables — of `nQ`. This bench
+//! demonstrates exactly that: throughput flat in `nQ`, linear in `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use otr_core::{RepairConfig, RepairPlanner};
+use otr_data::SimulationSpec;
+
+fn bench_repair(c: &mut Criterion) {
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(1);
+    let research = spec.sample_dataset(500, &mut rng).unwrap();
+    let archive = spec.sample_dataset(5_000, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("repair_throughput");
+    group.throughput(Throughput::Elements(archive.len() as u64));
+    for &n_q in &[25usize, 50, 100, 250] {
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(n_q))
+            .design(&research)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("archive_5000pts", n_q), &n_q, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| plan.repair_dataset(&archive, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut design_group = c.benchmark_group("plan_design");
+    for &n_q in &[25usize, 50, 100, 250] {
+        design_group.bench_with_input(BenchmarkId::new("design", n_q), &n_q, |b, _| {
+            let planner = RepairPlanner::new(RepairConfig::with_n_q(n_q));
+            b.iter(|| planner.design(&research).unwrap())
+        });
+    }
+    design_group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_repair
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! **Criterion bench A6** — OT solver scaling in the support size `nQ`.
+//!
+//! Backs the paper's complexity discussion (Section IV-A1): exact
+//! unregularized OT is `O(nQ³ log nQ)`-class (here: transportation
+//! simplex), Sinkhorn is `O(nQ²/ε²)`, and the paper's 1-D-specialized
+//! monotone solver is `O(nQ)` — the structural win that makes per-feature
+//! plan design cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use otr_ot::{
+    sinkhorn, solve_monotone_1d, solve_transportation_simplex, CostMatrix,
+    DiscreteDistribution, SinkhornConfig,
+};
+
+/// Deterministic pair of pmfs on an `n`-state grid (offset Gaussians).
+fn problem(n: usize) -> (DiscreteDistribution, DiscreteDistribution, CostMatrix) {
+    let support: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 6.0 - 3.0).collect();
+    let gauss = |mean: f64| -> Vec<f64> {
+        support
+            .iter()
+            .map(|&x| (-0.5 * (x - mean) * (x - mean)).exp() + 1e-9)
+            .collect()
+    };
+    let mu = DiscreteDistribution::new(support.clone(), gauss(-0.7)).unwrap();
+    let nu = DiscreteDistribution::new(support.clone(), gauss(0.7)).unwrap();
+    let cost = CostMatrix::squared_euclidean(&support, &support).unwrap();
+    (mu, nu, cost)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    for &n in &[25usize, 50, 100, 250] {
+        let (mu, nu, cost) = problem(n);
+        group.bench_with_input(BenchmarkId::new("monotone_exact", n), &n, |b, _| {
+            b.iter(|| solve_monotone_1d(&mu, &nu).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sinkhorn_eps0.1", n), &n, |b, _| {
+            b.iter(|| {
+                sinkhorn(
+                    mu.masses(),
+                    nu.masses(),
+                    &cost,
+                    SinkhornConfig {
+                        epsilon: 0.1,
+                        max_iters: 100_000,
+                        tol: 1e-6,
+                    },
+                )
+                .unwrap()
+            })
+        });
+        // The simplex is the expensive exact reference; keep it to the
+        // smaller sizes so the bench suite stays fast.
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("simplex_exact", n), &n, |b, _| {
+                b.iter(|| {
+                    solve_transportation_simplex(mu.masses(), nu.masses(), &cost).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

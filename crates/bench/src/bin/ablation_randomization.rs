@@ -1,0 +1,136 @@
+//! **Ablation A3** — the paper's randomized mass split (Section IV-B)
+//! versus a deterministic barycentric-projection variant of Algorithm 2.
+//!
+//! Algorithm 2 draws the repaired state from the normalized plan row
+//! (Equation 15), preserving the *distributional* shape of the repair.
+//! The obvious deterministic alternative maps every archival point to its
+//! row's conditional mean (the barycentric projection). Determinism
+//! collapses each row's mass to a point, which distorts the repaired
+//! marginal — this harness quantifies how much fairness that costs.
+//!
+//! Usage: `ablation_randomization [runs]` (default 20).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use otr_bench::{run_mc, runs_from_args, write_results};
+use otr_core::{dataset_damage, RepairConfig, RepairPlan, RepairPlanner, SolverBackend};
+use otr_data::{Dataset, LabelledPoint, SimulationSpec};
+use otr_fairness::ConditionalDependence;
+
+const N_RESEARCH: usize = 500;
+const N_ARCHIVE: usize = 5_000;
+const N_Q: usize = 50;
+
+/// Deterministic Algorithm-2 variant: nearest grid cell (no Bernoulli),
+/// then the row's barycentric projection (no multinomial).
+fn repair_deterministic<R: Rng>(
+    plan: &RepairPlan,
+    data: &Dataset,
+    _rng: &mut R,
+) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let mut points = Vec::with_capacity(data.len());
+    for p in data.points() {
+        let mut x = Vec::with_capacity(p.x.len());
+        for (k, &v) in p.x.iter().enumerate() {
+            let fp = plan.feature_plan(p.u, k)?;
+            let support = &fp.support;
+            let n_q = support.len();
+            let step = fp.step();
+            let q = if v <= support[0] || step == 0.0 {
+                0
+            } else if v >= support[n_q - 1] {
+                n_q - 1
+            } else {
+                (((v - support[0]) / step) + 0.5).floor() as usize
+            }
+            .min(n_q - 1);
+            let projected = fp.plans[p.s as usize]
+                .barycentric_projection(q, support)
+                .unwrap_or(v);
+            x.push(projected);
+        }
+        points.push(LabelledPoint { x, s: p.s, u: p.u });
+    }
+    Ok(Dataset::from_points(points)?)
+}
+
+fn main() {
+    let runs = runs_from_args(20);
+    eprintln!(
+        "ablation_randomization: {runs} replicates (nR={N_RESEARCH}, nA={N_ARCHIVE}, nQ={N_Q})"
+    );
+
+    let spec = SimulationSpec::paper_defaults();
+    let cd = ConditionalDependence::default();
+
+    let (stats, failures) = run_mc(runs, 9_000, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
+        let mut metrics = Vec::new();
+        // Exact plans have near-degenerate rows; entropic plans have
+        // blurred rows, where the deterministic point-collapse hurts.
+        for (backend_name, solver) in [
+            ("exact", SolverBackend::ExactMonotone),
+            ("sinkhorn eps=0.5", SolverBackend::Sinkhorn { epsilon: 0.5 }),
+        ] {
+            let mut cfg = RepairConfig::with_n_q(N_Q);
+            cfg.solver = solver;
+            let plan = RepairPlanner::new(cfg).design(&split.research)?;
+            let randomized = plan.repair_dataset(&split.archive, &mut rng)?;
+            let deterministic = repair_deterministic(&plan, &split.archive, &mut rng)?;
+            metrics.push((
+                format!("E/randomized, {backend_name}"),
+                cd.evaluate(&randomized)?.aggregate(),
+            ));
+            metrics.push((
+                format!("E/deterministic, {backend_name}"),
+                cd.evaluate(&deterministic)?.aggregate(),
+            ));
+            metrics.push((
+                format!("rmse/randomized, {backend_name}"),
+                dataset_damage(&split.archive, &randomized)?.mean_rmse(),
+            ));
+            metrics.push((
+                format!("rmse/deterministic, {backend_name}"),
+                dataset_damage(&split.archive, &deterministic)?.mean_rmse(),
+            ));
+        }
+        Ok(metrics)
+    });
+
+    if failures > 0 {
+        eprintln!("warning: {failures} replicates failed and were skipped");
+    }
+
+    println!("\nAblation A3 — randomized (Eq. 14-15) vs deterministic mass split, archival data");
+    println!("{:<30} {:>20} {:>20}", "variant", "E (residual)", "RMSE damage");
+    for variant in [
+        "randomized, exact",
+        "deterministic, exact",
+        "randomized, sinkhorn eps=0.5",
+        "deterministic, sinkhorn eps=0.5",
+    ] {
+        let g = |pfx: &str| {
+            stats
+                .get(&format!("{pfx}/{variant}"))
+                .map(|w| format!("{:.4} ± {:.4}", w.mean(), w.sample_sd()))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!("{:<30} {:>20} {:>20}", variant, g("E"), g("rmse"));
+    }
+    println!(
+        "\nExpected shape: with exact (near-degenerate) plan rows the variants tie;\n\
+         with entropic (blurred) rows the deterministic point-collapse distorts the\n\
+         repaired marginals, leaving higher residual E — the paper's randomized split\n\
+         is what makes regularized plans usable."
+    );
+
+    let mut extra = BTreeMap::new();
+    extra.insert("runs".into(), runs as f64);
+    extra.insert("failures".into(), failures as f64);
+    write_results("ablation_randomization", &stats, &extra);
+}

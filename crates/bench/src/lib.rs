@@ -1,0 +1,234 @@
+//! # otr-bench — experiment harnesses reproducing the paper's evaluation
+//!
+//! One binary per table/figure (see DESIGN.md §5):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table I — repair quality on the simulated Gaussian mixture |
+//! | `fig3` | Figure 3 — `E` vs research-set size `nR` |
+//! | `fig4` | Figure 4 — `E` vs support resolution `nQ` |
+//! | `table2` | Table II — repair quality on the Adult(-like) data |
+//! | `ablation_partial` | damage/fairness trade-off along `λ` (Sec. VI) |
+//! | `ablation_sinkhorn` | exact vs entropic plans (Sec. IV-A1) |
+//! | `ablation_randomization` | randomized vs deterministic mass split (Sec. IV-B) |
+//! | `ablation_label_noise` | oracle vs EM-estimated `ŝ` labels (Sec. IV/VI) |
+//!
+//! Each binary accepts an optional first argument overriding the number of
+//! Monte-Carlo replicates and writes a JSON result file alongside the
+//! printed table (under `results/`).
+//!
+//! This library crate hosts the shared machinery: a parallel Monte-Carlo
+//! runner with per-run seeding and exact Welford merging, plus
+//! paper-style table formatting.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use otr_stats::Welford;
+
+/// A named collection of Monte-Carlo statistics.
+pub type McStats = BTreeMap<String, Welford>;
+
+/// Run `runs` Monte-Carlo replicates of `f` in parallel, seeding replicate
+/// `i` with `base_seed + i`, and merge the per-replicate named metrics
+/// exactly (Welford parallel combine).
+///
+/// `f` returns `(name, value)` pairs; replicates that return an error are
+/// counted and skipped (failure injection must not kill a 200-run sweep).
+pub fn run_mc<F>(runs: usize, base_seed: u64, f: F) -> (McStats, usize)
+where
+    F: Fn(u64) -> Result<Vec<(String, f64)>, Box<dyn std::error::Error>> + Sync,
+{
+    let stats: Mutex<McStats> = Mutex::new(BTreeMap::new());
+    let failures = Mutex::new(0usize);
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(runs.max(1));
+
+    crossbeam::scope(|scope| {
+        for t in 0..n_threads {
+            let stats = &stats;
+            let failures = &failures;
+            let f = &f;
+            scope.spawn(move |_| {
+                let mut local: McStats = BTreeMap::new();
+                let mut local_failures = 0usize;
+                let mut i = t;
+                while i < runs {
+                    match f(base_seed + i as u64) {
+                        Ok(metrics) => {
+                            for (name, value) in metrics {
+                                local.entry(name).or_default().push(value);
+                            }
+                        }
+                        Err(_) => local_failures += 1,
+                    }
+                    i += n_threads;
+                }
+                let mut global = stats.lock();
+                for (name, w) in local {
+                    global.entry(name).or_default().merge(&w);
+                }
+                *failures.lock() += local_failures;
+            });
+        }
+    })
+    .expect("Monte-Carlo worker panicked");
+
+    (stats.into_inner(), failures.into_inner())
+}
+
+/// Format `mean ± sd` with sensible precision.
+pub fn fmt_pm(w: &Welford) -> String {
+    format!("{:.4} ± {:.4}", w.mean(), w.sample_sd())
+}
+
+/// Render a paper-style table: rows × columns of `mean ± sd` cells pulled
+/// from `stats` by key `"{row}/{col}"`. Missing cells render as `-`
+/// (e.g. the geometric repair has no archive column, exactly as in the
+/// paper's tables).
+pub fn render_table(
+    title: &str,
+    row_names: &[&str],
+    col_names: &[&str],
+    stats: &McStats,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let width = 22usize;
+    out.push_str(&format!("{:<28}", "Repair"));
+    for c in col_names {
+        out.push_str(&format!("{c:<width$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(28 + width * col_names.len()));
+    out.push('\n');
+    for r in row_names {
+        out.push_str(&format!("{r:<28}"));
+        for c in col_names {
+            let key = format!("{r}/{c}");
+            match stats.get(&key) {
+                Some(w) if w.count() > 0 => out.push_str(&format!("{:<width$}", fmt_pm(w))),
+                _ => out.push_str(&format!("{:<width$}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializable snapshot of one metric.
+#[derive(Debug, Serialize)]
+pub struct MetricSnapshot {
+    /// Metric name (`row/col` convention).
+    pub name: String,
+    /// Replicates aggregated.
+    pub count: u64,
+    /// Mean over replicates.
+    pub mean: f64,
+    /// Sample SD over replicates.
+    pub sd: f64,
+}
+
+/// Write the full stats map as JSON under `results/<name>.json` (creating
+/// the directory), so EXPERIMENTS.md can cite machine-readable numbers.
+pub fn write_results(name: &str, stats: &McStats, extra: &BTreeMap<String, f64>) {
+    let snapshots: Vec<MetricSnapshot> = stats
+        .iter()
+        .map(|(k, w)| MetricSnapshot {
+            name: k.clone(),
+            count: w.count(),
+            mean: w.mean(),
+            sd: w.sample_sd(),
+        })
+        .collect();
+    #[derive(Serialize)]
+    struct FileOut<'a> {
+        experiment: &'a str,
+        metrics: Vec<MetricSnapshot>,
+        extra: &'a BTreeMap<String, f64>,
+    }
+    let out = FileOut {
+        experiment: name,
+        metrics: snapshots,
+        extra,
+    };
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // results are advisory; never fail the experiment
+    }
+    if let Ok(json) = serde_json::to_string_pretty(&out) {
+        if let Ok(mut file) = std::fs::File::create(dir.join(format!("{name}.json"))) {
+            let _ = file.write_all(json.as_bytes());
+        }
+    }
+}
+
+/// Parse the optional `runs` CLI argument with a default.
+pub fn runs_from_args(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_mc_aggregates_all_runs() {
+        let (stats, failures) = run_mc(100, 0, |seed| Ok(vec![("x".into(), seed as f64)]));
+        assert_eq!(failures, 0);
+        let w = &stats["x"];
+        assert_eq!(w.count(), 100);
+        assert!((w.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_mc_counts_failures_without_dying() {
+        let (stats, failures) = run_mc(50, 0, |seed| {
+            if seed % 5 == 0 {
+                Err("injected".into())
+            } else {
+                Ok(vec![("ok".into(), 1.0)])
+            }
+        });
+        assert_eq!(failures, 10);
+        assert_eq!(stats["ok"].count(), 40);
+    }
+
+    #[test]
+    fn run_mc_deterministic_irrespective_of_threads() {
+        let (a, _) = run_mc(64, 7, |seed| Ok(vec![("v".into(), (seed * seed) as f64)]));
+        let (b, _) = run_mc(64, 7, |seed| Ok(vec![("v".into(), (seed * seed) as f64)]));
+        assert_eq!(a["v"].count(), b["v"].count());
+        assert!((a["v"].mean() - b["v"].mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_table_marks_missing_cells() {
+        let mut stats = McStats::new();
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(2.0);
+        stats.insert("A/c1".into(), w);
+        let table = render_table("T", &["A", "B"], &["c1"], &stats);
+        assert!(table.contains("1.5000"));
+        assert!(table.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn fmt_pm_shape() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(3.0);
+        assert_eq!(fmt_pm(&w), "2.0000 ± 1.4142");
+    }
+}

@@ -1,0 +1,172 @@
+//! Configuration of the repair-plan design (the operating conditions
+//! `nQ`, `t`, bandwidth, and solver backend studied in Section V-A2).
+
+use serde::{Deserialize, Serialize};
+
+use otr_stats::kde::Bandwidth;
+
+use crate::error::{RepairError, Result};
+
+/// Which OT solver designs the plans `π*_{u,s,k}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SolverBackend {
+    /// Exact 1-D monotone coupling (north-west-corner on sorted supports)
+    /// — optimal for the squared-Euclidean cost, `O(nQ)` per plan.
+    ExactMonotone,
+    /// Entropic Sinkhorn–Knopp with the given regularization `ε` —
+    /// the `O(nQ²/ε²)` alternative of Section IV-A1; plans are blurred by
+    /// the entropy term, which the randomization of Algorithm 2 inherits.
+    Sinkhorn {
+        /// Regularization strength (in squared-feature units).
+        epsilon: f64,
+    },
+}
+
+/// Configuration for [`crate::RepairPlanner`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairConfig {
+    /// Number of interpolated support states `nQ` per `(u, k)` (line 4 of
+    /// Algorithm 1). The paper uses 50 for the simulation and 250 for
+    /// Adult.
+    pub n_q: usize,
+    /// Geodesic position `t ∈ [0, 1]` of the repair target (Equation 7).
+    /// `0.5` is the fair barycentre with equal expected cost to both
+    /// groups; values closer to 0/1 implement partial repair.
+    pub t: f64,
+    /// KDE bandwidth rule for the interpolated marginals (Equation 11).
+    pub bandwidth: Bandwidth,
+    /// OT solver backend.
+    pub solver: SolverBackend,
+    /// Minimum research observations required per `(u, s)` group.
+    pub min_group_size: usize,
+    /// Sampling resolution of the barycentre quantile curve (`None` =
+    /// automatic: `max(16 · nQ, 1024)`).
+    pub barycentre_resolution: Option<usize>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            n_q: 50,
+            t: 0.5,
+            bandwidth: Bandwidth::Silverman,
+            solver: SolverBackend::ExactMonotone,
+            min_group_size: 2,
+            barycentre_resolution: None,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// Default configuration at a given support resolution.
+    pub fn with_n_q(n_q: usize) -> Self {
+        Self {
+            n_q,
+            ..Self::default()
+        }
+    }
+
+    /// Validate parameter domains.
+    ///
+    /// # Errors
+    /// Requires `n_q ≥ 2`, `t ∈ [0,1]`, positive Sinkhorn `ε`, positive
+    /// fixed bandwidths, `min_group_size ≥ 2`.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_q < 2 {
+            return Err(RepairError::InvalidParameter {
+                name: "n_q",
+                reason: format!("must be at least 2, got {}", self.n_q),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.t) || self.t.is_nan() {
+            return Err(RepairError::InvalidParameter {
+                name: "t",
+                reason: format!("must be in [0,1], got {}", self.t),
+            });
+        }
+        if let SolverBackend::Sinkhorn { epsilon } = self.solver {
+            if !(epsilon > 0.0) || !epsilon.is_finite() {
+                return Err(RepairError::InvalidParameter {
+                    name: "solver.epsilon",
+                    reason: format!("must be positive and finite, got {epsilon}"),
+                });
+            }
+        }
+        if let Bandwidth::Fixed(h) = self.bandwidth {
+            if !(h > 0.0) || !h.is_finite() {
+                return Err(RepairError::InvalidParameter {
+                    name: "bandwidth",
+                    reason: format!("fixed bandwidth must be positive, got {h}"),
+                });
+            }
+        }
+        if self.min_group_size < 2 {
+            return Err(RepairError::InvalidParameter {
+                name: "min_group_size",
+                reason: "must be at least 2".into(),
+            });
+        }
+        if let Some(r) = self.barycentre_resolution {
+            if r < self.n_q {
+                return Err(RepairError::InvalidParameter {
+                    name: "barycentre_resolution",
+                    reason: format!("must be >= n_q ({}), got {r}", self.n_q),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RepairConfig::default().validate().unwrap();
+        RepairConfig::with_n_q(250).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut c = RepairConfig::default();
+        c.n_q = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = RepairConfig::default();
+        c.t = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = RepairConfig::default();
+        c.solver = SolverBackend::Sinkhorn { epsilon: 0.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = RepairConfig::default();
+        c.bandwidth = Bandwidth::Fixed(-1.0);
+        assert!(c.validate().is_err());
+
+        let mut c = RepairConfig::default();
+        c.min_group_size = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = RepairConfig::default();
+        c.barycentre_resolution = Some(10);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = RepairConfig {
+            n_q: 250,
+            t: 0.3,
+            bandwidth: Bandwidth::Fixed(0.5),
+            solver: SolverBackend::Sinkhorn { epsilon: 0.01 },
+            min_group_size: 5,
+            barycentre_resolution: Some(4096),
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RepairConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

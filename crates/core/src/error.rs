@@ -1,0 +1,99 @@
+//! Error type for repair-plan design and application.
+
+use std::fmt;
+
+/// Errors produced by the repair pipeline.
+#[derive(Debug)]
+pub enum RepairError {
+    /// A `(u, s)` group in the research data is too small to estimate its
+    /// marginal.
+    InsufficientResearchData {
+        /// Unprotected group.
+        u: u8,
+        /// Protected group.
+        s: u8,
+        /// Observations found.
+        found: usize,
+        /// Observations needed.
+        needed: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violation description.
+        reason: String,
+    },
+    /// A label/dimension mismatch between the plan and the data it is
+    /// asked to repair.
+    PlanMismatch(String),
+    /// Plan (de)serialization failed.
+    Persistence(String),
+    /// An underlying optimal-transport failure.
+    Ot(otr_ot::OtError),
+    /// An underlying statistics failure.
+    Stats(otr_stats::StatsError),
+    /// An underlying data failure.
+    Data(otr_data::DataError),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::InsufficientResearchData { u, s, found, needed } => write!(
+                f,
+                "research group (u={u}, s={s}) has {found} observations, need at least {needed}"
+            ),
+            RepairError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            RepairError::PlanMismatch(msg) => write!(f, "plan/data mismatch: {msg}"),
+            RepairError::Persistence(msg) => write!(f, "plan persistence error: {msg}"),
+            RepairError::Ot(e) => write!(f, "optimal transport error: {e}"),
+            RepairError::Stats(e) => write!(f, "statistics error: {e}"),
+            RepairError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<otr_ot::OtError> for RepairError {
+    fn from(e: otr_ot::OtError) -> Self {
+        RepairError::Ot(e)
+    }
+}
+
+impl From<otr_stats::StatsError> for RepairError {
+    fn from(e: otr_stats::StatsError) -> Self {
+        RepairError::Stats(e)
+    }
+}
+
+impl From<otr_data::DataError> for RepairError {
+    fn from(e: otr_data::DataError) -> Self {
+        RepairError::Data(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, RepairError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RepairError::InsufficientResearchData {
+            u: 1,
+            s: 0,
+            found: 3,
+            needed: 10,
+        };
+        assert!(e.to_string().contains("(u=1, s=0)"));
+        assert!(RepairError::PlanMismatch("dim 2 vs 3".into())
+            .to_string()
+            .contains("dim 2 vs 3"));
+    }
+}

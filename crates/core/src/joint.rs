@@ -1,0 +1,516 @@
+//! Joint (bivariate) distributional repair — the extension the paper's
+//! Section VI anticipates for intra-feature correlation structure.
+//!
+//! Algorithm 1's per-feature stratification cannot repair dependence that
+//! lives in the correlation between features: if the `s`-conditionals
+//! share all marginals but differ in correlation sign, every per-feature
+//! plan is (near) the identity. This module lifts Algorithm 1 to the 2-D
+//! product support:
+//!
+//! 1. product grid `Q² = Q_x × Q_y` over the pooled research range;
+//! 2. bivariate-KDE pmfs `µ_{u,s}` on `Q²` (Equation 11 in 2-D);
+//! 3. entropic fixed-support `W₂` barycentre `ν` on `Q²`
+//!    (iterative Bregman projections — the quantile construction has no
+//!    2-D analogue);
+//! 4. Sinkhorn plans `π*_{u,s} : µ_{u,s} → ν` under squared Euclidean
+//!    cost on `ℝ²`, rounded to exact feasibility;
+//! 5. repair by nearest-cell lookup + the same multinomial row draw as
+//!    Algorithm 2 (Equation 15), now over joint grid states.
+//!
+//! Cost: the supports grow from `nQ` to `nQ²` states, so this is
+//! practical only at coarse resolutions — exactly the curse-of-dimension
+//! trade-off the paper cites for its per-feature design. The
+//! `ablation_joint` experiment measures both sides.
+
+use rand::Rng;
+
+use otr_data::{Dataset, GroupKey, LabelledPoint};
+use otr_ot::{sinkhorn, CostMatrix, OtPlan, SinkhornConfig};
+use otr_stats::dist::Categorical;
+use otr_stats::GaussianKde2d;
+
+use crate::error::{RepairError, Result};
+
+/// Configuration of the joint repair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointRepairConfig {
+    /// Grid points **per dimension** (total support = `n_q²` states).
+    pub n_q: usize,
+    /// Entropic regularization for barycentre and plans.
+    pub epsilon: f64,
+    /// Geodesic position of the repair target.
+    pub t: f64,
+    /// Minimum research observations per `(u, s)` group.
+    pub min_group_size: usize,
+}
+
+impl Default for JointRepairConfig {
+    fn default() -> Self {
+        Self {
+            n_q: 16,
+            epsilon: 0.05,
+            t: 0.5,
+            min_group_size: 10,
+        }
+    }
+}
+
+/// One `u`-stratum of the joint plan.
+#[derive(Debug, Clone)]
+struct JointStratum {
+    /// Axis grids.
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    /// Flattened grid points `(x_i, y_j)` in row-major order.
+    points: Vec<(f64, f64)>,
+    /// Per-`s` plans onto the barycentre.
+    plans: [OtPlan; 2],
+    /// Per-row alias samplers.
+    samplers: [Vec<Categorical>; 2],
+}
+
+/// A designed joint repair for 2-feature data.
+#[derive(Debug, Clone)]
+pub struct JointRepairPlan {
+    config: JointRepairConfig,
+    strata: Vec<JointStratum>, // indexed by u
+}
+
+impl JointRepairPlan {
+    /// Design the joint plan from research data (2-D Algorithm 1).
+    ///
+    /// # Errors
+    /// Requires `dim == 2`, valid config, adequately sized groups, and
+    /// non-degenerate feature spreads.
+    pub fn design(research: &Dataset, config: JointRepairConfig) -> Result<Self> {
+        if research.dim() != 2 {
+            return Err(RepairError::PlanMismatch(format!(
+                "joint repair needs d = 2, got d = {}",
+                research.dim()
+            )));
+        }
+        if config.n_q < 4 {
+            return Err(RepairError::InvalidParameter {
+                name: "n_q",
+                reason: format!("must be at least 4, got {}", config.n_q),
+            });
+        }
+        if !(config.epsilon > 0.0) {
+            return Err(RepairError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be positive, got {}", config.epsilon),
+            });
+        }
+        if !(0.0..=1.0).contains(&config.t) {
+            return Err(RepairError::InvalidParameter {
+                name: "t",
+                reason: format!("must be in [0,1], got {}", config.t),
+            });
+        }
+
+        let mut strata = Vec::with_capacity(2);
+        for u in 0..2u8 {
+            strata.push(Self::design_stratum(research, u, &config)?);
+        }
+        Ok(Self { config, strata })
+    }
+
+    fn design_stratum(
+        research: &Dataset,
+        u: u8,
+        config: &JointRepairConfig,
+    ) -> Result<JointStratum> {
+        let mut cols: [[Vec<f64>; 2]; 2] = Default::default();
+        for s in 0..2u8 {
+            for k in 0..2usize {
+                cols[s as usize][k] = research.feature_column(GroupKey { u, s }, k)?;
+            }
+            if cols[s as usize][0].len() < config.min_group_size {
+                return Err(RepairError::InsufficientResearchData {
+                    u,
+                    s,
+                    found: cols[s as usize][0].len(),
+                    needed: config.min_group_size,
+                });
+            }
+        }
+        let axis = |k: usize| -> Result<Vec<f64>> {
+            let lo = cols[0][k]
+                .iter()
+                .chain(&cols[1][k])
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let hi = cols[0][k]
+                .iter()
+                .chain(&cols[1][k])
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !(lo < hi) {
+                return Err(RepairError::InvalidParameter {
+                    name: "research data",
+                    reason: format!("feature {k} of group u={u} has zero spread"),
+                });
+            }
+            Ok((0..config.n_q)
+                .map(|i| lo + (hi - lo) * i as f64 / (config.n_q - 1) as f64)
+                .collect())
+        };
+        let gx = axis(0)?;
+        let gy = axis(1)?;
+        let points: Vec<(f64, f64)> = gx
+            .iter()
+            .flat_map(|&x| gy.iter().map(move |&y| (x, y)))
+            .collect();
+
+        // 2-D KDE pmfs with a positivity floor (cf. plan.rs).
+        let mut pmfs: Vec<Vec<f64>> = Vec::with_capacity(2);
+        for s in 0..2usize {
+            let kde = GaussianKde2d::fit(&cols[s][0], &cols[s][1])?;
+            let mut pmf = kde.pmf_on_grid(&gx, &gy)?;
+            let floor = pmf.iter().copied().fold(0.0, f64::max) * 1e-12;
+            for p in &mut pmf {
+                *p = p.max(floor);
+            }
+            let total: f64 = pmf.iter().sum();
+            for p in &mut pmf {
+                *p /= total;
+            }
+            pmfs.push(pmf);
+        }
+
+        // Entropic W2 barycentre on the fixed product support (iterative
+        // Bregman projections with the 2-D Gibbs kernel).
+        let bary = entropic_barycentre_2d(
+            &pmfs[0],
+            &pmfs[1],
+            config.t,
+            &points,
+            config.epsilon,
+            5_000,
+        )?;
+
+        // Sinkhorn plans µ_s -> ν under squared Euclidean cost on R².
+        let cost = CostMatrix::from_fn(&points, &points, |a, b| {
+            let dx = a.0 - b.0;
+            let dy = a.1 - b.1;
+            dx * dx + dy * dy
+        })?;
+        let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
+        for pmf in &pmfs {
+            plans.push(sinkhorn(
+                pmf,
+                &bary,
+                &cost,
+                SinkhornConfig {
+                    epsilon: config.epsilon,
+                    max_iters: 20_000,
+                    tol: 1e-6,
+                },
+            )?);
+        }
+        let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
+
+        let mut samplers: [Vec<Categorical>; 2] = [Vec::new(), Vec::new()];
+        for s in 0..2usize {
+            for i in 0..plans[s].rows() {
+                samplers[s].push(Categorical::new(plans[s].row(i)).map_err(|e| {
+                    RepairError::InvalidParameter {
+                        name: "joint plan row",
+                        reason: format!("(u={u}, s={s}) row {i}: {e}"),
+                    }
+                })?);
+            }
+        }
+
+        Ok(JointStratum {
+            gx,
+            gy,
+            points,
+            plans,
+            samplers,
+        })
+    }
+
+    /// The per-dimension grid size.
+    pub fn n_q(&self) -> usize {
+        self.config.n_q
+    }
+
+    /// Expected squared-Euclidean transport cost of the `(u, s)` plan —
+    /// the design-time estimate of how far that subgroup's mass moves
+    /// (a joint-repair damage diagnostic).
+    ///
+    /// # Errors
+    /// Rejects labels outside `{0, 1}`.
+    pub fn expected_transport_cost(&self, u: u8, s: u8) -> Result<f64> {
+        if u > 1 || s > 1 {
+            return Err(RepairError::PlanMismatch(format!(
+                "no joint plan for (u={u}, s={s})"
+            )));
+        }
+        let stratum = &self.strata[u as usize];
+        let cost = CostMatrix::from_fn(&stratum.points, &stratum.points, |a, b| {
+            let dx = a.0 - b.0;
+            let dy = a.1 - b.1;
+            dx * dx + dy * dy
+        })?;
+        Ok(stratum.plans[s as usize].transport_cost(&cost)?)
+    }
+
+    /// Repair one labelled point jointly.
+    ///
+    /// # Errors
+    /// Rejects dimension/label mismatches.
+    pub fn repair_point<R: Rng + ?Sized>(
+        &self,
+        point: &LabelledPoint,
+        rng: &mut R,
+    ) -> Result<LabelledPoint> {
+        if point.x.len() != 2 {
+            return Err(RepairError::PlanMismatch(format!(
+                "joint repair needs d = 2, got d = {}",
+                point.x.len()
+            )));
+        }
+        let stratum = &self.strata[point.u as usize];
+        let cell = |grid: &[f64], v: f64| -> usize {
+            let n = grid.len();
+            if v <= grid[0] {
+                return 0;
+            }
+            if v >= grid[n - 1] {
+                return n - 1;
+            }
+            let step = (grid[n - 1] - grid[0]) / (n - 1) as f64;
+            (((v - grid[0]) / step) + 0.5).floor() as usize % n
+        };
+        let i = cell(&stratum.gx, point.x[0]);
+        let j = cell(&stratum.gy, point.x[1]);
+        let row = i * stratum.gy.len() + j;
+        let target = stratum.samplers[point.s as usize][row].sample(rng);
+        let (x, y) = stratum.points[target];
+        Ok(LabelledPoint {
+            x: vec![x, y],
+            s: point.s,
+            u: point.u,
+        })
+    }
+
+    /// Repair an entire data set jointly.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches.
+    pub fn repair_dataset<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        rng: &mut R,
+    ) -> Result<Dataset> {
+        let points = data
+            .points()
+            .iter()
+            .map(|p| self.repair_point(p, rng))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Dataset::from_points(points)?)
+    }
+}
+
+/// Two-marginal entropic barycentre on an arbitrary fixed support in `ℝ²`
+/// (Benamou et al. iterative Bregman projections, weights `(1−t, t)`).
+fn entropic_barycentre_2d(
+    mu0: &[f64],
+    mu1: &[f64],
+    t: f64,
+    points: &[(f64, f64)],
+    eps: f64,
+    max_iters: usize,
+) -> Result<Vec<f64>> {
+    let n = points.len();
+    if mu0.len() != n || mu1.len() != n {
+        return Err(RepairError::PlanMismatch(
+            "barycentre marginals must live on the product support".into(),
+        ));
+    }
+    // Gibbs kernel on the 2-D support.
+    let mut kernel = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            kernel[i * n + j] = (-(dx * dx + dy * dy) / eps).exp();
+        }
+    }
+    let kmatvec = |v: &[f64], out: &mut [f64]| {
+        for i in 0..n {
+            let row = &kernel[i * n..(i + 1) * n];
+            let mut acc = 0.0;
+            for (k, x) in row.iter().zip(v) {
+                acc += k * x;
+            }
+            out[i] = acc;
+        }
+    };
+    let lambda = [1.0 - t, t];
+    let marginals = [mu0, mu1];
+    let mut u = [vec![1.0f64; n], vec![1.0f64; n]];
+    let mut v = [vec![1.0f64; n], vec![1.0f64; n]];
+    let mut bary = vec![1.0 / n as f64; n];
+    let mut tmp = vec![0.0f64; n];
+    const FLOOR: f64 = 1e-300;
+
+    for _ in 0..max_iters {
+        let prev = bary.clone();
+        for s in 0..2 {
+            kmatvec(&u[s], &mut tmp);
+            for i in 0..n {
+                v[s][i] = marginals[s][i] / tmp[i].max(FLOOR);
+            }
+        }
+        let mut log_b = vec![0.0f64; n];
+        for s in 0..2 {
+            kmatvec(&v[s], &mut tmp);
+            for i in 0..n {
+                log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * tmp[i].max(FLOOR)).ln();
+            }
+        }
+        let mx = log_b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for i in 0..n {
+            bary[i] = (log_b[i] - mx).exp();
+            total += bary[i];
+        }
+        for b in &mut bary {
+            *b /= total;
+        }
+        for s in 0..2 {
+            kmatvec(&v[s], &mut tmp);
+            for i in 0..n {
+                u[s][i] = bary[i] / tmp[i].max(FLOOR);
+            }
+        }
+        let delta: f64 = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
+        if delta < 1e-9 {
+            return Ok(bary);
+        }
+    }
+    Err(RepairError::Ot(otr_ot::OtError::NoConvergence {
+        solver: "entropic barycentre 2d",
+        iterations: max_iters,
+        residual: f64::NAN,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otr_data::SimulationSpec;
+    use otr_fairness::JointDependence;
+    use otr_stats::linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn correlation_spec() -> SimulationSpec {
+        let cov = |rho: f64| Matrix::from_rows(2, 2, vec![1.0, rho, rho, 1.0]).unwrap();
+        SimulationSpec {
+            means: [
+                [vec![0.0, 0.0], vec![0.0, 0.0]],
+                [vec![0.0, 0.0], vec![0.0, 0.0]],
+            ],
+            sigma: 1.0,
+            covs: Some([[cov(0.8), cov(-0.8)], [cov(0.8), cov(-0.8)]]),
+            pr_u0: 0.5,
+            pr_s0_given_u: [0.4, 0.4],
+        }
+    }
+
+    #[test]
+    fn joint_repair_quenches_correlation_dependence() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = spec.generate(1_500, 3_000, &mut rng).unwrap();
+        let plan = JointRepairPlan::design(&split.research, JointRepairConfig::default())
+            .unwrap();
+        let repaired = plan.repair_dataset(&split.archive, &mut rng).unwrap();
+
+        let jd = JointDependence::default();
+        let before = jd.evaluate(&split.archive).unwrap();
+        let after = jd.evaluate(&repaired).unwrap();
+        assert!(
+            after < before * 0.5,
+            "joint repair must reduce joint E: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn per_feature_repair_misses_correlation_dependence() {
+        use crate::{RepairConfig, RepairPlanner};
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let split = spec.generate(1_500, 3_000, &mut rng).unwrap();
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(50))
+            .design(&split.research)
+            .unwrap();
+        let repaired = plan.repair_dataset(&split.archive, &mut rng).unwrap();
+        let jd = JointDependence::default();
+        let before = jd.evaluate(&split.archive).unwrap();
+        let after = jd.evaluate(&repaired).unwrap();
+        // The marginal repair cannot remove correlation-borne dependence.
+        assert!(
+            after > before * 0.4,
+            "per-feature repair unexpectedly removed joint dependence: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn repaired_points_live_on_product_grid() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = spec.generate(800, 500, &mut rng).unwrap();
+        let plan = JointRepairPlan::design(&split.research, JointRepairConfig::default())
+            .unwrap();
+        let repaired = plan.repair_dataset(&split.archive, &mut rng).unwrap();
+        assert_eq!(repaired.len(), split.archive.len());
+        for p in repaired.points().iter().take(100) {
+            let stratum = &plan.strata[p.u as usize];
+            assert!(stratum.gx.iter().any(|&g| (g - p.x[0]).abs() < 1e-9));
+            assert!(stratum.gy.iter().any(|&g| (g - p.x[1]).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn expected_transport_cost_positive_and_bounded() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(5);
+        let research = spec.sample_dataset(900, &mut rng).unwrap();
+        let plan = JointRepairPlan::design(&research, JointRepairConfig::default()).unwrap();
+        for u in 0..2u8 {
+            for s in 0..2u8 {
+                let c = plan.expected_transport_cost(u, s).unwrap();
+                // Rotating correlation by 90 degrees moves mass about one
+                // unit on average; the cost must be positive but far below
+                // the grid diameter squared.
+                assert!(c > 0.0, "(u={u}, s={s}): {c}");
+                assert!(c < 20.0, "(u={u}, s={s}): {c}");
+            }
+        }
+        assert!(plan.expected_transport_cost(2, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(4);
+        let research = spec.sample_dataset(800, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 2;
+        assert!(JointRepairPlan::design(&research, cfg).is_err());
+        let mut cfg = JointRepairConfig::default();
+        cfg.epsilon = 0.0;
+        assert!(JointRepairPlan::design(&research, cfg).is_err());
+        let mut cfg = JointRepairConfig::default();
+        cfg.t = 2.0;
+        assert!(JointRepairPlan::design(&research, cfg).is_err());
+        let mut cfg = JointRepairConfig::default();
+        cfg.min_group_size = 10_000;
+        assert!(JointRepairPlan::design(&research, cfg).is_err());
+    }
+}

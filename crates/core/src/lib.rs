@@ -1,0 +1,62 @@
+//! # otr-core — the paper's contribution: distributional OT repair of
+//! archival data designed on small research data sets
+//!
+//! Implements Sections III–IV of *"Optimal Transport for Fairness:
+//! Archival Data Repair using Small Research Data Sets"* (ICDE 2024):
+//!
+//! * [`config`] — [`RepairConfig`]: support resolution `nQ`, geodesic
+//!   position `t`, KDE bandwidth rule, and the OT solver backend (exact
+//!   monotone vs Sinkhorn).
+//! * [`plan`] — **Algorithm 1**: [`RepairPlanner::design`] builds, for
+//!   every `(u, k)`, the interpolated support `Q_{u,k}`, the KDE marginal
+//!   pmfs `µ_{u,s,k}` (Equation 11), the `t`-barycentre target `ν_{u,k}`
+//!   (Equation 7), and the OT plans `π*_{u,s,k}` (Equation 13), all from
+//!   the research data alone. The result, [`RepairPlan`], is serializable:
+//!   design once, ship it, repair archival torrents elsewhere.
+//! * [`repair`] — **Algorithm 2**: randomized off-sample repair of
+//!   labelled archival points through the plan (grid-cell Bernoulli of
+//!   Equation 14 plus the multinomial row draw of Equation 15), exposed
+//!   point-wise ([`RepairPlan::repair_value`]), dataset-wise
+//!   ([`RepairPlan::repair_dataset`]), and as a streaming
+//!   [`repair::StreamingRepairer`].
+//! * [`geometric`] — the on-sample **geometric repair** baseline of
+//!   Del Barrio et al. (reference [10]; Equations 8–9), against which
+//!   Tables I and II compare.
+//! * [`damage`] — data-damage diagnostics (per-feature MSE and `W₂`
+//!   between pre- and post-repair marginals), quantifying the
+//!   repair/utility trade-off discussed in Section VI.
+//! * [`monge`] — the deterministic **Monge quantile-matching repair**,
+//!   the `nQ → ∞` limit of Algorithm 2 anticipated by the paper's
+//!   Brenier discussion (Section VI); derived directly from a designed
+//!   plan.
+//! * [`blind`] — **group-blind repair** of `s`-unlabelled archival data
+//!   (the paper's priority future-work direction, Section VI): posterior
+//!   `Pr[s|x,u]` from the plan's own interpolated marginals, then a
+//!   posterior-randomized plan-row choice.
+//! * [`continuous_u`] — repair with a **continuous unprotected
+//!   attribute** `u ∈ ℝ` via quantile binning (Section VI's "important
+//!   generalization").
+//! * [`joint`] — the 2-D joint repair for correlation-borne dependence
+//!   (Section VI's intra-feature-correlation caveat).
+
+pub mod blind;
+pub mod config;
+pub mod continuous_u;
+pub mod damage;
+pub mod error;
+pub mod geometric;
+pub mod joint;
+pub mod monge;
+pub mod plan;
+pub mod repair;
+
+pub use blind::GroupBlindRepairer;
+pub use config::{RepairConfig, SolverBackend};
+pub use continuous_u::{ContinuousUPoint, ContinuousURepairer};
+pub use damage::{dataset_damage, DamageReport};
+pub use error::RepairError;
+pub use geometric::GeometricRepair;
+pub use joint::{JointRepairConfig, JointRepairPlan};
+pub use monge::MongeRepair;
+pub use plan::{FeaturePlan, RepairPlan, RepairPlanner};
+pub use repair::StreamingRepairer;

@@ -1,0 +1,733 @@
+//! Algorithm 1 — on-sample design of the distributional repair plan.
+//!
+//! For every `(u, k) ∈ U × {1..d}`:
+//!
+//! 1. **Interpolated support** `Q_{u,k}`: `nQ` uniformly spaced states
+//!    spanning the pooled research range of feature `k` in group `u`
+//!    (line 4 of Algorithm 1).
+//! 2. **Interpolated marginals** `µ_{u,s,k}`: Gaussian-KDE pmfs of the two
+//!    `s`-subgroups evaluated on `Q` (Equation 11, Silverman bandwidth).
+//! 3. **Repair target** `ν_{u,k}`: the `t`-point of the `W₂` geodesic
+//!    between the marginals, on the same support (Equation 7).
+//! 4. **OT plans** `π*_{u,s,k}`: optimal couplings `µ_s → ν` under squared
+//!    Euclidean cost (Equation 13), via the exact monotone solver or
+//!    Sinkhorn.
+//!
+//! The designed [`RepairPlan`] is the paper's deployable artifact: `4·d`
+//! small matrices wholly independent of the archival data size.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use otr_data::{Dataset, GroupKey, LabelledPoint};
+use otr_ot::{
+    quantile_barycentre, sinkhorn, solve_monotone_1d, solve_transportation_simplex,
+    CostMatrix, DiscreteDistribution, OtPlan, SinkhornConfig,
+};
+use otr_stats::dist::Categorical;
+use otr_stats::kde::GaussianKde;
+
+use crate::config::{RepairConfig, SolverBackend};
+use crate::error::{RepairError, Result};
+
+/// The designed transport machinery for one `(u, k)` stratum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeaturePlan {
+    /// Unprotected group this plan serves.
+    pub u: u8,
+    /// Feature index this plan serves.
+    pub k: usize,
+    /// The interpolated support `Q_{u,k}` (uniform, strictly increasing).
+    pub support: Vec<f64>,
+    /// Interpolated marginal pmfs `µ_{u,s,k}` on `support`, indexed by `s`.
+    pub marginals: [DiscreteDistribution; 2],
+    /// The `t`-barycentre target `ν_{u,k}` on `support`.
+    pub barycentre: DiscreteDistribution,
+    /// OT plans `π*_{u,s,k} : µ_s → ν`, indexed by `s`.
+    pub plans: [OtPlan; 2],
+    /// Per-row alias samplers for Equation (15), compiled from `plans`
+    /// (not serialized; rebuilt by [`FeaturePlan::compile`]).
+    #[serde(skip)]
+    samplers: [Vec<Categorical>; 2],
+}
+
+impl PartialEq for FeaturePlan {
+    fn eq(&self, other: &Self) -> bool {
+        // Samplers are derived state; equality is over the designed plan.
+        self.u == other.u
+            && self.k == other.k
+            && self.support == other.support
+            && self.marginals == other.marginals
+            && self.barycentre == other.barycentre
+            && self.plans == other.plans
+    }
+}
+
+impl FeaturePlan {
+    /// Grid spacing of the uniform support.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        if self.support.len() < 2 {
+            return 0.0;
+        }
+        (self.support[self.support.len() - 1] - self.support[0])
+            / (self.support.len() - 1) as f64
+    }
+
+    /// (Re)build the per-row alias samplers from the OT plans. Must be
+    /// called after deserialization; `RepairPlanner::design` and
+    /// `RepairPlan::from_json` do it automatically.
+    ///
+    /// # Errors
+    /// Fails only if a plan row carries zero mass, which would mean the
+    /// marginal itself had a zero state (excluded by KDE positivity).
+    pub fn compile(&mut self) -> Result<()> {
+        for s in 0..2 {
+            let plan = &self.plans[s];
+            let mut rows = Vec::with_capacity(plan.rows());
+            for i in 0..plan.rows() {
+                let row = plan.row(i);
+                let cat = Categorical::new(row).map_err(|e| {
+                    RepairError::InvalidParameter {
+                        name: "plan row",
+                        reason: format!("(u={}, s={s}, k={}) row {i}: {e}", self.u, self.k),
+                    }
+                })?;
+                rows.push(cat);
+            }
+            self.samplers[s] = rows;
+        }
+        Ok(())
+    }
+
+    /// True if [`FeaturePlan::compile`] has been run.
+    pub fn is_compiled(&self) -> bool {
+        self.samplers[0].len() == self.plans[0].rows()
+            && self.samplers[1].len() == self.plans[1].rows()
+    }
+
+    /// Repair one feature value via Algorithm 2 (lines 5–9): quantize to
+    /// the grid with the Bernoulli fractional trial of Equation (14), then
+    /// draw the repaired state from the normalized plan row
+    /// (Equation 15).
+    ///
+    /// Values outside the research range are clamped to the boundary
+    /// states, as discussed in Section V-A2a.
+    ///
+    /// # Errors
+    /// Requires a compiled plan and `s ∈ {0,1}`.
+    pub fn repair_value<R: Rng + ?Sized>(&self, s: u8, x: f64, rng: &mut R) -> Result<f64> {
+        if s > 1 {
+            return Err(RepairError::PlanMismatch(format!("label s={s} outside {{0,1}}")));
+        }
+        if !self.is_compiled() {
+            return Err(RepairError::PlanMismatch(
+                "feature plan is not compiled; call compile() after deserialization".into(),
+            ));
+        }
+        let n_q = self.support.len();
+        let lo = self.support[0];
+        let step = self.step();
+
+        // Quantization with the fractional Bernoulli (Equation 14).
+        let q = if x <= lo || step == 0.0 {
+            0
+        } else if x >= self.support[n_q - 1] {
+            n_q - 1
+        } else {
+            let pos = (x - lo) / step;
+            let base = pos.floor();
+            let tau = pos - base;
+            let mut q = base as usize;
+            // a ~ B(tau) selects the upper neighbour with probability tau.
+            if rng.gen::<f64>() < tau {
+                q += 1;
+            }
+            q.min(n_q - 1)
+        };
+
+        // Multinomial draw from the selected plan row (Equation 15).
+        let j = self.samplers[s as usize][q].sample(rng);
+        Ok(self.support[j])
+    }
+}
+
+/// A complete repair plan: one [`FeaturePlan`] per `(u, k)` stratum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairPlan {
+    /// The configuration the plan was designed under.
+    pub config: RepairConfig,
+    /// Feature dimension `d` of the data this plan repairs.
+    pub dim: usize,
+    /// Plans indexed `[u * dim + k]`.
+    features: Vec<FeaturePlan>,
+}
+
+impl RepairPlan {
+    /// The plan for stratum `(u, k)`.
+    ///
+    /// # Errors
+    /// Rejects labels/indices outside the design.
+    pub fn feature_plan(&self, u: u8, k: usize) -> Result<&FeaturePlan> {
+        if u > 1 || k >= self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "no plan for (u={u}, k={k}) in a dim-{} design",
+                self.dim
+            )));
+        }
+        Ok(&self.features[u as usize * self.dim + k])
+    }
+
+    /// All feature plans (ordered `u`-major).
+    pub fn feature_plans(&self) -> &[FeaturePlan] {
+        &self.features
+    }
+
+    /// Repair one feature value of a labelled observation (Algorithm 2
+    /// inner loop).
+    ///
+    /// # Errors
+    /// Same domain requirements as [`Self::feature_plan`].
+    pub fn repair_value<R: Rng + ?Sized>(
+        &self,
+        u: u8,
+        s: u8,
+        k: usize,
+        x: f64,
+        rng: &mut R,
+    ) -> Result<f64> {
+        self.feature_plan(u, k)?.repair_value(s, x, rng)
+    }
+
+    /// Repair a full labelled point (all features).
+    ///
+    /// # Errors
+    /// Rejects dimension/label mismatches.
+    pub fn repair_point<R: Rng + ?Sized>(
+        &self,
+        point: &LabelledPoint,
+        rng: &mut R,
+    ) -> Result<LabelledPoint> {
+        if point.x.len() != self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "point dimension {} vs plan dimension {}",
+                point.x.len(),
+                self.dim
+            )));
+        }
+        let mut x = Vec::with_capacity(self.dim);
+        for (k, &v) in point.x.iter().enumerate() {
+            x.push(self.repair_value(point.u, point.s, k, v, rng)?);
+        }
+        Ok(LabelledPoint {
+            x,
+            s: point.s,
+            u: point.u,
+        })
+    }
+
+    /// Repair an entire labelled data set (Algorithm 2), preserving
+    /// cardinality and labels.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches.
+    pub fn repair_dataset<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        rng: &mut R,
+    ) -> Result<Dataset> {
+        if data.dim() != self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "dataset dimension {} vs plan dimension {}",
+                data.dim(),
+                self.dim
+            )));
+        }
+        let mut points = Vec::with_capacity(data.len());
+        for p in data.points() {
+            points.push(self.repair_point(p, rng)?);
+        }
+        Ok(Dataset::from_points(points)?)
+    }
+
+    /// Partial repair: geodesic interpolation **in feature space** between
+    /// the original and its repaired value, `x' = (1−λ)x + λ·repair(x)`.
+    /// `λ = 1` is the full Algorithm 2 repair; smaller `λ` trades residual
+    /// unfairness for reduced data damage (Section VI).
+    ///
+    /// # Errors
+    /// Requires `λ ∈ [0,1]`.
+    pub fn repair_dataset_partial<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        lambda: f64,
+        rng: &mut R,
+    ) -> Result<Dataset> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(RepairError::InvalidParameter {
+                name: "lambda",
+                reason: format!("must be in [0,1], got {lambda}"),
+            });
+        }
+        let repaired = self.repair_dataset(data, rng)?;
+        let mut points = Vec::with_capacity(data.len());
+        for (orig, rep) in data.points().iter().zip(repaired.points()) {
+            let x = orig
+                .x
+                .iter()
+                .zip(&rep.x)
+                .map(|(o, r)| (1.0 - lambda) * o + lambda * r)
+                .collect();
+            points.push(LabelledPoint {
+                x,
+                s: orig.s,
+                u: orig.u,
+            });
+        }
+        Ok(Dataset::from_points(points)?)
+    }
+
+    /// Serialize the plan to JSON (the deployable artifact).
+    ///
+    /// # Errors
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| RepairError::Persistence(e.to_string()))
+    }
+
+    /// Load a plan from JSON and recompile its samplers.
+    ///
+    /// # Errors
+    /// Propagates deserialization and recompilation failures.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let mut plan: RepairPlan =
+            serde_json::from_str(json).map_err(|e| RepairError::Persistence(e.to_string()))?;
+        for fp in &mut plan.features {
+            fp.compile()?;
+        }
+        Ok(plan)
+    }
+}
+
+/// Algorithm 1: designs [`RepairPlan`]s from `s|u`-labelled research data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairPlanner {
+    config: RepairConfig,
+}
+
+impl RepairPlanner {
+    /// Create a planner with the given configuration.
+    pub fn new(config: RepairConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RepairConfig {
+        &self.config
+    }
+
+    /// Design the full repair plan from the research data set `X_R`
+    /// (Algorithm 1). Deterministic: no randomness is involved at design
+    /// time.
+    ///
+    /// # Errors
+    /// * [`RepairError::InsufficientResearchData`] when an `(u, s)` group
+    ///   has fewer than `min_group_size` points.
+    /// * Degenerate-feature errors when a group's feature has zero spread
+    ///   (no KDE bandwidth / zero-width support).
+    pub fn design(&self, research: &Dataset) -> Result<RepairPlan> {
+        self.config.validate()?;
+        let d = research.dim();
+        let mut features = Vec::with_capacity(2 * d);
+        for u in 0..2u8 {
+            for k in 0..d {
+                features.push(self.design_feature(research, u, k)?);
+            }
+        }
+        Ok(RepairPlan {
+            config: self.config,
+            dim: d,
+            features,
+        })
+    }
+
+    /// Design the `(u, k)` stratum (lines 3–11 of Algorithm 1).
+    fn design_feature(&self, research: &Dataset, u: u8, k: usize) -> Result<FeaturePlan> {
+        let xs: [Vec<f64>; 2] = [
+            research.feature_column(GroupKey { u, s: 0 }, k)?,
+            research.feature_column(GroupKey { u, s: 1 }, k)?,
+        ];
+        self.design_feature_columns(xs, u, k)
+    }
+
+    /// Design one stratum directly from the two `s`-conditional feature
+    /// columns. This is the raw form of Algorithm 1's inner loop; the
+    /// continuous-`u` extension ([`crate::continuous_u`]) uses it with
+    /// quantile-bin indices in place of the binary `u`.
+    ///
+    /// # Errors
+    /// Same requirements as [`Self::design`].
+    pub fn design_feature_columns(
+        &self,
+        xs: [Vec<f64>; 2],
+        u: u8,
+        k: usize,
+    ) -> Result<FeaturePlan> {
+        for (s, col) in xs.iter().enumerate() {
+            if col.len() < self.config.min_group_size {
+                return Err(RepairError::InsufficientResearchData {
+                    u,
+                    s: s as u8,
+                    found: col.len(),
+                    needed: self.config.min_group_size,
+                });
+            }
+        }
+
+        // Line 4: uniform support across the pooled research range.
+        let lo = xs
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = xs
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !(lo < hi) {
+            return Err(RepairError::InvalidParameter {
+                name: "research data",
+                reason: format!(
+                    "feature {k} of group u={u} has zero spread (all values = {lo})"
+                ),
+            });
+        }
+        let n_q = self.config.n_q;
+        let support: Vec<f64> = (0..n_q)
+            .map(|i| lo + (hi - lo) * i as f64 / (n_q - 1) as f64)
+            .collect();
+
+        // Line 8 / Equation 11: KDE-interpolated marginal pmfs. The
+        // Gaussian kernel is strictly positive analytically, but underflows
+        // to exact zero beyond ~38 bandwidths; floor each state at a tiny
+        // fraction of the peak so every OT-plan row keeps samplable mass.
+        let mut marginals: Vec<DiscreteDistribution> = Vec::with_capacity(2);
+        for col in &xs {
+            let kde = GaussianKde::fit(col, self.config.bandwidth)?;
+            let mut pmf = kde.pmf_on_grid(&support)?;
+            let floor = pmf.iter().copied().fold(0.0, f64::max) * 1e-12;
+            for p in &mut pmf {
+                *p = p.max(floor);
+            }
+            marginals.push(DiscreteDistribution::new(support.clone(), pmf)?);
+        }
+        let marginals: [DiscreteDistribution; 2] = [
+            marginals.remove(0),
+            marginals.remove(0),
+        ];
+
+        // Line 9 / Equation 7: the t-barycentre target on the same support.
+        let barycentre = quantile_barycentre(
+            &marginals[0],
+            &marginals[1],
+            self.config.t,
+            &support,
+            self.config.barycentre_resolution,
+        )?;
+
+        // Line 11 / Equation 13: OT plans µ_s -> ν.
+        let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
+        for m in &marginals {
+            let plan = match self.config.solver {
+                SolverBackend::ExactMonotone => solve_monotone_1d(m, &barycentre)?,
+                SolverBackend::Sinkhorn { epsilon } => {
+                    let cost = CostMatrix::squared_euclidean(&support, &support)?;
+                    match sinkhorn(
+                        m.masses(),
+                        barycentre.masses(),
+                        &cost,
+                        SinkhornConfig::with_epsilon(epsilon),
+                    ) {
+                        Ok(p) => p,
+                        // Pathologically small ε on a wide support may not
+                        // converge; the exact simplex is the documented
+                        // fallback (same optimum, no regularization).
+                        Err(otr_ot::OtError::NoConvergence { .. }) => {
+                            solve_transportation_simplex(
+                                m.masses(),
+                                barycentre.masses(),
+                                &cost,
+                            )?
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            };
+            plans.push(plan);
+        }
+        let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
+
+        let mut fp = FeaturePlan {
+            u,
+            k,
+            support,
+            marginals,
+            barycentre,
+            plans,
+            samplers: [Vec::new(), Vec::new()],
+        };
+        fp.compile()?;
+        Ok(fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otr_data::SimulationSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn research(seed: u64, n: usize) -> Dataset {
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(seed);
+        spec.sample_dataset(n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn design_produces_all_strata() {
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(30))
+            .design(&research(1, 400))
+            .unwrap();
+        assert_eq!(plan.dim, 2);
+        assert_eq!(plan.feature_plans().len(), 4);
+        for u in 0..2u8 {
+            for k in 0..2usize {
+                let fp = plan.feature_plan(u, k).unwrap();
+                assert_eq!(fp.u, u);
+                assert_eq!(fp.k, k);
+                assert_eq!(fp.support.len(), 30);
+                assert!(fp.is_compiled());
+            }
+        }
+        assert!(plan.feature_plan(2, 0).is_err());
+        assert!(plan.feature_plan(0, 9).is_err());
+    }
+
+    #[test]
+    fn support_spans_pooled_range() {
+        let data = research(2, 500);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(20))
+            .design(&data)
+            .unwrap();
+        for u in 0..2u8 {
+            let fp = plan.feature_plan(u, 0).unwrap();
+            let col0 = data.feature_column(GroupKey { u, s: 0 }, 0).unwrap();
+            let col1 = data.feature_column(GroupKey { u, s: 1 }, 0).unwrap();
+            let lo = col0
+                .iter()
+                .chain(&col1)
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let hi = col0
+                .iter()
+                .chain(&col1)
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!((fp.support[0] - lo).abs() < 1e-12);
+            assert!((fp.support[fp.support.len() - 1] - hi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plans_couple_marginal_to_barycentre() {
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(40))
+            .design(&research(3, 600))
+            .unwrap();
+        for fp in plan.feature_plans() {
+            for s in 0..2usize {
+                fp.plans[s]
+                    .validate_marginals(fp.marginals[s].masses(), fp.barycentre.masses())
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_group_detected() {
+        // u=1, s=0 has Pr = 0.05; a tiny sample will miss the threshold.
+        let mut cfg = RepairConfig::with_n_q(10);
+        cfg.min_group_size = 50;
+        let err = RepairPlanner::new(cfg).design(&research(4, 120));
+        assert!(matches!(
+            err,
+            Err(RepairError::InsufficientResearchData { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_preserves_cardinality_and_labels() {
+        let data = research(5, 500);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(50))
+            .design(&data)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let archive = research(6, 2_000);
+        let repaired = plan.repair_dataset(&archive, &mut rng).unwrap();
+        assert_eq!(repaired.len(), archive.len());
+        for (a, b) in repaired.points().iter().zip(archive.points()) {
+            assert_eq!(a.s, b.s);
+            assert_eq!(a.u, b.u);
+        }
+    }
+
+    #[test]
+    fn repaired_values_live_on_support() {
+        let data = research(7, 400);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(25))
+            .design(&data)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let archive = research(8, 500);
+        let repaired = plan.repair_dataset(&archive, &mut rng).unwrap();
+        for p in repaired.points() {
+            for (k, &v) in p.x.iter().enumerate() {
+                let fp = plan.feature_plan(p.u, k).unwrap();
+                assert!(
+                    fp.support.iter().any(|&q| (q - v).abs() < 1e-9),
+                    "repaired value {v} is not a support state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_boundary_states() {
+        let data = research(9, 300);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(15))
+            .design(&data)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        // A value far below/above any research observation.
+        let lo_val = plan.repair_value(0, 0, 0, -1e6, &mut rng).unwrap();
+        let hi_val = plan.repair_value(0, 0, 0, 1e6, &mut rng).unwrap();
+        let fp = plan.feature_plan(0, 0).unwrap();
+        assert!(fp.support.contains(&lo_val));
+        assert!(fp.support.contains(&hi_val));
+    }
+
+    #[test]
+    fn repair_rejects_mismatches() {
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(10))
+            .design(&research(10, 300))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(plan.repair_value(0, 7, 0, 0.0, &mut rng).is_err());
+        let bad = LabelledPoint {
+            x: vec![0.0],
+            s: 0,
+            u: 0,
+        };
+        assert!(plan.repair_point(&bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn partial_repair_interpolates() {
+        let data = research(11, 400);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(30))
+            .design(&data)
+            .unwrap();
+        let archive = research(12, 300);
+        let zero = plan
+            .repair_dataset_partial(&archive, 0.0, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        // lambda = 0 returns the original features exactly.
+        for (a, b) in zero.points().iter().zip(archive.points()) {
+            assert_eq!(a.x, b.x);
+        }
+        assert!(plan
+            .repair_dataset_partial(&archive, 1.5, &mut StdRng::seed_from_u64(5))
+            .is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let data = research(13, 400);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(20))
+            .design(&data)
+            .unwrap();
+        let json = plan.to_json().unwrap();
+        let back = RepairPlan::from_json(&json).unwrap();
+        // Structural agreement up to the last JSON ulp.
+        assert_eq!(back.dim, plan.dim);
+        assert_eq!(back.feature_plans().len(), plan.feature_plans().len());
+        for (a, b) in plan.feature_plans().iter().zip(back.feature_plans()) {
+            assert_eq!(a.u, b.u);
+            assert_eq!(a.k, b.k);
+            for (x, y) in a.support.iter().zip(&b.support) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            for s in 0..2 {
+                for (x, y) in a.marginals[s].masses().iter().zip(b.marginals[s].masses()) {
+                    assert!((x - y).abs() < 1e-12);
+                }
+            }
+            assert!(b.is_compiled());
+        }
+        // Behavioural agreement: identical repair draws under the same RNG.
+        let vals_a: Vec<f64> = (0..50)
+            .map(|i| {
+                plan.repair_value(0, 1, 0, 0.1 * i as f64 - 2.0, &mut StdRng::seed_from_u64(i))
+                    .unwrap()
+            })
+            .collect();
+        let vals_b: Vec<f64> = (0..50)
+            .map(|i| {
+                back.repair_value(0, 1, 0, 0.1 * i as f64 - 2.0, &mut StdRng::seed_from_u64(i))
+                    .unwrap()
+            })
+            .collect();
+        for (a, b) in vals_a.iter().zip(&vals_b) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sinkhorn_backend_designs_valid_plans() {
+        let mut cfg = RepairConfig::with_n_q(25);
+        cfg.solver = SolverBackend::Sinkhorn { epsilon: 0.05 };
+        let plan = RepairPlanner::new(cfg).design(&research(14, 400)).unwrap();
+        for fp in plan.feature_plans() {
+            for s in 0..2usize {
+                // Sinkhorn plans are rounded to exact feasibility.
+                fp.plans[s]
+                    .validate_marginals(fp.marginals[s].masses(), fp.barycentre.masses())
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_feature_rejected() {
+        // A dataset whose feature 0 is constant within u=0.
+        let mut pts = Vec::new();
+        for s in 0..2u8 {
+            for i in 0..20 {
+                pts.push(LabelledPoint {
+                    x: vec![1.0, i as f64],
+                    s,
+                    u: 0,
+                });
+                pts.push(LabelledPoint {
+                    x: vec![i as f64, i as f64],
+                    s,
+                    u: 1,
+                });
+            }
+        }
+        let data = Dataset::from_points(pts).unwrap();
+        let err = RepairPlanner::new(RepairConfig::with_n_q(10)).design(&data);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Streaming (online) archival repair — Algorithm 2 applied to a torrent.
+//!
+//! The paper's motivating deployment (Section I) is a stream of archival
+//! observations arriving *after* the repair was designed. The
+//! [`StreamingRepairer`] wraps a designed [`RepairPlan`] with an owned RNG
+//! and running counters, so a data pipeline can push labelled points
+//! through it one at a time with O(1) amortized cost per feature and no
+//! further reference to the research data.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use otr_data::LabelledPoint;
+
+use crate::error::Result;
+use crate::plan::RepairPlan;
+
+/// Running statistics of a repair stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Points repaired so far.
+    pub repaired: u64,
+    /// Feature values that fell outside the plan's support range and were
+    /// clamped to a boundary state (a stationarity warning sign —
+    /// Section V-A2a).
+    pub out_of_range: u64,
+}
+
+/// An online repairer: a designed plan plus an owned RNG.
+#[derive(Debug, Clone)]
+pub struct StreamingRepairer {
+    plan: RepairPlan,
+    rng: StdRng,
+    stats: StreamStats,
+}
+
+impl StreamingRepairer {
+    /// Wrap a designed plan with a deterministic RNG seed.
+    pub fn new(plan: RepairPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &RepairPlan {
+        &self.plan
+    }
+
+    /// Stream statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Repair one labelled point, updating stream statistics.
+    ///
+    /// # Errors
+    /// Same requirements as [`RepairPlan::repair_point`].
+    pub fn repair(&mut self, point: &LabelledPoint) -> Result<LabelledPoint> {
+        // Count out-of-range features before repairing.
+        for (k, &v) in point.x.iter().enumerate() {
+            if let Ok(fp) = self.plan.feature_plan(point.u, k) {
+                let lo = fp.support[0];
+                let hi = fp.support[fp.support.len() - 1];
+                if v < lo || v > hi {
+                    self.stats.out_of_range += 1;
+                }
+            }
+        }
+        let repaired = self.plan.repair_point(point, &mut self.rng)?;
+        self.stats.repaired += 1;
+        Ok(repaired)
+    }
+
+    /// Repair a batch, returning repaired points in order.
+    ///
+    /// # Errors
+    /// Fails atomically on the first invalid point.
+    pub fn repair_batch(&mut self, points: &[LabelledPoint]) -> Result<Vec<LabelledPoint>> {
+        points.iter().map(|p| self.repair(p)).collect()
+    }
+
+    /// Fraction of feature values seen so far that were out of range.
+    pub fn out_of_range_rate(&self) -> f64 {
+        if self.stats.repaired == 0 {
+            return 0.0;
+        }
+        self.stats.out_of_range as f64
+            / (self.stats.repaired as f64 * self.plan.dim as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RepairConfig;
+    use crate::plan::RepairPlanner;
+    use otr_data::SimulationSpec;
+    use rand::rngs::StdRng;
+
+    fn setup() -> (RepairPlan, Vec<LabelledPoint>) {
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        let research = spec.sample_dataset(400, &mut rng).unwrap();
+        let archive = spec.sample_dataset(200, &mut rng).unwrap();
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(30))
+            .design(&research)
+            .unwrap();
+        (plan, archive.points().to_vec())
+    }
+
+    #[test]
+    fn stream_matches_batch_cardinality() {
+        let (plan, points) = setup();
+        let mut streamer = StreamingRepairer::new(plan, 7);
+        let out = streamer.repair_batch(&points).unwrap();
+        assert_eq!(out.len(), points.len());
+        assert_eq!(streamer.stats().repaired, points.len() as u64);
+    }
+
+    #[test]
+    fn labels_pass_through() {
+        let (plan, points) = setup();
+        let mut streamer = StreamingRepairer::new(plan, 8);
+        for p in points.iter().take(50) {
+            let r = streamer.repair(p).unwrap();
+            assert_eq!(r.s, p.s);
+            assert_eq!(r.u, p.u);
+        }
+    }
+
+    #[test]
+    fn out_of_range_counter_triggers() {
+        let (plan, _) = setup();
+        let mut streamer = StreamingRepairer::new(plan, 9);
+        let extreme = LabelledPoint {
+            x: vec![1e9, -1e9],
+            s: 0,
+            u: 0,
+        };
+        streamer.repair(&extreme).unwrap();
+        assert_eq!(streamer.stats().out_of_range, 2);
+        assert!(streamer.out_of_range_rate() > 0.99);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (plan, points) = setup();
+        let a = StreamingRepairer::new(plan.clone(), 42)
+            .repair_batch(&points)
+            .unwrap();
+        let b = StreamingRepairer::new(plan, 42)
+            .repair_batch(&points)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_stream_rate_is_zero() {
+        let (plan, _) = setup();
+        let streamer = StreamingRepairer::new(plan, 1);
+        assert_eq!(streamer.out_of_range_rate(), 0.0);
+    }
+}

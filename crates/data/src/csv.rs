@@ -1,0 +1,160 @@
+//! A dependency-free CSV reader/writer sufficient for the Adult data file
+//! and for exporting experiment results.
+//!
+//! Supports quoted fields with embedded commas and doubled quotes, CRLF
+//! and LF line endings, and optional surrounding whitespace trimming. It
+//! deliberately does not support embedded newlines inside quoted fields —
+//! the Adult file has none, and rejecting them keeps the reader O(1) in
+//! lookahead.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{DataError, Result};
+
+/// Parse one CSV line into fields.
+///
+/// # Errors
+/// Returns [`DataError::Csv`] for unterminated quotes; `line_no` is used
+/// only for error reporting.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CR before LF
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line: line_no,
+            reason: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Read all rows from a reader; empty lines are skipped.
+///
+/// # Errors
+/// Propagates I/O and parse failures.
+pub fn read_rows<R: BufRead>(reader: R) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(parse_line(&line, idx + 1)?);
+    }
+    Ok(rows)
+}
+
+/// Escape a field for CSV output (quotes it when it contains a comma,
+/// quote, or leading/trailing space).
+pub fn escape_field(field: &str) -> String {
+    let needs_quotes = field.contains(',')
+        || field.contains('"')
+        || field.starts_with(' ')
+        || field.ends_with(' ');
+    if needs_quotes {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write rows to a writer as CSV.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_rows<W: Write>(mut writer: W, rows: &[Vec<String>]) -> Result<()> {
+    for row in rows {
+        let encoded: Vec<String> = row.iter().map(|f| escape_field(f)).collect();
+        writeln!(writer, "{}", encoded.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_fields() {
+        assert_eq!(
+            parse_line("a,b,c", 1).unwrap(),
+            vec!["a".to_string(), "b".into(), "c".into()]
+        );
+    }
+
+    #[test]
+    fn quoted_with_commas_and_quotes() {
+        assert_eq!(
+            parse_line(r#""a,b","say ""hi""",c"#, 1).unwrap(),
+            vec!["a,b".to_string(), r#"say "hi""#.into(), "c".into()]
+        );
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        assert_eq!(
+            parse_line("a,,c,", 1).unwrap(),
+            vec!["a".to_string(), String::new(), "c".into(), String::new()]
+        );
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        assert_eq!(parse_line("a,b\r", 1).unwrap(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(matches!(
+            parse_line("\"abc", 7),
+            Err(DataError::Csv { line: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn read_rows_skips_blank_lines() {
+        let input = "a,b\n\n c,d\n";
+        let rows = read_rows(input.as_bytes()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec![" c".to_string(), "d".into()]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows = vec![
+            vec!["plain".to_string(), "with,comma".into(), "with\"quote".into()],
+            vec![" leading".to_string(), String::new()],
+        ];
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &rows).unwrap();
+        let back = read_rows(buf.as_slice()).unwrap();
+        assert_eq!(back, rows);
+    }
+}

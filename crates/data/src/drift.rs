@@ -1,0 +1,128 @@
+//! Distribution-shift injectors.
+//!
+//! The paper's off-sample repair leans on a stationarity assumption
+//! (Section IV, requirement 2) and observes degraded repair under real
+//! non-stationarity (Section V-B). These injectors synthesize controlled
+//! violations of that assumption so the degradation can be measured.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+
+/// A feature-space drift applied to every point of a data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Drift {
+    /// Add a constant shift per feature.
+    MeanShift(Vec<f64>),
+    /// Scale each feature's deviation from a centre: `x ← c + k (x − c)`.
+    VarianceScale {
+        /// Per-feature centres.
+        centre: Vec<f64>,
+        /// Per-feature scale factors (must be positive).
+        factors: Vec<f64>,
+    },
+    /// Apply a shift only to points with the given protected label —
+    /// shifts one subgroup, changing the `s|u` dependence structure.
+    GroupShift {
+        /// Affected protected label.
+        s: u8,
+        /// Per-feature shift.
+        shift: Vec<f64>,
+    },
+}
+
+impl Drift {
+    /// Apply the drift to a data set, returning a new one.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches or non-finite outputs.
+    pub fn apply(&self, data: &Dataset) -> Result<Dataset> {
+        match self {
+            Drift::MeanShift(shift) => data.map_features(|p| {
+                p.x.iter()
+                    .zip(shift.iter().cycle())
+                    .map(|(x, d)| x + d)
+                    .collect()
+            }),
+            Drift::VarianceScale { centre, factors } => data.map_features(|p| {
+                p.x.iter()
+                    .zip(centre.iter().cycle())
+                    .zip(factors.iter().cycle())
+                    .map(|((x, c), k)| c + k * (x - c))
+                    .collect()
+            }),
+            Drift::GroupShift { s, shift } => data.map_features(|p| {
+                if p.s == *s {
+                    p.x.iter()
+                        .zip(shift.iter().cycle())
+                        .map(|(x, d)| x + d)
+                        .collect()
+                } else {
+                    p.x.clone()
+                }
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabelledPoint;
+
+    fn data() -> Dataset {
+        Dataset::from_points(vec![
+            LabelledPoint {
+                x: vec![1.0, 10.0],
+                s: 0,
+                u: 0,
+            },
+            LabelledPoint {
+                x: vec![2.0, 20.0],
+                s: 1,
+                u: 1,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn mean_shift() {
+        let out = Drift::MeanShift(vec![1.0, -1.0]).apply(&data()).unwrap();
+        assert_eq!(out.points()[0].x, vec![2.0, 9.0]);
+        assert_eq!(out.points()[1].x, vec![3.0, 19.0]);
+    }
+
+    #[test]
+    fn variance_scale_contracts_toward_centre() {
+        let out = Drift::VarianceScale {
+            centre: vec![0.0, 0.0],
+            factors: vec![0.5, 2.0],
+        }
+        .apply(&data())
+        .unwrap();
+        assert_eq!(out.points()[0].x, vec![0.5, 20.0]);
+    }
+
+    #[test]
+    fn group_shift_only_affects_matching_s() {
+        let out = Drift::GroupShift {
+            s: 1,
+            shift: vec![100.0, 0.0],
+        }
+        .apply(&data())
+        .unwrap();
+        assert_eq!(out.points()[0].x, vec![1.0, 10.0]);
+        assert_eq!(out.points()[1].x, vec![102.0, 20.0]);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let out = Drift::MeanShift(vec![0.0, 0.0]).apply(&data()).unwrap();
+        for (a, b) in out.points().iter().zip(data().points()) {
+            assert_eq!(a.s, b.s);
+            assert_eq!(a.u, b.u);
+        }
+    }
+}

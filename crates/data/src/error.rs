@@ -1,0 +1,83 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced by data loading, generation, and manipulation.
+#[derive(Debug)]
+pub enum DataError {
+    /// A dimension/shape requirement was violated.
+    Shape(String),
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violation description.
+        reason: String,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A statistical subroutine failed.
+    Stats(otr_stats::StatsError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Shape(msg) => write!(f, "shape error: {msg}"),
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::Csv { line, reason } => write!(f, "CSV error at line {line}: {reason}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<otr_stats::StatsError> for DataError {
+    fn from(e: otr_stats::StatsError) -> Self {
+        DataError::Stats(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::Csv {
+            line: 3,
+            reason: "expected 4 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let io = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "x"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

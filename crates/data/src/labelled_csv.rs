@@ -1,0 +1,174 @@
+//! Labelled-dataset CSV interchange: the on-disk format of the `otrepair`
+//! CLI.
+//!
+//! Layout: a header row `s,u,x0,x1,…` followed by one row per
+//! observation. `s` and `u` must be `0`/`1`; features are finite floats.
+//! Column order is fixed (`s`, `u`, then features) so that plans and data
+//! sets exchanged between the design and deployment sides cannot be
+//! silently misaligned.
+
+use std::io::{BufRead, Write};
+
+use crate::csv::{parse_line, write_rows};
+use crate::dataset::{Dataset, LabelledPoint};
+use crate::error::{DataError, Result};
+
+/// Read a labelled data set from CSV (header required).
+///
+/// # Errors
+/// Reports malformed headers, label values outside `{0,1}`, non-numeric
+/// or non-finite features, and inconsistent row widths with line numbers.
+pub fn read_labelled_csv<R: BufRead>(reader: R) -> Result<Dataset> {
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((idx, line)) => {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                break parse_line(&line, idx + 1)?;
+            }
+            None => {
+                return Err(DataError::Csv {
+                    line: 0,
+                    reason: "empty file (expected a header row)".into(),
+                })
+            }
+        }
+    };
+    if header.len() < 3
+        || header[0].trim() != "s"
+        || header[1].trim() != "u"
+        || !header[2..]
+            .iter()
+            .enumerate()
+            .all(|(k, name)| name.trim() == format!("x{k}"))
+    {
+        return Err(DataError::Csv {
+            line: 1,
+            reason: format!(
+                "header must be `s,u,x0,x1,…`, got {:?}",
+                header.join(",")
+            ),
+        });
+    }
+    let d = header.len() - 2;
+
+    let mut points = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(&line, idx + 1)?;
+        if fields.len() != d + 2 {
+            return Err(DataError::Csv {
+                line: idx + 1,
+                reason: format!("expected {} fields, found {}", d + 2, fields.len()),
+            });
+        }
+        let parse_label = |raw: &str, name: &str| -> Result<u8> {
+            match raw.trim() {
+                "0" => Ok(0),
+                "1" => Ok(1),
+                other => Err(DataError::Csv {
+                    line: idx + 1,
+                    reason: format!("{name} must be 0 or 1, got {other:?}"),
+                }),
+            }
+        };
+        let s = parse_label(&fields[0], "s")?;
+        let u = parse_label(&fields[1], "u")?;
+        let mut x = Vec::with_capacity(d);
+        for (k, raw) in fields[2..].iter().enumerate() {
+            let v: f64 = raw.trim().parse().map_err(|_| DataError::Csv {
+                line: idx + 1,
+                reason: format!("x{k} is not a number: {raw:?}"),
+            })?;
+            if !v.is_finite() {
+                return Err(DataError::Csv {
+                    line: idx + 1,
+                    reason: format!("x{k} is not finite: {v}"),
+                });
+            }
+            x.push(v);
+        }
+        points.push(LabelledPoint { x, s, u });
+    }
+    Dataset::from_points(points)
+}
+
+/// Write a labelled data set as CSV (with header).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_labelled_csv<W: Write>(writer: W, data: &Dataset) -> Result<()> {
+    let mut rows = Vec::with_capacity(data.len() + 1);
+    let mut header = vec!["s".to_string(), "u".to_string()];
+    header.extend((0..data.dim()).map(|k| format!("x{k}")));
+    rows.push(header);
+    for p in data.points() {
+        let mut row = vec![p.s.to_string(), p.u.to_string()];
+        row.extend(p.x.iter().map(|v| format!("{v}")));
+        rows.push(row);
+    }
+    write_rows(writer, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_points(vec![
+            LabelledPoint {
+                x: vec![1.5, -2.0],
+                s: 0,
+                u: 1,
+            },
+            LabelledPoint {
+                x: vec![0.25, 100.0],
+                s: 1,
+                u: 0,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = sample();
+        let mut buf = Vec::new();
+        write_labelled_csv(&mut buf, &data).unwrap();
+        let back = read_labelled_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_header() {
+        assert!(read_labelled_csv("".as_bytes()).is_err());
+        assert!(read_labelled_csv("a,b,c\n0,1,2".as_bytes()).is_err());
+        assert!(read_labelled_csv("s,u\n0,1".as_bytes()).is_err());
+        assert!(read_labelled_csv("s,u,x1\n0,1,2".as_bytes()).is_err()); // must start at x0
+    }
+
+    #[test]
+    fn rejects_bad_rows_with_line_numbers() {
+        let err = read_labelled_csv("s,u,x0\n0,1,1.0\n2,0,1.0".as_bytes());
+        match err {
+            Err(DataError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected CSV error, got {other:?}"),
+        }
+        assert!(read_labelled_csv("s,u,x0\n0,1".as_bytes()).is_err());
+        assert!(read_labelled_csv("s,u,x0\n0,1,abc".as_bytes()).is_err());
+        assert!(read_labelled_csv("s,u,x0\n0,1,inf".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = read_labelled_csv("s,u,x0\n\n0,1,3.5\n\n1,0,2.5\n".as_bytes()).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.points()[0].x, vec![3.5]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # otr-data — data substrate for `ot-fair-repair`
+//!
+//! In-memory labelled data sets and the generators behind both of the
+//! paper's test beds:
+//!
+//! * [`dataset`] — the [`Dataset`] container of `(x ∈ ℝᵈ, s, u)`
+//!   observations (`Z = {X, S, U}`, Equation 1), with `(u,s)`-group
+//!   slicing, feature-column extraction, and research/archive splitting.
+//! * [`synth`] — the bivariate-Gaussian simulation of Section V-A
+//!   ([`SimulationSpec`]).
+//! * [`adult`] — the Adult-income study (Section V-B): a calibrated
+//!   synthetic generator ([`adult::AdultSynth`]) standing in for the UCI
+//!   file (unavailable offline; see DESIGN.md §4), plus a loader for the
+//!   real `adult.data` CSV when present.
+//! * [`csv`] — a dependency-free CSV reader/writer.
+//! * [`drift`] — distribution-shift injectors used to stress the paper's
+//!   stationarity assumption (Section V-A2a discussion).
+
+pub mod adult;
+pub mod csv;
+pub mod dataset;
+pub mod drift;
+pub mod error;
+pub mod labelled_csv;
+pub mod synth;
+
+pub use adult::AdultSynth;
+pub use dataset::{Dataset, GroupKey, LabelledPoint, SplitData};
+pub use drift::Drift;
+pub use error::DataError;
+pub use labelled_csv::{read_labelled_csv, write_labelled_csv};
+pub use synth::SimulationSpec;

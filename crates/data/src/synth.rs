@@ -1,0 +1,302 @@
+//! The paper's simulation study generator (Section V-A): four bivariate
+//! Gaussian components `x_{u,s} ~ N(µ_{u,s}, Σ)` with
+//! `Pr[u=0] = 0.5`, `Pr[s=0|u=0] = 0.3`, `Pr[s=0|u=1] = 0.1`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use otr_stats::dist::Bernoulli;
+use otr_stats::linalg::Matrix;
+use otr_stats::MultivariateNormal;
+
+use crate::dataset::{Dataset, LabelledPoint, SplitData};
+use crate::error::{DataError, Result};
+
+/// Specification of the `(u, s)`-conditional Gaussian mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationSpec {
+    /// Component means indexed `[u][s]`.
+    pub means: [[Vec<f64>; 2]; 2],
+    /// Shared isotropic standard deviation (used when `covs` is `None`).
+    pub sigma: f64,
+    /// Optional full per-`(u, s)` covariance matrices, indexed `[u][s]`.
+    /// When present they override `sigma`, enabling group-dependent
+    /// correlation structure (the Section VI intra-feature-correlation
+    /// study in `ablation_joint`).
+    #[serde(default)]
+    pub covs: Option<[[Matrix; 2]; 2]>,
+    /// `Pr[u = 0]`.
+    pub pr_u0: f64,
+    /// `Pr[s = 0 | u]`, indexed by `u`.
+    pub pr_s0_given_u: [f64; 2],
+}
+
+impl SimulationSpec {
+    /// The exact parameters of Section V-A:
+    /// `µ₀,₀ = (−1,−1)`, `µ₀,₁ = (0,0)`, `µ₁,₀ = (1,1)`, `µ₁,₁ = (0,0)`,
+    /// `Σ = I₂`, `Pr[u=0]=0.5`, `Pr[s=0|u=0]=0.3`, `Pr[s=0|u=1]=0.1`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            means: [
+                [vec![-1.0, -1.0], vec![0.0, 0.0]],
+                [vec![1.0, 1.0], vec![0.0, 0.0]],
+            ],
+            sigma: 1.0,
+            covs: None,
+            pr_u0: 0.5,
+            pr_s0_given_u: [0.3, 0.1],
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.means[0][0].len()
+    }
+
+    /// Covariance for component `(u, s)`: the explicit matrix when `covs`
+    /// is set, otherwise `sigma² I`.
+    fn cov_for(&self, u: usize, s: usize) -> Matrix {
+        if let Some(covs) = &self.covs {
+            return covs[u][s].clone();
+        }
+        let d = self.dim();
+        let mut cov = Matrix::zeros(d, d);
+        for i in 0..d {
+            cov.set(i, i, self.sigma * self.sigma);
+        }
+        cov
+    }
+
+    /// Validate the specification.
+    ///
+    /// # Errors
+    /// Rejects inconsistent mean dimensions, non-positive `sigma`, and
+    /// probabilities outside `(0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        let d = self.dim();
+        if d == 0 {
+            return Err(DataError::Shape("means must be non-empty".into()));
+        }
+        for u in 0..2 {
+            for s in 0..2 {
+                if self.means[u][s].len() != d {
+                    return Err(DataError::Shape(format!(
+                        "mean[u={u}][s={s}] has dim {} (expected {d})",
+                        self.means[u][s].len()
+                    )));
+                }
+            }
+        }
+        if !(self.sigma > 0.0) {
+            return Err(DataError::InvalidParameter {
+                name: "sigma",
+                reason: format!("must be positive, got {}", self.sigma),
+            });
+        }
+        if let Some(covs) = &self.covs {
+            for (u, row) in covs.iter().enumerate() {
+                for (s, cov) in row.iter().enumerate() {
+                    if cov.rows() != d || cov.cols() != d {
+                        return Err(DataError::Shape(format!(
+                            "cov[u={u}][s={s}] is {}x{} (expected {d}x{d})",
+                            cov.rows(),
+                            cov.cols()
+                        )));
+                    }
+                    if cov.cholesky().is_err() {
+                        return Err(DataError::InvalidParameter {
+                            name: "covs",
+                            reason: format!("cov[u={u}][s={s}] is not positive definite"),
+                        });
+                    }
+                }
+            }
+        }
+        for (name, p) in [("pr_u0", self.pr_u0)]
+            .into_iter()
+            .chain([("pr_s0_given_u[0]", self.pr_s0_given_u[0])])
+            .chain([("pr_s0_given_u[1]", self.pr_s0_given_u[1])])
+        {
+            if !(0.0 < p && p < 1.0) {
+                return Err(DataError::InvalidParameter {
+                    name: "probability",
+                    reason: format!("{name} must be in (0,1), got {p}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw one labelled observation from the hierarchical model
+    /// `u ~ Bern(1 − pr_u0)`, `s|u ~ Bern(1 − pr_s0_given_u[u])`,
+    /// `x|s,u ~ N(µ_{u,s}, σ²I)`.
+    ///
+    /// # Errors
+    /// Propagates validation failures.
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<LabelledPoint> {
+        self.validate()?;
+        let u = u8::from(!Bernoulli::new(self.pr_u0)?.sample(rng));
+        let s = u8::from(!Bernoulli::new(self.pr_s0_given_u[u as usize])?.sample(rng));
+        let cov = self.cov_for(u as usize, s as usize);
+        let mvn = MultivariateNormal::new(self.means[u as usize][s as usize].clone(), cov)?;
+        Ok(LabelledPoint {
+            x: mvn.sample(rng),
+            s,
+            u,
+        })
+    }
+
+    /// Generate a full data set of `n` observations.
+    ///
+    /// # Errors
+    /// Requires `n ≥ 1`; propagates validation failures.
+    pub fn sample_dataset<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Dataset> {
+        self.validate()?;
+        if n == 0 {
+            return Err(DataError::InvalidParameter {
+                name: "n",
+                reason: "must be at least 1".into(),
+            });
+        }
+        // Build the four component samplers once.
+        let mut comps: Vec<MultivariateNormal> = Vec::with_capacity(4);
+        for u in 0..2 {
+            for s in 0..2 {
+                comps.push(MultivariateNormal::new(
+                    self.means[u][s].clone(),
+                    self.cov_for(u, s),
+                )?);
+            }
+        }
+        let b_u = Bernoulli::new(self.pr_u0)?;
+        let b_s = [
+            Bernoulli::new(self.pr_s0_given_u[0])?,
+            Bernoulli::new(self.pr_s0_given_u[1])?,
+        ];
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u = u8::from(!b_u.sample(rng));
+            let s = u8::from(!b_s[u as usize].sample(rng));
+            let comp = &comps[(u as usize) * 2 + s as usize];
+            points.push(LabelledPoint {
+                x: comp.sample(rng),
+                s,
+                u,
+            });
+        }
+        Dataset::from_points(points)
+    }
+
+    /// Generate the composite experiment data: `n_research + n_archive`
+    /// i.i.d. observations split into research and archive parts (the
+    /// paper's `n ≡ n_R + n_A`).
+    ///
+    /// # Errors
+    /// Requires both sizes ≥ 1.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n_research: usize,
+        n_archive: usize,
+        rng: &mut R,
+    ) -> Result<SplitData> {
+        if n_research == 0 || n_archive == 0 {
+            return Err(DataError::InvalidParameter {
+                name: "n_research/n_archive",
+                reason: "both must be at least 1".into(),
+            });
+        }
+        let all = self.sample_dataset(n_research + n_archive, rng)?;
+        all.split_research_archive(n_research, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        let spec = SimulationSpec::paper_defaults();
+        spec.validate().unwrap();
+        assert_eq!(spec.dim(), 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut spec = SimulationSpec::paper_defaults();
+        spec.sigma = 0.0;
+        assert!(spec.validate().is_err());
+        let mut spec = SimulationSpec::paper_defaults();
+        spec.pr_u0 = 1.0;
+        assert!(spec.validate().is_err());
+        let mut spec = SimulationSpec::paper_defaults();
+        spec.means[1][0] = vec![1.0];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn group_proportions_match_spec() {
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = spec.sample_dataset(50_000, &mut rng).unwrap();
+        assert!((data.prob_u1() - 0.5).abs() < 0.01);
+        assert!((data.prob_s0_given_u(0) - 0.3).abs() < 0.01);
+        assert!((data.prob_s0_given_u(1) - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn component_means_match_spec() {
+        use crate::dataset::GroupKey;
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = spec.sample_dataset(80_000, &mut rng).unwrap();
+        for (key, want) in [
+            (GroupKey { u: 0, s: 0 }, -1.0),
+            (GroupKey { u: 0, s: 1 }, 0.0),
+            (GroupKey { u: 1, s: 0 }, 1.0),
+            (GroupKey { u: 1, s: 1 }, 0.0),
+        ] {
+            let col = data.feature_column(key, 0).unwrap();
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            assert!(
+                (mean - want).abs() < 0.06,
+                "group {key:?}: mean {mean} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn generate_splits_sizes() {
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = spec.generate(500, 5000, &mut rng).unwrap();
+        assert_eq!(split.research.len(), 500);
+        assert_eq!(split.archive.len(), 5000);
+        assert!(spec.generate(0, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_point_labels_in_range() {
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = spec.sample_point(&mut rng).unwrap();
+            assert!(p.s <= 1 && p.u <= 1);
+            assert_eq!(p.x.len(), 2);
+        }
+    }
+
+    #[test]
+    fn reproducible_from_seed() {
+        let spec = SimulationSpec::paper_defaults();
+        let a = spec
+            .sample_dataset(100, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let b = spec
+            .sample_dataset(100, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

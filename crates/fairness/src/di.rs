@@ -1,0 +1,235 @@
+//! Classifier-level fairness proxies: `u`-conditional disparate impact
+//! (Definition 2.3) and statistical-parity difference.
+
+use serde::{Deserialize, Serialize};
+
+use otr_data::Dataset;
+
+use crate::error::{FairnessError, Result};
+
+/// The per-`u` disparate-impact report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiReport {
+    /// `DI(g, u) = Pr[g=1 | s=0, u] / Pr[g=1 | s=1, u]`, indexed by `u`.
+    pub di_per_u: [f64; 2],
+    /// Positive rates `Pr[g=1 | s, u]`, indexed `[u][s]`.
+    pub positive_rates: [[f64; 2]; 2],
+}
+
+impl DiReport {
+    /// The 80%-rule verdict (US EEOC): fair iff `min(DI, 1/DI) > 0.8` for
+    /// every `u` group.
+    pub fn passes_four_fifths_rule(&self) -> bool {
+        self.di_per_u.iter().all(|&di| {
+            if !di.is_finite() || di <= 0.0 {
+                return false;
+            }
+            di.min(1.0 / di) > 0.8
+        })
+    }
+}
+
+/// Compute the `u`-conditional disparate impact of predictions `g(x)`
+/// (Definition 2.3): the ratio of the `s=0` to `s=1` positive rate within
+/// each `u` group.
+///
+/// `predictions[i]` must be the 0/1 decision for `data.points()[i]`.
+///
+/// # Errors
+/// * Length mismatch between data and predictions.
+/// * [`FairnessError::InsufficientGroup`] if any `(u, s)` group is empty.
+/// * [`FairnessError::InvalidParameter`] if a denominator positive rate is
+///   zero (DI undefined).
+pub fn conditional_disparate_impact(data: &Dataset, predictions: &[u8]) -> Result<DiReport> {
+    if predictions.len() != data.len() {
+        return Err(FairnessError::InvalidParameter {
+            name: "predictions",
+            reason: format!(
+                "length {} does not match dataset size {}",
+                predictions.len(),
+                data.len()
+            ),
+        });
+    }
+    let mut counts = [[0usize; 2]; 2];
+    let mut positives = [[0usize; 2]; 2];
+    for (p, &yhat) in data.points().iter().zip(predictions) {
+        counts[p.u as usize][p.s as usize] += 1;
+        if yhat != 0 {
+            positives[p.u as usize][p.s as usize] += 1;
+        }
+    }
+    let mut rates = [[0.0f64; 2]; 2];
+    for u in 0..2 {
+        for s in 0..2 {
+            if counts[u][s] == 0 {
+                return Err(FairnessError::InsufficientGroup {
+                    group: format!("(u={u}, s={s})"),
+                    found: 0,
+                    needed: 1,
+                });
+            }
+            rates[u][s] = positives[u][s] as f64 / counts[u][s] as f64;
+        }
+    }
+    let mut di = [0.0f64; 2];
+    for u in 0..2 {
+        if rates[u][1] == 0.0 {
+            return Err(FairnessError::InvalidParameter {
+                name: "positive rate",
+                reason: format!("Pr[g=1 | s=1, u={u}] is zero; DI undefined"),
+            });
+        }
+        di[u] = rates[u][0] / rates[u][1];
+    }
+    Ok(DiReport {
+        di_per_u: di,
+        positive_rates: rates,
+    })
+}
+
+/// Statistical-parity difference within each `u` group:
+/// `Pr[g=1 | s=0, u] − Pr[g=1 | s=1, u]` (0 = parity).
+///
+/// # Errors
+/// Same requirements as [`conditional_disparate_impact`] except zero
+/// denominators are allowed.
+pub fn statistical_parity_difference(data: &Dataset, predictions: &[u8]) -> Result<[f64; 2]> {
+    if predictions.len() != data.len() {
+        return Err(FairnessError::InvalidParameter {
+            name: "predictions",
+            reason: "length mismatch".into(),
+        });
+    }
+    let mut counts = [[0usize; 2]; 2];
+    let mut positives = [[0usize; 2]; 2];
+    for (p, &yhat) in data.points().iter().zip(predictions) {
+        counts[p.u as usize][p.s as usize] += 1;
+        if yhat != 0 {
+            positives[p.u as usize][p.s as usize] += 1;
+        }
+    }
+    let mut out = [0.0f64; 2];
+    for u in 0..2 {
+        for s in 0..2 {
+            if counts[u][s] == 0 {
+                return Err(FairnessError::InsufficientGroup {
+                    group: format!("(u={u}, s={s})"),
+                    found: 0,
+                    needed: 1,
+                });
+            }
+        }
+        out[u] = positives[u][0] as f64 / counts[u][0] as f64
+            - positives[u][1] as f64 / counts[u][1] as f64;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otr_data::LabelledPoint;
+
+    /// Dataset with one point per (u, s, decision) cell, weighted by count.
+    fn build(cells: &[(u8, u8, u8, usize)]) -> (Dataset, Vec<u8>) {
+        let mut pts = Vec::new();
+        let mut preds = Vec::new();
+        for &(u, s, yhat, n) in cells {
+            for _ in 0..n {
+                pts.push(LabelledPoint {
+                    x: vec![0.0],
+                    s,
+                    u,
+                });
+                preds.push(yhat);
+            }
+        }
+        (Dataset::from_points(pts).unwrap(), preds)
+    }
+
+    #[test]
+    fn perfect_parity_gives_di_one() {
+        let (data, preds) = build(&[
+            (0, 0, 1, 50),
+            (0, 0, 0, 50),
+            (0, 1, 1, 50),
+            (0, 1, 0, 50),
+            (1, 0, 1, 30),
+            (1, 0, 0, 70),
+            (1, 1, 1, 30),
+            (1, 1, 0, 70),
+        ]);
+        let report = conditional_disparate_impact(&data, &preds).unwrap();
+        assert!((report.di_per_u[0] - 1.0).abs() < 1e-12);
+        assert!((report.di_per_u[1] - 1.0).abs() < 1e-12);
+        assert!(report.passes_four_fifths_rule());
+        let spd = statistical_parity_difference(&data, &preds).unwrap();
+        assert!(spd[0].abs() < 1e-12 && spd[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_classifier_fails_four_fifths() {
+        // s=0 gets positive 10% of the time, s=1 gets 50%.
+        let (data, preds) = build(&[
+            (0, 0, 1, 10),
+            (0, 0, 0, 90),
+            (0, 1, 1, 50),
+            (0, 1, 0, 50),
+            (1, 0, 1, 10),
+            (1, 0, 0, 90),
+            (1, 1, 1, 50),
+            (1, 1, 0, 50),
+        ]);
+        let report = conditional_disparate_impact(&data, &preds).unwrap();
+        assert!((report.di_per_u[0] - 0.2).abs() < 1e-12);
+        assert!(!report.passes_four_fifths_rule());
+        let spd = statistical_parity_difference(&data, &preds).unwrap();
+        assert!((spd[0] + 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn di_above_one_also_checked_by_rule() {
+        // Favouring s=0: DI = 2.5 — also a four-fifths violation.
+        let (data, preds) = build(&[
+            (0, 0, 1, 50),
+            (0, 0, 0, 50),
+            (0, 1, 1, 20),
+            (0, 1, 0, 80),
+            (1, 0, 1, 50),
+            (1, 0, 0, 50),
+            (1, 1, 1, 20),
+            (1, 1, 0, 80),
+        ]);
+        let report = conditional_disparate_impact(&data, &preds).unwrap();
+        assert!((report.di_per_u[0] - 2.5).abs() < 1e-12);
+        assert!(!report.passes_four_fifths_rule());
+    }
+
+    #[test]
+    fn missing_group_is_an_error() {
+        let (data, preds) = build(&[(0, 0, 1, 10), (0, 1, 1, 10), (1, 0, 1, 10)]);
+        assert!(matches!(
+            conditional_disparate_impact(&data, &preds),
+            Err(FairnessError::InsufficientGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_denominator_is_an_error() {
+        let (data, preds) = build(&[
+            (0, 0, 1, 10),
+            (0, 1, 0, 10),
+            (1, 0, 1, 10),
+            (1, 1, 1, 10),
+        ]);
+        assert!(conditional_disparate_impact(&data, &preds).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (data, _) = build(&[(0, 0, 1, 4), (0, 1, 1, 4), (1, 0, 1, 4), (1, 1, 1, 4)]);
+        assert!(conditional_disparate_impact(&data, &[1, 0]).is_err());
+        assert!(statistical_parity_difference(&data, &[1]).is_err());
+    }
+}

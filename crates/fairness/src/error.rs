@@ -1,0 +1,80 @@
+//! Error type for fairness metrics and classifiers.
+
+use std::fmt;
+
+/// Errors produced by fairness estimation or classifier training.
+#[derive(Debug)]
+pub enum FairnessError {
+    /// A group needed by the metric has no (or too few) observations.
+    InsufficientGroup {
+        /// Description of the missing group.
+        group: String,
+        /// Observations found.
+        found: usize,
+        /// Observations needed.
+        needed: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violation description.
+        reason: String,
+    },
+    /// An underlying statistics failure.
+    Stats(otr_stats::StatsError),
+    /// An underlying data failure.
+    Data(otr_data::DataError),
+}
+
+impl fmt::Display for FairnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairnessError::InsufficientGroup {
+                group,
+                found,
+                needed,
+            } => write!(
+                f,
+                "group {group} has {found} observations, need at least {needed}"
+            ),
+            FairnessError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            FairnessError::Stats(e) => write!(f, "statistics error: {e}"),
+            FairnessError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FairnessError {}
+
+impl From<otr_stats::StatsError> for FairnessError {
+    fn from(e: otr_stats::StatsError) -> Self {
+        FairnessError::Stats(e)
+    }
+}
+
+impl From<otr_data::DataError> for FairnessError {
+    fn from(e: otr_data::DataError) -> Self {
+        FairnessError::Data(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FairnessError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FairnessError::InsufficientGroup {
+            group: "(u=1, s=0)".into(),
+            found: 1,
+            needed: 2,
+        };
+        assert!(e.to_string().contains("(u=1, s=0)"));
+    }
+}

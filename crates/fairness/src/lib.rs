@@ -1,0 +1,27 @@
+//! # otr-fairness — fairness metrics and classifiers for `ot-fair-repair`
+//!
+//! * [`e_metric`] — the paper's decision-rule-agnostic fairness measure:
+//!   the `u`-conditional symmetrized-KLD `E_u` (Definition 2.4) and its
+//!   `u`-expectation `E` (Equation 3), estimated per feature by Gaussian
+//!   KDE on a shared grid, exactly as the evaluation protocol of Section V
+//!   requires.
+//! * [`di`] — classifier-level proxies: `u`-conditional **disparate
+//!   impact** `DI(g, u)` (Definition 2.3) and statistical-parity
+//!   difference.
+//! * [`logistic`] — a from-scratch logistic-regression classifier serving
+//!   as the decision rule `g(X)` (Figure 1) in the DI experiments and the
+//!   hiring-pipeline example.
+
+pub mod di;
+pub mod e_metric;
+pub mod error;
+pub mod joint;
+pub mod logistic;
+pub mod wmetric;
+
+pub use di::{conditional_disparate_impact, statistical_parity_difference, DiReport};
+pub use e_metric::{ConditionalDependence, EReport};
+pub use error::FairnessError;
+pub use joint::JointDependence;
+pub use logistic::LogisticRegression;
+pub use wmetric::{WassersteinDependence, WReport};

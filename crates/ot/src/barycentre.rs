@@ -1,0 +1,358 @@
+//! Wasserstein-2 barycentres — the repair target `ν_t` of Equation (7).
+//!
+//! Two constructions:
+//!
+//! 1. [`quantile_barycentre`] — the **exact 1-D geodesic** point: in one
+//!    dimension the `W₂` geodesic between `µ₀` and `µ₁` is quantile
+//!    interpolation (McCann's displacement interpolation),
+//!    `F_{ν_t}⁻¹ = (1−t) F₀⁻¹ + t F₁⁻¹`. We sample that quantile curve and
+//!    re-bin the mass onto a caller-fixed support with linear mass
+//!    splitting, which is what Algorithm 1 needs (`ν` must live on the
+//!    same interpolated support `Q` as the marginals).
+//! 2. [`entropic_barycentre`] — the **fixed-support iterative-Bregman**
+//!    barycentre (Benamou et al. 2015) for regularized OT, usable with
+//!    more than two marginals and in higher dimensions; property-tested to
+//!    agree with (1) at small `ε`.
+
+use crate::discrete::DiscreteDistribution;
+use crate::error::{OtError, Result};
+
+/// Exact 1-D `W₂` barycentre `ν_t` of `(1−t)·µ₀ ⊕ t·µ₁` projected onto
+/// `support` (strictly increasing, typically the shared grid `Q`).
+///
+/// The quantile curve is sampled at `resolution` equi-probability points
+/// (defaults to a generous multiple of the support size when `None`), and
+/// each sample's mass is split linearly between its two neighbouring
+/// support points, preserving total mass and (to first order) the mean.
+///
+/// # Errors
+/// * `t` must lie in `[0, 1]`; the support must be strictly increasing.
+pub fn quantile_barycentre(
+    mu0: &DiscreteDistribution,
+    mu1: &DiscreteDistribution,
+    t: f64,
+    support: &[f64],
+    resolution: Option<usize>,
+) -> Result<DiscreteDistribution> {
+    if !(0.0..=1.0).contains(&t) || t.is_nan() {
+        return Err(OtError::InvalidParameter {
+            name: "t",
+            reason: format!("must be in [0,1], got {t}"),
+        });
+    }
+    if support.is_empty() {
+        return Err(OtError::EmptyInput("barycentre support"));
+    }
+    for w in support.windows(2) {
+        if !(w[0] < w[1]) {
+            return Err(OtError::UnsortedSupport("barycentre support"));
+        }
+    }
+    let n_samples = resolution.unwrap_or_else(|| (support.len() * 16).max(1024));
+
+    let q0 = pmf_quantile(mu0);
+    let q1 = pmf_quantile(mu1);
+
+    let mut masses = vec![0.0f64; support.len()];
+    let w = 1.0 / n_samples as f64;
+    for k in 0..n_samples {
+        // Midpoint rule on the probability axis.
+        let p = (k as f64 + 0.5) * w;
+        let x = (1.0 - t) * q0(p) + t * q1(p);
+        deposit_linear(support, &mut masses, x, w);
+    }
+    DiscreteDistribution::new(support.to_vec(), masses)
+}
+
+/// Split mass `w` at location `x` linearly between the two neighbouring
+/// support points (clamping outside the range to the boundary point).
+fn deposit_linear(support: &[f64], masses: &mut [f64], x: f64, w: f64) {
+    let n = support.len();
+    if x <= support[0] {
+        masses[0] += w;
+        return;
+    }
+    if x >= support[n - 1] {
+        masses[n - 1] += w;
+        return;
+    }
+    // Binary search for the cell containing x.
+    let mut lo = 0usize;
+    let mut hi = n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if support[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let frac = (x - support[lo]) / (support[hi] - support[lo]);
+    masses[lo] += w * (1.0 - frac);
+    masses[hi] += w * frac;
+}
+
+/// Continuous quantile function of a discrete distribution using the
+/// **mass-midpoint convention** (see [`crate::interp::MidpointCdf`]):
+/// mean-preserving to second order in the grid spacing, which keeps the
+/// reconstructed geodesic endpoints on top of the original marginals.
+fn pmf_quantile(d: &DiscreteDistribution) -> impl Fn(f64) -> f64 {
+    let interp = crate::interp::MidpointCdf::new(d);
+    move |p: f64| interp.quantile(p)
+}
+
+/// Fixed-support entropic Wasserstein barycentre of `k ≥ 2` marginals with
+/// weights `lambda` (iterative Bregman projections, Benamou et al. 2015).
+///
+/// All marginals and the output live on the same `support`. Smaller `eps`
+/// sharpens the barycentre at the cost of more iterations.
+///
+/// # Errors
+/// Validation failures, or [`OtError::NoConvergence`] if the fixed-point
+/// iteration does not stabilize.
+pub fn entropic_barycentre(
+    marginals: &[&DiscreteDistribution],
+    lambda: &[f64],
+    support: &[f64],
+    eps: f64,
+    max_iters: usize,
+) -> Result<DiscreteDistribution> {
+    if marginals.len() < 2 {
+        return Err(OtError::EmptyInput("barycentre marginals (need >= 2)"));
+    }
+    if marginals.len() != lambda.len() {
+        return Err(OtError::LengthMismatch {
+            what: "marginals vs lambda",
+            left: marginals.len(),
+            right: lambda.len(),
+        });
+    }
+    if !(eps > 0.0) || !eps.is_finite() {
+        return Err(OtError::InvalidParameter {
+            name: "eps",
+            reason: format!("must be positive, got {eps}"),
+        });
+    }
+    let lam_total: f64 = lambda.iter().sum();
+    if lambda.iter().any(|&l| l < 0.0) || lam_total <= 0.0 {
+        return Err(OtError::InvalidMass("lambda weights".into()));
+    }
+    let lambda: Vec<f64> = lambda.iter().map(|l| l / lam_total).collect();
+    let n = support.len();
+    if n == 0 {
+        return Err(OtError::EmptyInput("barycentre support"));
+    }
+    for m in marginals {
+        if m.len() != n || m.support() != support {
+            return Err(OtError::InvalidParameter {
+                name: "marginals",
+                reason: "all marginals must share the barycentre support".into(),
+            });
+        }
+    }
+
+    // Gibbs kernel K_ij = exp(-C_ij/eps) on the shared support.
+    let mut kernel = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let d = support[i] - support[j];
+            kernel[i * n + j] = (-(d * d) / eps).exp();
+        }
+    }
+    let kmatvec = |v: &[f64], out: &mut [f64]| {
+        for i in 0..n {
+            let mut acc = 0.0;
+            let row = &kernel[i * n..(i + 1) * n];
+            for (kij, vj) in row.iter().zip(v) {
+                acc += kij * vj;
+            }
+            out[i] = acc;
+        }
+    };
+
+    let k = marginals.len();
+    let mut u = vec![vec![1.0f64; n]; k];
+    let mut v = vec![vec![1.0f64; n]; k];
+    let mut bary = vec![1.0 / n as f64; n];
+    let mut tmp = vec![0.0f64; n];
+    const FLOOR: f64 = 1e-300;
+
+    let mut converged = false;
+    for _ in 0..max_iters {
+        let prev = bary.clone();
+        // v_k <- a_k / K^T u_k  (kernel symmetric => K^T = K).
+        for s in 0..k {
+            kmatvec(&u[s], &mut tmp);
+            for i in 0..n {
+                v[s][i] = marginals[s].masses()[i] / tmp[i].max(FLOOR);
+            }
+        }
+        // bary <- prod_s (u_s * K v_s)^{lambda_s}, computed in logs.
+        let mut log_b = vec![0.0f64; n];
+        for s in 0..k {
+            kmatvec(&v[s], &mut tmp);
+            for i in 0..n {
+                log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * tmp[i].max(FLOOR)).ln();
+            }
+        }
+        let mx = log_b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for i in 0..n {
+            bary[i] = (log_b[i] - mx).exp();
+            total += bary[i];
+        }
+        for b in &mut bary {
+            *b /= total;
+        }
+        // u_k <- bary / K v_k.
+        for s in 0..k {
+            kmatvec(&v[s], &mut tmp);
+            for i in 0..n {
+                u[s][i] = bary[i] / tmp[i].max(FLOOR);
+            }
+        }
+        let delta: f64 = bary
+            .iter()
+            .zip(&prev)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        if delta < 1e-10 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(OtError::NoConvergence {
+            solver: "entropic barycentre",
+            iterations: max_iters,
+            residual: f64::NAN,
+        });
+    }
+    DiscreteDistribution::new(support.to_vec(), bary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    fn gaussian_on(support: &[f64], mean: f64, sd: f64) -> DiscreteDistribution {
+        let masses: Vec<f64> = support
+            .iter()
+            .map(|&x| (-0.5 * ((x - mean) / sd).powi(2)).exp())
+            .collect();
+        DiscreteDistribution::new(support.to_vec(), masses).unwrap()
+    }
+
+    #[test]
+    fn endpoints_recover_marginals() {
+        let q = grid(-4.0, 4.0, 81);
+        let mu0 = gaussian_on(&q, -1.0, 0.6);
+        let mu1 = gaussian_on(&q, 1.5, 0.6);
+        let b0 = quantile_barycentre(&mu0, &mu1, 0.0, &q, None).unwrap();
+        let b1 = quantile_barycentre(&mu0, &mu1, 1.0, &q, None).unwrap();
+        assert!((b0.mean() - mu0.mean()).abs() < 0.02, "t=0 mean");
+        assert!((b1.mean() - mu1.mean()).abs() < 0.02, "t=1 mean");
+    }
+
+    #[test]
+    fn midpoint_mean_is_average_of_means() {
+        // For W2 geodesics between distributions, mean(nu_t) =
+        // (1-t) mean(mu0) + t mean(mu1).
+        let q = grid(-5.0, 5.0, 101);
+        let mu0 = gaussian_on(&q, -2.0, 0.5);
+        let mu1 = gaussian_on(&q, 2.0, 1.0);
+        let b = quantile_barycentre(&mu0, &mu1, 0.5, &q, None).unwrap();
+        assert!(b.mean().abs() < 0.02, "mean = {}", b.mean());
+    }
+
+    #[test]
+    fn midpoint_is_equidistant_in_w2() {
+        let q = grid(-5.0, 5.0, 201);
+        let mu0 = gaussian_on(&q, -1.5, 0.7);
+        let mu1 = gaussian_on(&q, 1.5, 0.7);
+        let b = quantile_barycentre(&mu0, &mu1, 0.5, &q, None).unwrap();
+        let d0 = crate::wasserstein::w2(&mu0, &b).unwrap();
+        let d1 = crate::wasserstein::w2(&mu1, &b).unwrap();
+        assert!(
+            (d0 - d1).abs() < 0.05,
+            "W2 to each marginal: {d0} vs {d1}"
+        );
+    }
+
+    #[test]
+    fn same_marginal_barycentre_is_identity() {
+        let q = grid(0.0, 1.0, 21);
+        let mu = gaussian_on(&q, 0.5, 0.2);
+        let b = quantile_barycentre(&mu, &mu, 0.5, &q, None).unwrap();
+        let d = crate::wasserstein::w2(&mu, &b).unwrap();
+        assert!(d < 0.03, "self barycentre moved by {d}");
+    }
+
+    #[test]
+    fn rejects_invalid_t_and_support() {
+        let q = grid(0.0, 1.0, 5);
+        let mu = gaussian_on(&q, 0.5, 0.3);
+        assert!(quantile_barycentre(&mu, &mu, -0.1, &q, None).is_err());
+        assert!(quantile_barycentre(&mu, &mu, 1.1, &q, None).is_err());
+        assert!(quantile_barycentre(&mu, &mu, 0.5, &[], None).is_err());
+        assert!(quantile_barycentre(&mu, &mu, 0.5, &[1.0, 1.0], None).is_err());
+    }
+
+    #[test]
+    fn mass_is_preserved() {
+        let q = grid(-3.0, 3.0, 61);
+        let mu0 = gaussian_on(&q, -1.0, 0.4);
+        let mu1 = gaussian_on(&q, 1.0, 0.8);
+        let b = quantile_barycentre(&mu0, &mu1, 0.3, &q, None).unwrap();
+        let total: f64 = b.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropic_agrees_with_quantile_at_small_eps() {
+        let q = grid(-4.0, 4.0, 61);
+        let mu0 = gaussian_on(&q, -1.0, 0.7);
+        let mu1 = gaussian_on(&q, 1.0, 0.7);
+        let exact = quantile_barycentre(&mu0, &mu1, 0.5, &q, None).unwrap();
+        let ent =
+            entropic_barycentre(&[&mu0, &mu1], &[0.5, 0.5], &q, 0.05, 5_000).unwrap();
+        // Compare means and W2 between the two barycentres.
+        assert!(
+            (exact.mean() - ent.mean()).abs() < 0.1,
+            "means {} vs {}",
+            exact.mean(),
+            ent.mean()
+        );
+        let d = crate::wasserstein::w2(&exact, &ent).unwrap();
+        assert!(d < 0.25, "W2 between constructions = {d}");
+    }
+
+    #[test]
+    fn entropic_rejects_mismatched_support() {
+        let q1 = grid(0.0, 1.0, 11);
+        let q2 = grid(0.0, 2.0, 11);
+        let a = gaussian_on(&q1, 0.5, 0.2);
+        let b = gaussian_on(&q2, 1.0, 0.3);
+        assert!(entropic_barycentre(&[&a, &b], &[0.5, 0.5], &q1, 0.1, 100).is_err());
+        assert!(entropic_barycentre(&[&a], &[1.0], &q1, 0.1, 100).is_err());
+        assert!(entropic_barycentre(&[&a, &a], &[0.5], &q1, 0.1, 100).is_err());
+        assert!(entropic_barycentre(&[&a, &a], &[0.5, 0.5], &q1, 0.0, 100).is_err());
+    }
+
+    #[test]
+    fn entropic_three_marginals() {
+        let q = grid(-3.0, 3.0, 41);
+        let a = gaussian_on(&q, -1.0, 0.5);
+        let b = gaussian_on(&q, 0.0, 0.5);
+        let c = gaussian_on(&q, 1.0, 0.5);
+        let bary =
+            entropic_barycentre(&[&a, &b, &c], &[1.0, 1.0, 1.0], &q, 0.1, 5_000).unwrap();
+        assert!(bary.mean().abs() < 0.05, "mean = {}", bary.mean());
+    }
+}

@@ -1,0 +1,179 @@
+//! Cost matrices over product supports — the `C(qᵢ, qⱼ)` of Equation (13)
+//! and line 6 of Algorithm 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{OtError, Result};
+
+/// A dense `n × m` cost matrix `C[i][j] = c(xᵢ, yⱼ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Build `C[i][j] = |xᵢ − yⱼ|^p` for `p ≥ 1` — the `L_p^p` ground cost
+    /// on the real line. The paper uses `p = 2` (squared Euclidean,
+    /// Section IV-A2) so that Brenier's theorem applies in the continuum
+    /// limit.
+    ///
+    /// # Errors
+    /// Requires non-empty supports, finite points, and `p ≥ 1`.
+    pub fn lp(source: &[f64], target: &[f64], p: f64) -> Result<Self> {
+        if source.is_empty() || target.is_empty() {
+            return Err(OtError::EmptyInput("cost matrix support"));
+        }
+        if p < 1.0 || !p.is_finite() {
+            return Err(OtError::InvalidParameter {
+                name: "p",
+                reason: format!("must be >= 1 and finite, got {p}"),
+            });
+        }
+        if source.iter().chain(target).any(|x| !x.is_finite()) {
+            return Err(OtError::InvalidParameter {
+                name: "support",
+                reason: "contains non-finite points".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(source.len() * target.len());
+        for &x in source {
+            for &y in target {
+                let d = (x - y).abs();
+                data.push(if p == 2.0 { d * d } else { d.powf(p) });
+            }
+        }
+        Ok(Self {
+            rows: source.len(),
+            cols: target.len(),
+            data,
+        })
+    }
+
+    /// Squared-Euclidean convenience constructor (`p = 2`).
+    ///
+    /// # Errors
+    /// Same as [`CostMatrix::lp`].
+    pub fn squared_euclidean(source: &[f64], target: &[f64]) -> Result<Self> {
+        Self::lp(source, target, 2.0)
+    }
+
+    /// Build from an arbitrary pairwise cost function on d-dimensional
+    /// points: `C[i][j] = cost(source[i], target[j])`.
+    ///
+    /// # Errors
+    /// Requires non-empty point sets and finite, non-negative costs.
+    pub fn from_fn<T>(
+        source: &[T],
+        target: &[T],
+        mut cost: impl FnMut(&T, &T) -> f64,
+    ) -> Result<Self> {
+        if source.is_empty() || target.is_empty() {
+            return Err(OtError::EmptyInput("cost matrix point set"));
+        }
+        let mut data = Vec::with_capacity(source.len() * target.len());
+        for x in source {
+            for y in target {
+                let c = cost(x, y);
+                if !c.is_finite() || c < 0.0 {
+                    return Err(OtError::InvalidParameter {
+                        name: "cost",
+                        reason: format!("cost function returned {c}"),
+                    });
+                }
+                data.push(c);
+            }
+        }
+        Ok(Self {
+            rows: source.len(),
+            cols: target.len(),
+            data,
+        })
+    }
+
+    /// Number of source points.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of target points.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost of moving source `i` to target `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Largest entry (used by Sinkhorn's epsilon scaling).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_values() {
+        let c = CostMatrix::squared_euclidean(&[0.0, 1.0], &[0.0, 2.0]).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 1), 4.0);
+        assert_eq!(c.get(1, 0), 1.0);
+        assert_eq!(c.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn l1_cost() {
+        let c = CostMatrix::lp(&[0.0], &[-3.0, 3.0], 1.0).unwrap();
+        assert_eq!(c.row(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(CostMatrix::lp(&[], &[1.0], 2.0).is_err());
+        assert!(CostMatrix::lp(&[1.0], &[], 2.0).is_err());
+        assert!(CostMatrix::lp(&[1.0], &[1.0], 0.5).is_err());
+        assert!(CostMatrix::lp(&[f64::NAN], &[1.0], 2.0).is_err());
+    }
+
+    #[test]
+    fn from_fn_2d_euclidean() {
+        let a = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let b = vec![vec![1.0, 0.0]];
+        let c = CostMatrix::from_fn(&a, &b, |x, y| {
+            x.iter().zip(y).map(|(u, v)| (u - v) * (u - v)).sum()
+        })
+        .unwrap();
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn from_fn_rejects_negative_cost() {
+        let a = [1.0];
+        assert!(CostMatrix::from_fn(&a, &a, |_, _| -1.0).is_err());
+        assert!(CostMatrix::from_fn(&a, &a, |_, _| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn max_entry() {
+        let c = CostMatrix::squared_euclidean(&[0.0, 10.0], &[0.0]).unwrap();
+        assert_eq!(c.max(), 100.0);
+    }
+}

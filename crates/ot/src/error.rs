@@ -1,0 +1,94 @@
+//! Error type for the optimal-transport substrate.
+
+use std::fmt;
+
+/// Errors produced by OT construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OtError {
+    /// A support or mass vector was empty.
+    EmptyInput(&'static str),
+    /// Two inputs that must agree in length did not.
+    LengthMismatch {
+        /// Context of the mismatch.
+        what: &'static str,
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A mass vector was invalid (negative, NaN, or zero total).
+    InvalidMass(String),
+    /// A support violated an ordering requirement.
+    UnsortedSupport(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An iterative solver failed to converge within its budget.
+    NoConvergence {
+        /// Solver name.
+        solver: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual when the budget ran out.
+        residual: f64,
+    },
+    /// Internal invariant violation in a solver (reported rather than
+    /// panicking so that batch experiments can skip a pathological case).
+    SolverInternal(String),
+}
+
+impl fmt::Display for OtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            OtError::LengthMismatch { what, left, right } => {
+                write!(f, "length mismatch in {what}: {left} vs {right}")
+            }
+            OtError::InvalidMass(msg) => write!(f, "invalid mass vector: {msg}"),
+            OtError::UnsortedSupport(what) => {
+                write!(f, "support must be strictly increasing: {what}")
+            }
+            OtError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            OtError::NoConvergence {
+                solver,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{solver} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            OtError::SolverInternal(msg) => write!(f, "solver internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, OtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OtError::EmptyInput("mu").to_string().contains("mu"));
+        assert!(OtError::NoConvergence {
+            solver: "sinkhorn",
+            iterations: 10,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("sinkhorn"));
+        assert!(OtError::UnsortedSupport("target")
+            .to_string()
+            .contains("strictly increasing"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # otr-ot — optimal-transport substrate for `ot-fair-repair`
+//!
+//! A from-scratch implementation of the discrete optimal-transport tooling
+//! the paper relies on (Sections III–IV):
+//!
+//! * [`discrete`] — discrete probability distributions on ordered supports
+//!   ([`DiscreteDistribution`]).
+//! * [`cost`] — `L_p^p` cost matrices on product supports (Equation 5's
+//!   `C(x₀, x₁) = ‖x₀ − x₁‖_p^p`).
+//! * [`coupling`] — the [`OtPlan`] type: a joint distribution over the
+//!   product support with marginal-validation and transport-cost queries.
+//! * [`solvers::monotone`] — **exact 1-D OT** via the monotone
+//!   (north-west-corner) coupling, provably optimal for convex costs on
+//!   sorted supports; the hot path of Algorithm 1.
+//! * [`solvers::simplex`] — an exact **transportation-simplex (MODI)**
+//!   solver for arbitrary cost matrices, used as ground truth in tests and
+//!   for non-1-D problems.
+//! * [`solvers::sinkhorn`] — the **Sinkhorn–Knopp** entropic solver
+//!   (log-domain stabilized), the `O(nQ²/ε²)` alternative discussed in
+//!   Section IV-A1.
+//! * [`barycentre`] — Wasserstein-2 barycentres (Equation 7): the exact
+//!   1-D quantile-interpolation construction (McCann interpolation) pushed
+//!   onto a fixed support, plus the entropic fixed-support
+//!   iterative-Bregman barycentre as a regularized alternative.
+//! * [`wasserstein`] — `W_p` distances between discrete distributions on
+//!   ordered supports (closed-form 1-D CDF formula, cross-checked against
+//!   the solvers).
+
+pub mod barycentre;
+pub mod cost;
+pub mod coupling;
+pub mod discrete;
+pub mod error;
+pub mod interp;
+pub mod solvers;
+pub mod wasserstein;
+
+pub use barycentre::{entropic_barycentre, quantile_barycentre};
+pub use cost::CostMatrix;
+pub use coupling::OtPlan;
+pub use discrete::DiscreteDistribution;
+pub use error::OtError;
+pub use interp::MidpointCdf;
+pub use solvers::monotone::solve_monotone_1d;
+pub use solvers::simplex::solve_transportation_simplex;
+pub use solvers::sinkhorn::{sinkhorn, SinkhornConfig};
+pub use wasserstein::{wasserstein_1d, wasserstein_from_plan};

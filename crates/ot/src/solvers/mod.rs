@@ -1,0 +1,15 @@
+//! Optimal-transport solvers.
+//!
+//! Three solvers with one contract — given marginals (and where relevant a
+//! cost matrix), return an [`crate::OtPlan`] satisfying the coupling
+//! constraints of Equation (5):
+//!
+//! | Solver | Exactness | Complexity | Use |
+//! |---|---|---|---|
+//! | [`monotone`] | exact for convex 1-D costs | `O(n + m)` | Algorithm 1 hot path |
+//! | [`simplex`]  | exact for any cost | `O(n³ log n)`-ish | ground truth, d > 1 |
+//! | [`sinkhorn`] | ε-approximate | `O(n²/ε²)` | large supports (Sec. IV-A1) |
+
+pub mod monotone;
+pub mod simplex;
+pub mod sinkhorn;

@@ -1,0 +1,209 @@
+//! Property-based cross-validation of the three OT solvers and the
+//! closed-form 1-D Wasserstein machinery.
+
+use proptest::prelude::*;
+
+use otr_ot::wasserstein::w2;
+use otr_ot::{
+    quantile_barycentre, sinkhorn, solve_monotone_1d, solve_transportation_simplex,
+    wasserstein_1d, CostMatrix, DiscreteDistribution, MidpointCdf, SinkhornConfig,
+};
+
+/// Strategy: a discrete distribution with `n` strictly increasing support
+/// points and positive masses.
+fn arb_dd(max_n: usize) -> impl Strategy<Value = DiscreteDistribution> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0.01f64..1.0, n), // gaps
+                proptest::collection::vec(0.01f64..1.0, n), // masses
+                -5.0f64..5.0,                               // origin
+            )
+        })
+        .prop_map(|(gaps, masses, origin)| {
+            let mut support = Vec::with_capacity(gaps.len());
+            let mut x = origin;
+            for g in gaps {
+                x += g;
+                support.push(x);
+            }
+            DiscreteDistribution::new(support, masses).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The monotone coupling must achieve exactly the closed-form 1-D W2.
+    #[test]
+    fn monotone_cost_equals_quantile_formula(
+        mu in arb_dd(12),
+        nu in arb_dd(12),
+    ) {
+        let plan = solve_monotone_1d(&mu, &nu).unwrap();
+        let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
+        let via_plan = plan.transport_cost(&cost).unwrap();
+        let closed_form = wasserstein_1d(&mu, &nu, 2.0).unwrap();
+        prop_assert!(
+            (via_plan - closed_form).abs() < 1e-8 * (1.0 + closed_form),
+            "plan {} vs closed form {}", via_plan, closed_form
+        );
+    }
+
+    /// The general simplex must find the same optimum as the 1-D shortcut.
+    #[test]
+    fn simplex_matches_monotone_on_convex_1d(
+        mu in arb_dd(8),
+        nu in arb_dd(8),
+    ) {
+        let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
+        let mono = solve_monotone_1d(&mu, &nu).unwrap().transport_cost(&cost).unwrap();
+        let simp = solve_transportation_simplex(mu.masses(), nu.masses(), &cost)
+            .unwrap()
+            .transport_cost(&cost)
+            .unwrap();
+        prop_assert!(
+            (mono - simp).abs() < 1e-7 * (1.0 + mono),
+            "monotone {} vs simplex {}", mono, simp
+        );
+    }
+
+    /// Entropic plans cost at least the unregularized optimum.
+    #[test]
+    fn sinkhorn_cost_upper_bounds_exact(
+        mu in arb_dd(8),
+        nu in arb_dd(8),
+    ) {
+        let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
+        let exact = solve_monotone_1d(&mu, &nu).unwrap().transport_cost(&cost).unwrap();
+        let entropic = sinkhorn(
+            mu.masses(),
+            nu.masses(),
+            &cost,
+            SinkhornConfig { epsilon: 0.5, max_iters: 50_000, tol: 1e-7 },
+        )
+        .unwrap()
+        .transport_cost(&cost)
+        .unwrap();
+        prop_assert!(entropic >= exact - 1e-6, "entropic {} < exact {}", entropic, exact);
+    }
+
+    /// Every solver must respect the coupling constraints.
+    #[test]
+    fn all_solvers_respect_marginals(
+        mu in arb_dd(8),
+        nu in arb_dd(8),
+    ) {
+        let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
+        for plan in [
+            solve_monotone_1d(&mu, &nu).unwrap(),
+            solve_transportation_simplex(mu.masses(), nu.masses(), &cost).unwrap(),
+            sinkhorn(
+                mu.masses(),
+                nu.masses(),
+                &cost,
+                SinkhornConfig { epsilon: 1.0, max_iters: 50_000, tol: 1e-9 },
+            )
+            .unwrap(),
+        ] {
+            plan.validate_marginals(mu.masses(), nu.masses()).unwrap();
+        }
+    }
+
+    /// W2 is a metric: symmetry and triangle inequality on random triples.
+    #[test]
+    fn w2_is_a_metric(
+        a in arb_dd(10),
+        b in arb_dd(10),
+        c in arb_dd(10),
+    ) {
+        let ab = w2(&a, &b).unwrap();
+        let ba = w2(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+        let bc = w2(&b, &c).unwrap();
+        let ac = w2(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    /// Barycentre endpoints and W2-interpolation property:
+    /// W2(mu0, nu_t) ≈ t · W2(mu0, mu1) on a shared support.
+    #[test]
+    fn barycentre_interpolates_w2_distance(
+        seed_mass in proptest::collection::vec(0.05f64..1.0, 30),
+        t in 0.1f64..0.9,
+        shift in 1.0f64..3.0,
+    ) {
+        let n = seed_mass.len();
+        let support: Vec<f64> = (0..n).map(|i| i as f64 * 0.4).collect();
+        // mu1 = mu0 shifted by `shift` cells (same support, rolled masses).
+        let k = (shift / 0.4) as usize % n;
+        let mut m1 = seed_mass.clone();
+        m1.rotate_right(k);
+        let mu0 = DiscreteDistribution::new(support.clone(), seed_mass).unwrap();
+        let mu1 = DiscreteDistribution::new(support.clone(), m1).unwrap();
+        let bary = quantile_barycentre(&mu0, &mu1, t, &support, None).unwrap();
+        let d01 = w2(&mu0, &mu1).unwrap();
+        let d0t = w2(&mu0, &bary).unwrap();
+        // Grid projection adds up to ~one cell of slack.
+        prop_assert!(
+            (d0t - t * d01).abs() < 0.45 + 0.1 * d01,
+            "W2(mu0, nu_t) = {} vs t*W2 = {}", d0t, t * d01
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MidpointCdf quantile/cdf are mutually inverse on the interior.
+    #[test]
+    fn midpoint_cdf_quantile_inverse(d in arb_dd(12)) {
+        let f = MidpointCdf::new(&d);
+        let m_first = f.cdf(d.support()[0]);
+        let m_last = f.cdf(d.support()[d.len() - 1]);
+        for i in 1..40 {
+            let p = m_first + (m_last - m_first) * i as f64 / 40.0;
+            let x = f.quantile(p);
+            prop_assert!((f.cdf(x) - p).abs() < 1e-9, "p = {}", p);
+        }
+    }
+
+    /// The Monge map between random discrete distributions is monotone and
+    /// lands in the target's support hull.
+    #[test]
+    fn monge_map_monotone_and_bounded(a in arb_dd(10), b in arb_dd(10)) {
+        let fa = MidpointCdf::new(&a);
+        let fb = MidpointCdf::new(&b);
+        let lo = a.support()[0] - 1.0;
+        let hi = a.support()[a.len() - 1] + 1.0;
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..60 {
+            let x = lo + (hi - lo) * i as f64 / 59.0;
+            let t = fa.monge_to(&fb, x);
+            prop_assert!(t >= prev - 1e-12);
+            prop_assert!(t >= b.support()[0] - 1e-12);
+            prop_assert!(t <= b.support()[b.len() - 1] + 1e-12);
+            prev = t;
+        }
+    }
+
+    /// Pushing a distribution's own quantiles through the Monge map toward
+    /// a target reproduces the target's quantiles (transport correctness).
+    #[test]
+    fn monge_pushforward_matches_target_quantiles(a in arb_dd(10), b in arb_dd(10)) {
+        let fa = MidpointCdf::new(&a);
+        let fb = MidpointCdf::new(&b);
+        let m_first = fa.cdf(a.support()[0]);
+        let m_last = fa.cdf(a.support()[a.len() - 1]);
+        for i in 1..20 {
+            let p = m_first + (m_last - m_first) * i as f64 / 20.0;
+            let x = fa.quantile(p);
+            let pushed = fa.monge_to(&fb, x);
+            let direct = fb.quantile(p);
+            prop_assert!(
+                (pushed - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "p = {}: pushed {} vs direct {}", p, pushed, direct
+            );
+        }
+    }
+}

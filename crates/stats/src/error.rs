@@ -1,0 +1,100 @@
+//! Error type shared by all statistical routines in this crate.
+
+use std::fmt;
+
+/// Errors produced by the statistical substrate.
+///
+/// Every fallible constructor or estimator in `otr-stats` returns this enum;
+/// the crate never panics on invalid user input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A parameter was outside its valid domain (e.g. a non-positive
+    /// standard deviation). Carries the parameter name and the offending
+    /// value rendered as text.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An input slice was empty where at least one element is required.
+    EmptyInput(&'static str),
+    /// Two inputs that must agree in length did not.
+    LengthMismatch {
+        /// Context of the mismatch.
+        what: &'static str,
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A matrix operation failed (non-square, not positive definite, ...).
+    Linalg(String),
+    /// An iterative algorithm failed to converge within its budget.
+    NoConvergence {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A probability vector was invalid (negative mass or zero total).
+    InvalidProbabilities(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            StatsError::LengthMismatch { what, left, right } => {
+                write!(f, "length mismatch in {what}: {left} vs {right}")
+            }
+            StatsError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+            StatsError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            StatsError::InvalidProbabilities(msg) => write!(f, "invalid probabilities: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "sigma",
+            reason: "must be positive, got -1".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `sigma`: must be positive, got -1"
+        );
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = StatsError::LengthMismatch {
+            what: "weights vs support",
+            left: 3,
+            right: 4,
+        };
+        assert!(e.to_string().contains("3 vs 4"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StatsError::EmptyInput("sample"));
+        assert!(e.to_string().contains("sample"));
+    }
+}

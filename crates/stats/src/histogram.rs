@@ -1,0 +1,179 @@
+//! Histograms and empirical pmfs on uniform grids.
+//!
+//! Used to bin repaired archival data back onto the interpolated support
+//! when estimating post-repair divergences, and as a non-smoothed
+//! alternative to KDE in ablation experiments.
+
+use crate::error::{Result, StatsError};
+
+/// A histogram over `[lo, hi)` with `bins` equal-width bins.
+///
+/// Mass falling exactly on `hi` is assigned to the last bin; mass outside
+/// the range is clamped into the boundary bins (count-preserving, matching
+/// the paper's treatment of archival points outside the research range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over `[lo, hi)` with `bins` bins.
+    ///
+    /// # Errors
+    /// Requires `lo < hi` and `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "lo/hi",
+                reason: format!("require finite lo < hi, got [{lo}, {hi})"),
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Build a histogram directly from data.
+    ///
+    /// # Errors
+    /// Same as [`Histogram::new`].
+    pub fn from_data(lo: f64, hi: f64, bins: usize, data: &[f64]) -> Result<Self> {
+        let mut h = Self::new(lo, hi, bins)?;
+        for &x in data {
+            h.push(x);
+        }
+        Ok(h)
+    }
+
+    /// Bin index for a value (clamped into range).
+    #[inline]
+    pub fn bin_of(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        if x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return bins - 1;
+        }
+        let f = (x - self.lo) / (self.hi - self.lo);
+        ((f * bins as f64) as usize).min(bins - 1)
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin centres.
+    pub fn centres(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
+    }
+
+    /// Normalized probability masses (empty histogram yields all zeros).
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Density values (pmf divided by bin width).
+    pub fn density(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.pmf().into_iter().map(|p| p / w).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NEG_INFINITY, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn binning_is_uniform() {
+        let h = Histogram::from_data(0.0, 1.0, 4, &[0.1, 0.3, 0.6, 0.9]).unwrap();
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let h = Histogram::from_data(0.0, 1.0, 2, &[-5.0, 7.0, 1.0]).unwrap();
+        // -5 -> bin 0; 7 and 1.0 (== hi) -> last bin.
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_data(0.0, 1.0, 7, &data).unwrap();
+        let s: f64 = h.pmf().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_pmf_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.pmf(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn centres_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert_eq!(h.centres(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 / 1000.0) * 3.0 - 1.0).collect();
+        let h = Histogram::from_data(-1.0, 2.0, 10, &data).unwrap();
+        let w = 3.0 / 10.0;
+        let total: f64 = h.density().iter().map(|d| d * w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

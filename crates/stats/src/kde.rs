@@ -1,0 +1,263 @@
+//! Gaussian kernel density estimation — Equations (11)–(12) of the paper.
+//!
+//! Algorithm 1 interpolates each `(u,s)`-conditional empirical marginal
+//! onto a uniform support `Q` by evaluating a Gaussian KDE at the grid
+//! points and normalizing the result into a pmf. The bandwidth defaults to
+//! Silverman's rule of thumb (reference [31] of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, StatsError};
+use crate::special::FRAC_1_SQRT_2PI;
+
+/// Bandwidth selection rule for [`GaussianKde`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb:
+    /// `h = 0.9 · min(σ̂, IQR/1.34) · n^{-1/5}` — the paper's choice.
+    Silverman,
+    /// Scott's rule: `h = 1.06 · σ̂ · n^{-1/5}`.
+    Scott,
+    /// A fixed, caller-chosen bandwidth (must be positive).
+    Fixed(f64),
+}
+
+/// A univariate Gaussian kernel density estimator.
+///
+/// ```
+/// use otr_stats::kde::{GaussianKde, Bandwidth};
+///
+/// let sample = vec![0.0, 0.1, -0.2, 0.05, 0.3, -0.1, 0.2];
+/// let kde = GaussianKde::fit(&sample, Bandwidth::Silverman).unwrap();
+/// // Density near the sample mass exceeds density far away.
+/// assert!(kde.pdf(0.0) > kde.pdf(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianKde {
+    sample: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Fit a KDE to `sample` with the given bandwidth rule.
+    ///
+    /// # Errors
+    /// Returns an error for an empty sample, non-finite data, or a
+    /// non-positive fixed/derived bandwidth (which happens when all data
+    /// points coincide — in that degenerate case callers should fall back
+    /// to a point mass).
+    pub fn fit(sample: &[f64], bandwidth: Bandwidth) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptyInput("KDE sample"));
+        }
+        if sample.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "sample",
+                reason: "contains non-finite values".into(),
+            });
+        }
+        let h = match bandwidth {
+            Bandwidth::Fixed(h) => h,
+            Bandwidth::Silverman => silverman_bandwidth(sample),
+            Bandwidth::Scott => scott_bandwidth(sample),
+        };
+        if !(h > 0.0) || !h.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "bandwidth",
+                reason: format!(
+                    "derived bandwidth {h} is not positive (degenerate sample?)"
+                ),
+            });
+        }
+        Ok(Self {
+            sample: sample.to_vec(),
+            bandwidth: h,
+        })
+    }
+
+    /// The bandwidth in use.
+    #[inline]
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of observations behind the estimate.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Density estimate at `x`:
+    /// `f̂(x) = (n h)⁻¹ Σᵢ K((x − xᵢ)/h)` with the Gaussian kernel `K`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let mut acc = 0.0;
+        for &xi in &self.sample {
+            let z = (x - xi) / h;
+            acc += (-0.5 * z * z).exp();
+        }
+        acc * FRAC_1_SQRT_2PI / (self.sample.len() as f64 * h)
+    }
+
+    /// Evaluate the density on an arbitrary grid.
+    pub fn evaluate(&self, grid: &[f64]) -> Vec<f64> {
+        grid.iter().map(|&x| self.pdf(x)).collect()
+    }
+
+    /// Evaluate on a grid and normalize the result to sum to one — the
+    /// interpolated pmf `p_{s,q}` of Equation (11).
+    ///
+    /// # Errors
+    /// Returns an error if the grid is empty or the total evaluated mass is
+    /// zero (grid disjoint from the sample's support).
+    pub fn pmf_on_grid(&self, grid: &[f64]) -> Result<Vec<f64>> {
+        if grid.is_empty() {
+            return Err(StatsError::EmptyInput("KDE grid"));
+        }
+        let mut p = self.evaluate(grid);
+        let total: f64 = p.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(StatsError::InvalidProbabilities(format!(
+                "KDE mass on grid is {total}"
+            )));
+        }
+        for v in &mut p {
+            *v /= total;
+        }
+        Ok(p)
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth:
+/// `0.9 · min(σ̂, IQR/1.34) · n^{-1/5}`.
+///
+/// Falls back to `σ̂` alone when the IQR is zero (heavily tied data), and
+/// to a small positive floor when both spread measures vanish.
+pub fn silverman_bandwidth(sample: &[f64]) -> f64 {
+    let n = sample.len() as f64;
+    let sd = sample_sd(sample);
+    let iqr = interquartile_range(sample);
+    let spread = if iqr > 0.0 {
+        sd.min(iqr / 1.34)
+    } else {
+        sd
+    };
+    0.9 * spread * n.powf(-0.2)
+}
+
+/// Scott's rule bandwidth: `1.06 · σ̂ · n^{-1/5}`.
+pub fn scott_bandwidth(sample: &[f64]) -> f64 {
+    1.06 * sample_sd(sample) * (sample.len() as f64).powf(-0.2)
+}
+
+fn sample_sd(sample: &[f64]) -> f64 {
+    let n = sample.len() as f64;
+    if sample.len() < 2 {
+        return 0.0;
+    }
+    let mean = sample.iter().sum::<f64>() / n;
+    let var = sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    var.sqrt()
+}
+
+fn interquartile_range(sample: &[f64]) -> f64 {
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let q = |p: f64| -> f64 {
+        // Linear interpolation between order statistics (type-7 quantile).
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    q(0.75) - q(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDistribution, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(GaussianKde::fit(&[], Bandwidth::Silverman).is_err());
+        assert!(GaussianKde::fit(&[1.0, f64::NAN], Bandwidth::Silverman).is_err());
+        assert!(GaussianKde::fit(&[1.0, 2.0], Bandwidth::Fixed(0.0)).is_err());
+        assert!(GaussianKde::fit(&[1.0, 2.0], Bandwidth::Fixed(-1.0)).is_err());
+    }
+
+    #[test]
+    fn degenerate_sample_rejected_for_silverman() {
+        // All points identical -> zero spread -> no valid bandwidth.
+        assert!(GaussianKde::fit(&[2.0; 10], Bandwidth::Silverman).is_err());
+        // But a fixed bandwidth still works.
+        let kde = GaussianKde::fit(&[2.0; 10], Bandwidth::Fixed(0.5)).unwrap();
+        assert!(kde.pdf(2.0) > kde.pdf(4.0));
+    }
+
+    #[test]
+    fn kde_recovers_normal_density() {
+        let tgt = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let sample = tgt.sample_n(&mut rng, 5_000);
+        let kde = GaussianKde::fit(&sample, Bandwidth::Silverman).unwrap();
+        for x in [-2.0, -1.0, 0.0, 0.5, 1.5] {
+            let err = (kde.pdf(x) - tgt.pdf(x)).abs();
+            assert!(err < 0.02, "x = {x}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let sample = vec![-1.0, -0.5, 0.0, 0.3, 0.9, 1.4];
+        let kde = GaussianKde::fit(&sample, Bandwidth::Silverman).unwrap();
+        let (a, b) = (-10.0, 10.0);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let mut s = 0.0;
+        for i in 0..=steps {
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            s += w * kde.pdf(a + i as f64 * h);
+        }
+        assert!((s * h - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pmf_on_grid_sums_to_one() {
+        let sample = vec![0.0, 1.0, 2.0, 3.0];
+        let kde = GaussianKde::fit(&sample, Bandwidth::Silverman).unwrap();
+        let grid: Vec<f64> = (0..=50).map(|i| -1.0 + 5.0 * i as f64 / 50.0).collect();
+        let pmf = kde.pmf_on_grid(&grid).unwrap();
+        assert_eq!(pmf.len(), grid.len());
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(pmf.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn pmf_on_grid_rejects_empty_grid() {
+        let kde = GaussianKde::fit(&[0.0, 1.0], Bandwidth::Silverman).unwrap();
+        assert!(kde.pmf_on_grid(&[]).is_err());
+    }
+
+    #[test]
+    fn silverman_decreases_with_n() {
+        let tgt = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = tgt.sample_n(&mut rng, 50);
+        let large = tgt.sample_n(&mut rng, 5_000);
+        assert!(silverman_bandwidth(&large) < silverman_bandwidth(&small));
+    }
+
+    #[test]
+    fn scott_vs_silverman_same_order() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let s1 = silverman_bandwidth(&sample);
+        let s2 = scott_bandwidth(&sample);
+        assert!(s1 > 0.0 && s2 > 0.0);
+        assert!(s1 / s2 > 0.3 && s1 / s2 < 3.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Bivariate Gaussian kernel density estimation (product kernel,
+//! per-dimension Silverman bandwidths).
+//!
+//! The paper's repair is stratified per feature (Section IV-A), which
+//! ignores intra-feature correlation (Section VI). Quantifying what that
+//! leaves behind requires estimating *joint* `s|u`-conditional densities;
+//! this estimator provides them for the `d = 2` experimental settings.
+
+use crate::error::{Result, StatsError};
+use crate::kde::silverman_bandwidth;
+
+/// A bivariate Gaussian-product-kernel density estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianKde2d {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Per-dimension bandwidths.
+    bandwidth: (f64, f64),
+}
+
+impl GaussianKde2d {
+    /// Fit to paired observations `(xs[i], ys[i])` with per-dimension
+    /// Silverman bandwidths (each scaled by `n^{-1/6}` instead of
+    /// `n^{-1/5}`, the 2-D-optimal rate).
+    ///
+    /// # Errors
+    /// Requires non-empty, equal-length, finite inputs with positive
+    /// spread in both dimensions.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput("2-D KDE sample"));
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                what: "2-D KDE coordinates",
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "sample",
+                reason: "contains non-finite values".into(),
+            });
+        }
+        let n = xs.len() as f64;
+        // Convert the 1-D Silverman constant to the d=2 rate: multiply the
+        // n^{-1/5} rule by n^{1/5 - 1/6}.
+        let rate_fix = n.powf(0.2 - 1.0 / 6.0);
+        let hx = silverman_bandwidth(xs) * rate_fix;
+        let hy = silverman_bandwidth(ys) * rate_fix;
+        if !(hx > 0.0) || !(hy > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "bandwidth",
+                reason: format!("degenerate spread (hx={hx}, hy={hy})"),
+            });
+        }
+        Ok(Self {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            bandwidth: (hx, hy),
+        })
+    }
+
+    /// Per-dimension bandwidths `(hx, hy)`.
+    pub fn bandwidth(&self) -> (f64, f64) {
+        self.bandwidth
+    }
+
+    /// Joint density estimate at `(x, y)`.
+    pub fn pdf(&self, x: f64, y: f64) -> f64 {
+        let (hx, hy) = self.bandwidth;
+        let mut acc = 0.0;
+        for (&xi, &yi) in self.xs.iter().zip(&self.ys) {
+            let zx = (x - xi) / hx;
+            let zy = (y - yi) / hy;
+            acc += (-0.5 * (zx * zx + zy * zy)).exp();
+        }
+        acc / (self.xs.len() as f64 * hx * hy * 2.0 * std::f64::consts::PI)
+    }
+
+    /// Evaluate the density on the product grid `gx × gy`, row-major in
+    /// `gx` (i.e. `out[i * gy.len() + j] = pdf(gx[i], gy[j])`).
+    ///
+    /// Computed with separable kernel factorization: O((n + gx·gy)·(gx+gy))
+    /// instead of O(n·gx·gy).
+    pub fn evaluate_grid(&self, gx: &[f64], gy: &[f64]) -> Vec<f64> {
+        let (hx, hy) = self.bandwidth;
+        let n = self.xs.len();
+        // Precompute per-sample kernel columns over each axis.
+        let mut kx = vec![0.0f64; n * gx.len()];
+        for (s, &xi) in self.xs.iter().enumerate() {
+            for (i, &g) in gx.iter().enumerate() {
+                let z = (g - xi) / hx;
+                kx[s * gx.len() + i] = (-0.5 * z * z).exp();
+            }
+        }
+        let mut ky = vec![0.0f64; n * gy.len()];
+        for (s, &yi) in self.ys.iter().enumerate() {
+            for (j, &g) in gy.iter().enumerate() {
+                let z = (g - yi) / hy;
+                ky[s * gy.len() + j] = (-0.5 * z * z).exp();
+            }
+        }
+        let norm = 1.0 / (n as f64 * hx * hy * 2.0 * std::f64::consts::PI);
+        let mut out = vec![0.0f64; gx.len() * gy.len()];
+        for s in 0..n {
+            let row_x = &kx[s * gx.len()..(s + 1) * gx.len()];
+            let row_y = &ky[s * gy.len()..(s + 1) * gy.len()];
+            for (i, &vx) in row_x.iter().enumerate() {
+                if vx < 1e-300 {
+                    continue;
+                }
+                let base = i * gy.len();
+                for (j, &vy) in row_y.iter().enumerate() {
+                    out[base + j] += vx * vy;
+                }
+            }
+        }
+        for v in &mut out {
+            *v *= norm;
+        }
+        out
+    }
+
+    /// Evaluate on a grid and normalize to a pmf (sums to 1).
+    ///
+    /// # Errors
+    /// Fails when the grid carries no mass.
+    pub fn pmf_on_grid(&self, gx: &[f64], gy: &[f64]) -> Result<Vec<f64>> {
+        if gx.is_empty() || gy.is_empty() {
+            return Err(StatsError::EmptyInput("2-D KDE grid"));
+        }
+        let mut p = self.evaluate_grid(gx, gy);
+        let total: f64 = p.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(StatsError::InvalidProbabilities(format!(
+                "2-D KDE mass on grid is {total}"
+            )));
+        }
+        for v in &mut p {
+            *v /= total;
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDistribution, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_bivariate(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let std = Normal::standard();
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = std.sample(&mut rng);
+            let b = std.sample(&mut rng);
+            xs.push(a);
+            ys.push(rho * a + (1.0 - rho * rho).sqrt() * b);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(GaussianKde2d::fit(&[], &[]).is_err());
+        assert!(GaussianKde2d::fit(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(GaussianKde2d::fit(&[f64::NAN], &[0.0]).is_err());
+        assert!(GaussianKde2d::fit(&[1.0; 8], &[0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let (xs, ys) = sample_bivariate(400, 0.0, 1);
+        let kde = GaussianKde2d::fit(&xs, &ys).unwrap();
+        let g: Vec<f64> = (0..60).map(|i| -5.0 + 10.0 * i as f64 / 59.0).collect();
+        let cell = (10.0 / 59.0) * (10.0 / 59.0);
+        let total: f64 = kde.evaluate_grid(&g, &g).iter().sum::<f64>() * cell;
+        assert!((total - 1.0).abs() < 0.02, "integral = {total}");
+    }
+
+    #[test]
+    fn evaluate_grid_matches_pointwise_pdf() {
+        let (xs, ys) = sample_bivariate(100, 0.5, 2);
+        let kde = GaussianKde2d::fit(&xs, &ys).unwrap();
+        let gx = [-1.0, 0.0, 2.0];
+        let gy = [-2.0, 0.5];
+        let grid = kde.evaluate_grid(&gx, &gy);
+        for (i, &x) in gx.iter().enumerate() {
+            for (j, &y) in gy.iter().enumerate() {
+                let direct = kde.pdf(x, y);
+                let fast = grid[i * gy.len() + j];
+                assert!(
+                    (direct - fast).abs() < 1e-12 * (1.0 + direct),
+                    "mismatch at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn captures_correlation_sign() {
+        // Density at (1,1) vs (1,-1) distinguishes rho = +0.8 from -0.8.
+        let (xs, ys) = sample_bivariate(2_000, 0.8, 3);
+        let kde = GaussianKde2d::fit(&xs, &ys).unwrap();
+        assert!(kde.pdf(1.0, 1.0) > 2.0 * kde.pdf(1.0, -1.0));
+        let (xs, ys) = sample_bivariate(2_000, -0.8, 4);
+        let kde = GaussianKde2d::fit(&xs, &ys).unwrap();
+        assert!(kde.pdf(1.0, -1.0) > 2.0 * kde.pdf(1.0, 1.0));
+    }
+
+    #[test]
+    fn pmf_on_grid_is_probability_vector() {
+        let (xs, ys) = sample_bivariate(300, 0.3, 5);
+        let kde = GaussianKde2d::fit(&xs, &ys).unwrap();
+        let g: Vec<f64> = (0..20).map(|i| -4.0 + 8.0 * i as f64 / 19.0).collect();
+        let pmf = kde.pmf_on_grid(&g, &g).unwrap();
+        assert_eq!(pmf.len(), 400);
+        assert!(pmf.iter().all(|&p| p >= 0.0));
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(kde.pmf_on_grid(&[], &g).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # otr-stats — statistical substrate for `ot-fair-repair`
+//!
+//! Everything numerical that the optimal-transport fairness-repair pipeline
+//! needs and that the thin Rust statistics ecosystem does not provide:
+//!
+//! * **Special functions** ([`special`]): `erf`, `erfc`, the standard-normal
+//!   CDF and its inverse (Acklam's algorithm refined by Halley iteration).
+//! * **Distributions** ([`dist`]): Gaussian (sampling via the Marsaglia polar
+//!   method), truncated Gaussian, log-normal, Bernoulli, categorical (with an
+//!   O(1) alias sampler), multinomial, multivariate Gaussian (via our own
+//!   Cholesky factorization), and finite mixtures.
+//! * **Dense linear algebra** ([`linalg`]): the small dense-matrix kernel and
+//!   Cholesky / solve routines used by the multivariate normal and EM.
+//! * **Kernel density estimation** ([`kde`]): Gaussian-kernel KDE with
+//!   Silverman / Scott bandwidth rules — Equation (11)–(12) of the paper.
+//! * **Histograms & empirical pmfs** ([`histogram`]).
+//! * **Quantiles** ([`quantile`]): empirical quantiles and pmf quantile
+//!   functions used by the 1-D Wasserstein barycentre.
+//! * **Divergences** ([`divergence`]): KL, symmetrized KL (the paper's
+//!   `E_u`, Definition 2.4), Jensen–Shannon, total variation, Hellinger.
+//! * **Descriptive statistics** ([`describe`]): Welford accumulators and
+//!   summary statistics.
+//! * **Expectation–maximization** ([`em`]): two-component Gaussian-mixture
+//!   EM used to estimate missing `s|u` labels of archival data (Section IV
+//!   / VI of the paper).
+//!
+//! All sampling is generic over [`rand::Rng`] so that every experiment in
+//! the workspace is reproducible from an explicit seed.
+
+pub mod describe;
+pub mod dist;
+pub mod divergence;
+pub mod em;
+pub mod error;
+pub mod histogram;
+pub mod kde;
+pub mod kde2d;
+pub mod linalg;
+pub mod quantile;
+pub mod special;
+
+pub use describe::{Summary, Welford};
+pub use dist::{
+    Bernoulli, Categorical, LogNormal, Mixture1d, Multinomial, MultivariateNormal, Normal,
+    TruncatedNormal,
+};
+pub use divergence::{hellinger, js_divergence, kl_divergence, sym_kl_divergence, total_variation};
+pub use em::{GaussianMixtureEm, GmmFit};
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use kde::{Bandwidth, GaussianKde};
+pub use kde2d::GaussianKde2d;
+pub use linalg::Matrix;
+pub use quantile::{empirical_quantile, pmf_quantile_fn};

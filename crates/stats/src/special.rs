@@ -1,0 +1,298 @@
+//! Special functions: `erf`/`erfc`, the standard-normal CDF `Φ`, its
+//! density `φ`, and the inverse CDF `Φ⁻¹`.
+//!
+//! These are the numerical workhorses behind the Gaussian kernel of
+//! Equation (12) in the paper, the truncated-normal sampler, and the
+//! quantile machinery of the 1-D Wasserstein barycentre.
+//!
+//! Accuracy notes:
+//! * `erf` uses the Abramowitz–Stegun 7.1.26-style rational approximation
+//!   with maximum absolute error ≈ 1.5e-7, then — because several callers
+//!   need more — we provide [`erf`] via a higher-order series/continued
+//!   fraction combination accurate to ~1e-15.
+//! * [`inverse_normal_cdf`] uses Acklam's rational approximation refined by
+//!   one step of Halley's method, giving ~1e-15 relative accuracy over
+//!   `(0, 1)`.
+
+/// 1/sqrt(2π), the normalizing constant of the standard normal density.
+pub const FRAC_1_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// sqrt(2π).
+pub const SQRT_2PI: f64 = 2.506_628_274_631_000_5;
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^{-t²} dt`.
+///
+/// Implemented with the Taylor series for small `|x|` and the continued
+/// fraction for the complementary function at large `|x|`; accurate to
+/// about 1e-15 everywhere.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    let ax = x.abs();
+    let v = if ax < 2.0 {
+        erf_series(ax)
+    } else {
+        1.0 - erfc_cf(ax)
+    };
+    if x < 0.0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Uses the continued-fraction expansion for large arguments to avoid the
+/// catastrophic cancellation of computing `1 - erf(x)` directly.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    let v = if ax < 2.0 {
+        1.0 - erf_series(ax)
+    } else {
+        erfc_cf(ax)
+    };
+    if x < 0.0 {
+        2.0 - v
+    } else {
+        v
+    }
+}
+
+/// Maclaurin series for `erf` on `|x| < 2`; converges quickly there.
+fn erf_series(x: f64) -> f64 {
+    // erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^{2n+1} / (n! (2n+1))
+    const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut n = 1u32;
+    loop {
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        sum += contrib;
+        if contrib.abs() < 1e-17 * sum.abs() || n > 200 {
+            break;
+        }
+        n += 1;
+    }
+    TWO_OVER_SQRT_PI * sum
+}
+
+/// Modified-Lentz continued fraction for `erfc` on `x >= 2`:
+/// `√π e^{x²} erfc(x) = 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + 2/(x + …)))))`,
+/// i.e. partial numerators `a_k = k/2` over constant partial denominators `x`.
+fn erfc_cf(x: f64) -> f64 {
+    const SQRT_PI: f64 = 1.772_453_850_905_516;
+    let tiny = 1e-300;
+    let mut f = x;
+    let mut c = x;
+    let mut d = 0.0f64;
+    for k in 1..300 {
+        let a = k as f64 / 2.0;
+        d = x + a * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = x + a / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x * x).exp() / (SQRT_PI * f)
+}
+
+/// Standard normal probability density `φ(x)`.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    FRAC_1_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Returns `-∞` for `p == 0` and `+∞` for `p == 1`, `NaN` outside `[0,1]`.
+/// Acklam's rational approximation followed by one Halley refinement step.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley iteration: x <- x - f/(f' - f f''/(2 f')) with
+    // f = Phi(x) - p, f' = phi(x), f'' = -x phi(x).
+    let e = normal_cdf(x) - p;
+    let u = e * SQRT_2PI * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values computed with mpmath at 50 digits.
+    const ERF_TABLE: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.112_462_916_018_284_9),
+        (0.5, 0.520_499_877_813_046_5),
+        (1.0, 0.842_700_792_949_714_9),
+        (1.5, 0.966_105_146_475_310_7),
+        (2.0, 0.995_322_265_018_952_7),
+        (3.0, 0.999_977_909_503_001_4),
+        (4.0, 0.999_999_984_582_742_1),
+    ];
+
+    #[test]
+    fn erf_matches_reference() {
+        for &(x, want) in ERF_TABLE {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-13,
+                "erf({x}) = {got}, want {want}"
+            );
+            assert!((erf(-x) + want).abs() < 1e-13, "erf odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-3.5f64, -1.0, -0.2, 0.0, 0.3, 1.7, 2.5, 5.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_large_argument_no_cancellation() {
+        // erfc(6) ~ 2.1519736712498913e-17; naive 1-erf would round to 0.
+        let v = erfc(6.0);
+        assert!(v > 0.0);
+        assert!((v / 2.151_973_671_249_891e-17 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.0) - 0.841_344_746_068_542_9).abs() < 1e-13);
+        assert!((normal_cdf(-1.959_963_984_540_054) - 0.025).abs() < 1e-12);
+        assert!((normal_cdf(3.0) - 0.998_650_101_968_369_9).abs() < 1e-13);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_round_trip() {
+        for p in [1e-10, 1e-6, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0 - 1e-6] {
+            let x = inverse_normal_cdf(p);
+            let back = normal_cdf(x);
+            assert!(
+                (back - p).abs() < 1e-12 * p.max(1e-3),
+                "p = {p}, x = {x}, back = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_quantiles() {
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-14);
+        assert!((inverse_normal_cdf(0.975) - 1.959_963_984_540_054).abs() < 1e-10);
+        assert!((inverse_normal_cdf(0.025) + 1.959_963_984_540_054).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_edge_cases() {
+        assert_eq!(inverse_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inverse_normal_cdf(1.0), f64::INFINITY);
+        assert!(inverse_normal_cdf(-0.1).is_nan());
+        assert!(inverse_normal_cdf(1.1).is_nan());
+        assert!(inverse_normal_cdf(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn normal_pdf_normalizes() {
+        // Trapezoidal integral of phi over [-8, 8] should be ~1.
+        let n = 4001;
+        let (a, b) = (-8.0, 8.0);
+        let h = (b - a) / (n - 1) as f64;
+        let mut s = 0.0;
+        for i in 0..n {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == n - 1 { 0.5 } else { 1.0 };
+            s += w * normal_pdf(x);
+        }
+        assert!((s * h - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_nan_propagates() {
+        assert!(erf(f64::NAN).is_nan());
+        assert!(erfc(f64::NAN).is_nan());
+    }
+}

@@ -1,0 +1,131 @@
+//! The Adult-income study (paper Section V-B), end to end — including the
+//! realistic twist the paper defers to future work: archival data arrive
+//! *without* the protected attribute, so `ŝ|u` is estimated by
+//! Gaussian-mixture EM before repair.
+//!
+//! Uses the calibrated Adult-like synthetic generator by default; set
+//! `ADULT_CSV=/path/to/adult.data` to run against the real UCI file.
+//!
+//! Run: `cargo run --release --example adult_income`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ot_fair_repair::data::adult::load_adult_csv;
+use ot_fair_repair::prelude::*;
+use ot_fair_repair::stats::GaussianMixtureEm;
+
+const FEATURES: [&str; 2] = ["age", "hours/week"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Data: research (labelled) + archive (protected labels withheld).
+    let split = if let Ok(path) = std::env::var("ADULT_CSV") {
+        println!("loading real Adult data from {path}");
+        let file = std::fs::File::open(&path)?;
+        let data = load_adult_csv(std::io::BufReader::new(file))?;
+        data.split_research_archive(10_000.min(data.len() / 2), &mut rng)?
+    } else {
+        println!("using the calibrated Adult-like synthetic generator");
+        AdultSynth::default().generate(10_000, 35_222, &mut rng)?
+    };
+
+    // 2. Design the repair on the labelled research data.
+    let plan = RepairPlanner::new(RepairConfig::with_n_q(250)).design(&split.research)?;
+
+    // 3. The archive's s labels are "unobserved": estimate s|u by EM on
+    //    the hours/week feature, anchored by research-group moments.
+    let em = GaussianMixtureEm::default();
+    let mut fits = Vec::new();
+    for u in 0..2u8 {
+        let r0 = split.research.feature_column(GroupKey { u, s: 0 }, 1)?;
+        let r1 = split.research.feature_column(GroupKey { u, s: 1 }, 1)?;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let sd = |v: &[f64], m: f64| {
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64)
+                .sqrt()
+                .max(1e-3)
+        };
+        let (m0, m1) = (mean(&r0), mean(&r1));
+        let w0 = r0.len() as f64 / (r0.len() + r1.len()) as f64;
+        let pooled = split.archive.feature_column_u(u, 1)?;
+        fits.push(em.fit_with_init(&pooled, w0, [m0, m1], [sd(&r0, m0), sd(&r1, m1)])?);
+    }
+    let mut correct = 0usize;
+    let relabelled = Dataset::from_points(
+        split
+            .archive
+            .points()
+            .iter()
+            .map(|p| {
+                let s_hat = fits[p.u as usize].classify(p.x[1]);
+                if s_hat == p.s {
+                    correct += 1;
+                }
+                LabelledPoint {
+                    x: p.x.clone(),
+                    s: s_hat,
+                    u: p.u,
+                }
+            })
+            .collect(),
+    )?;
+    println!(
+        "EM-estimated archival s-labels: {:.1}% agreement with ground truth",
+        100.0 * correct as f64 / split.archive.len() as f64
+    );
+
+    // 4. Repair the archive under estimated labels and under oracle labels.
+    let repaired_est = plan.repair_dataset(&relabelled, &mut rng)?;
+    let repaired_oracle = plan.repair_dataset(&split.archive, &mut rng)?;
+
+    // 5. Evaluate E against the TRUE labels in all cases.
+    let restore_labels = |repaired: &Dataset| -> Result<Dataset, Box<dyn std::error::Error>> {
+        Ok(Dataset::from_points(
+            repaired
+                .points()
+                .iter()
+                .zip(split.archive.points())
+                .map(|(rep, orig)| LabelledPoint {
+                    x: rep.x.clone(),
+                    s: orig.s,
+                    u: orig.u,
+                })
+                .collect(),
+        )?)
+    };
+    let repaired_est = restore_labels(&repaired_est)?;
+
+    let cd = ConditionalDependence::default();
+    let e_before = cd.evaluate(&split.archive)?;
+    let e_oracle = cd.evaluate(&repaired_oracle)?;
+    let e_est = cd.evaluate(&repaired_est)?;
+
+    println!(
+        "\n{:<14} {:>14} {:>18} {:>18}",
+        "feature", "E unrepaired", "E repaired (Ŝ=EM)", "E repaired (S known)"
+    );
+    for k in 0..2 {
+        println!(
+            "{:<14} {:>14.4} {:>18.4} {:>18.4}",
+            FEATURES[k],
+            e_before.e_per_feature[k],
+            e_est.e_per_feature[k],
+            e_oracle.e_per_feature[k]
+        );
+    }
+    println!(
+        "\naggregate: unrepaired {:.4}, EM-labelled {:.4}, oracle {:.4}",
+        e_before.aggregate(),
+        e_est.aggregate(),
+        e_oracle.aggregate()
+    );
+    println!(
+        "Label quality gates repair quality: on Adult-like data the s-conditional\n\
+         hours distributions overlap heavily, so EM labels are near-chance and the\n\
+         repair is diluted accordingly — exactly why the paper flags s|u-unlabelled\n\
+         repair (its refs [37]-[39]) as the priority future-work direction."
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! The correlation blind spot — Section VI of the paper, made concrete.
+//!
+//! The per-feature repair cannot see `s|u`-dependence that lives purely in
+//! the correlation *between* features. This example builds the adversarial
+//! population (identical marginals, opposite correlation sign per `s`),
+//! shows the paper's per-feature repair passing a marginal audit while a
+//! joint audit fails, then fixes it with the 2-D joint repair.
+//!
+//! Run: `cargo run --release --example correlation_blindspot`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ot_fair_repair::prelude::*;
+use ot_fair_repair::stats::linalg::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // s=0 applicants: scores positively correlated (rho = +0.8).
+    // s=1 applicants: scores negatively correlated (rho = -0.8).
+    // Same means, same variances: every 1-D audit sees nothing.
+    let cov = |rho: f64| Matrix::from_rows(2, 2, vec![1.0, rho, rho, 1.0]).unwrap();
+    let spec = SimulationSpec {
+        means: [
+            [vec![0.0, 0.0], vec![0.0, 0.0]],
+            [vec![0.0, 0.0], vec![0.0, 0.0]],
+        ],
+        sigma: 1.0,
+        covs: Some([[cov(0.8), cov(-0.8)], [cov(0.8), cov(-0.8)]]),
+        pr_u0: 0.5,
+        pr_s0_given_u: [0.4, 0.4],
+    };
+    let split = spec.generate(1_500, 5_000, &mut rng)?;
+
+    let marginal_audit = ConditionalDependence::default();
+    let joint_audit = JointDependence::default();
+
+    let report = |name: &str, data: &Dataset| -> Result<(), Box<dyn std::error::Error>> {
+        println!(
+            "{name:<28} marginal E = {:.4}   joint E = {:.4}",
+            marginal_audit.evaluate(data)?.aggregate(),
+            joint_audit.evaluate(data)?
+        );
+        Ok(())
+    };
+
+    println!("population: identical marginals, correlation +0.8 (s=0) vs -0.8 (s=1)\n");
+    report("unrepaired archive", &split.archive)?;
+
+    // The paper's per-feature repair: marginally clean, jointly blind.
+    let plan = RepairPlanner::new(RepairConfig::with_n_q(50)).design(&split.research)?;
+    let per_feature = plan.repair_dataset(&split.archive, &mut rng)?;
+    report("per-feature repair (paper)", &per_feature)?;
+
+    // The joint (2-D support) repair removes the correlation dependence.
+    let joint_plan = JointRepairPlan::design(&split.research, JointRepairConfig::default())?;
+    let jointly = joint_plan.repair_dataset(&split.archive, &mut rng)?;
+    report("joint 2-D repair", &jointly)?;
+
+    println!(
+        "\nTakeaway: auditing (and repairing) per feature — as the paper's Algorithm 1\n\
+         does for scalability — certifies this dataset as fair while a classifier\n\
+         using BOTH scores can still recover s from their interaction. The joint\n\
+         repair closes the gap at nQ^2 design cost (Sec. VI future work, delivered)."
+    );
+    Ok(())
+}

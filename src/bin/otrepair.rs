@@ -1,0 +1,198 @@
+//! `otrepair` — command-line interface to the fairness-repair pipeline.
+//!
+//! The deployment loop the paper motivates, as three commands:
+//!
+//! ```text
+//! # 1. design a plan on the small labelled research extract
+//! otrepair design --research research.csv --out plan.json --nq 50
+//!
+//! # 2. repair archival torrents anywhere the plan is shipped
+//! otrepair apply --plan plan.json --data archive.csv --out repaired.csv --seed 7
+//!
+//! # 3. audit conditional dependence before/after
+//! otrepair evaluate --data archive.csv
+//! otrepair evaluate --data repaired.csv
+//! ```
+//!
+//! CSV format: header `s,u,x0,x1,…`; `s`/`u` in `{0,1}`; features finite
+//! floats (see `otr_data::labelled_csv`).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ot_fair_repair::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("design") => cmd_design(&args[1..]),
+        Some("apply") => cmd_apply(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("otrepair: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "otrepair — optimal-transport fairness repair of archival data\n\
+         \n\
+         USAGE:\n\
+           otrepair design   --research <csv> --out <plan.json> [--nq N] [--t T]\n\
+                             [--solver exact|sinkhorn:<eps>] [--min-group N]\n\
+           otrepair apply    --plan <plan.json> --data <csv> --out <csv>\n\
+                             [--seed N] [--partial LAMBDA] [--monge]\n\
+           otrepair evaluate --data <csv> [--grid N] [--joint]\n\
+         \n\
+         CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features."
+    );
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Minimal `--flag value` parser: returns the value following `flag`.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn required<'a>(args: &'a [String], flag: &str) -> Result<&'a str, String> {
+    opt(args, flag).ok_or_else(|| format!("missing required option `{flag} <value>`"))
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(ot_fair_repair::data::read_labelled_csv(BufReader::new(file))?)
+}
+
+fn cmd_design(args: &[String]) -> CliResult {
+    let research_path = required(args, "--research")?;
+    let out_path = required(args, "--out")?;
+    let mut config = RepairConfig::with_n_q(
+        opt(args, "--nq").map_or(Ok(50), str::parse)?,
+    );
+    if let Some(t) = opt(args, "--t") {
+        config.t = t.parse()?;
+    }
+    if let Some(mg) = opt(args, "--min-group") {
+        config.min_group_size = mg.parse()?;
+    }
+    if let Some(solver) = opt(args, "--solver") {
+        config.solver = match solver {
+            "exact" => SolverBackend::ExactMonotone,
+            s if s.starts_with("sinkhorn:") => SolverBackend::Sinkhorn {
+                epsilon: s["sinkhorn:".len()..].parse()?,
+            },
+            other => return Err(format!("unknown solver `{other}`").into()),
+        };
+    }
+
+    let research = load_dataset(research_path)?;
+    eprintln!(
+        "designing plan on {} research points (d = {}, nQ = {}, t = {})",
+        research.len(),
+        research.dim(),
+        config.n_q,
+        config.t
+    );
+    let plan = RepairPlanner::new(config).design(&research)?;
+    std::fs::write(out_path, plan.to_json()?)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {} feature plans to {out_path}",
+        plan.feature_plans().len()
+    );
+    Ok(())
+}
+
+fn cmd_apply(args: &[String]) -> CliResult {
+    let plan_path = required(args, "--plan")?;
+    let data_path = required(args, "--data")?;
+    let out_path = required(args, "--out")?;
+    let seed: u64 = opt(args, "--seed").map_or(Ok(0), str::parse)?;
+    let partial: Option<f64> = opt(args, "--partial").map(str::parse).transpose()?;
+    let use_monge = has_flag(args, "--monge");
+
+    let blob = std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("cannot read {plan_path}: {e}"))?;
+    let plan = RepairPlan::from_json(&blob)?;
+    let data = load_dataset(data_path)?;
+    eprintln!(
+        "repairing {} points through {} ({} mode)",
+        data.len(),
+        plan_path,
+        if use_monge { "Monge" } else { "randomized" }
+    );
+
+    let repaired = if use_monge {
+        if partial.is_some() {
+            return Err("--partial and --monge are mutually exclusive".into());
+        }
+        MongeRepair::from_plan(&plan).repair_dataset(&data)?
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match partial {
+            Some(lambda) => plan.repair_dataset_partial(&data, lambda, &mut rng)?,
+            None => plan.repair_dataset(&data, &mut rng)?,
+        }
+    };
+
+    let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    ot_fair_repair::data::write_labelled_csv(BufWriter::new(out), &repaired)?;
+    let damage = dataset_damage(&data, &repaired)?;
+    eprintln!(
+        "wrote {out_path}; mean RMSE displacement {:.4}",
+        damage.mean_rmse()
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> CliResult {
+    let data_path = required(args, "--data")?;
+    let data = load_dataset(data_path)?;
+    let mut cd = ConditionalDependence::default();
+    if let Some(g) = opt(args, "--grid") {
+        cd.grid_size = g.parse()?;
+    }
+    let report = cd.evaluate(&data)?;
+    println!("dataset: {} points, d = {}", data.len(), data.dim());
+    println!("Pr[u=1] = {:.4}", data.prob_u1());
+    for u in 0..2u8 {
+        println!("Pr[s=0 | u={u}] = {:.4}", data.prob_s0_given_u(u));
+    }
+    println!("\nconditional s|u-dependence (symmetrized KLD, lower = fairer):");
+    for (k, e) in report.e_per_feature.iter().enumerate() {
+        println!("  E_x{k} = {e:.6}   (E_u0 = {:.6}, E_u1 = {:.6})",
+            report.e_uk[0][k], report.e_uk[1][k]);
+    }
+    println!("  aggregate E = {:.6}", report.aggregate());
+    if has_flag(args, "--joint") {
+        if data.dim() == 2 {
+            let joint = JointDependence::default().evaluate(&data)?;
+            println!("  joint 2-D E = {joint:.6}");
+        } else {
+            eprintln!("--joint requires 2-feature data; skipped");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Integration tests of the `otrepair` CLI binary: the design → apply →
+//! evaluate loop over real files in a temp directory.
+
+use std::io::Write;
+use std::process::Command;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ot_fair_repair::data::{write_labelled_csv, SimulationSpec};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_otrepair")
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("otrepair-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_csvs(dir: &std::path::Path, seed: u64) -> (String, String) {
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = spec.generate(400, 1_500, &mut rng).unwrap();
+    let research = dir.join("research.csv");
+    let archive = dir.join("archive.csv");
+    write_labelled_csv(
+        std::io::BufWriter::new(std::fs::File::create(&research).unwrap()),
+        &split.research,
+    )
+    .unwrap();
+    write_labelled_csv(
+        std::io::BufWriter::new(std::fs::File::create(&archive).unwrap()),
+        &split.archive,
+    )
+    .unwrap();
+    (
+        research.to_string_lossy().into_owned(),
+        archive.to_string_lossy().into_owned(),
+    )
+}
+
+#[test]
+fn design_apply_evaluate_loop() {
+    let dir = tmp_dir("loop");
+    let (research, archive) = write_csvs(&dir, 1);
+    let plan = dir.join("plan.json").to_string_lossy().into_owned();
+    let out = dir.join("repaired.csv").to_string_lossy().into_owned();
+
+    let status = Command::new(bin())
+        .args(["design", "--research", &research, "--out", &plan, "--nq", "40"])
+        .status()
+        .unwrap();
+    assert!(status.success(), "design failed");
+    assert!(std::fs::metadata(&plan).unwrap().len() > 1_000);
+
+    let status = Command::new(bin())
+        .args(["apply", "--plan", &plan, "--data", &archive, "--out", &out, "--seed", "3"])
+        .status()
+        .unwrap();
+    assert!(status.success(), "apply failed");
+
+    let before = Command::new(bin())
+        .args(["evaluate", "--data", &archive])
+        .output()
+        .unwrap();
+    let after = Command::new(bin())
+        .args(["evaluate", "--data", &out])
+        .output()
+        .unwrap();
+    assert!(before.status.success() && after.status.success());
+    let grab_e = |stdout: &[u8]| -> f64 {
+        String::from_utf8_lossy(stdout)
+            .lines()
+            .find_map(|l| {
+                l.trim()
+                    .strip_prefix("aggregate E = ")
+                    .and_then(|v| v.parse().ok())
+            })
+            .expect("aggregate E line")
+    };
+    let e_before = grab_e(&before.stdout);
+    let e_after = grab_e(&after.stdout);
+    assert!(
+        e_after < e_before / 2.0,
+        "CLI repair must reduce E: {e_before} -> {e_after}"
+    );
+}
+
+#[test]
+fn apply_monge_mode_and_partial_conflict() {
+    let dir = tmp_dir("monge");
+    let (research, archive) = write_csvs(&dir, 2);
+    let plan = dir.join("plan.json").to_string_lossy().into_owned();
+    let out = dir.join("repaired.csv").to_string_lossy().into_owned();
+
+    assert!(Command::new(bin())
+        .args(["design", "--research", &research, "--out", &plan])
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(bin())
+        .args(["apply", "--plan", &plan, "--data", &archive, "--out", &out, "--monge"])
+        .status()
+        .unwrap()
+        .success());
+    // --monge + --partial must be rejected.
+    let conflicted = Command::new(bin())
+        .args([
+            "apply", "--plan", &plan, "--data", &archive, "--out", &out, "--monge",
+            "--partial", "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!conflicted.status.success());
+    assert!(String::from_utf8_lossy(&conflicted.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn helpful_errors_for_bad_inputs() {
+    let unknown = Command::new(bin()).args(["frobnicate"]).output().unwrap();
+    assert!(!unknown.status.success());
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown command"));
+
+    let missing = Command::new(bin()).args(["design"]).output().unwrap();
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--research"));
+
+    let dir = tmp_dir("badcsv");
+    let bad = dir.join("bad.csv");
+    writeln!(std::fs::File::create(&bad).unwrap(), "a,b,c\n1,2,3").unwrap();
+    let parse = Command::new(bin())
+        .args(["evaluate", "--data", &bad.to_string_lossy()])
+        .output()
+        .unwrap();
+    assert!(!parse.status.success());
+    assert!(String::from_utf8_lossy(&parse.stderr).contains("header"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = Command::new(bin()).args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for word in ["design", "apply", "evaluate", "--plan", "--monge"] {
+        assert!(text.contains(word), "usage missing {word}");
+    }
+}
