@@ -9,13 +9,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use otr_ot::{
-    sinkhorn, solve_monotone_1d, solve_transportation_simplex, CostMatrix,
-    DiscreteDistribution, SinkhornConfig,
+    sinkhorn, solve_monotone_1d, solve_transportation_simplex, CostMatrix, DiscreteDistribution,
+    SinkhornConfig,
 };
 
 /// Deterministic pair of pmfs on an `n`-state grid (offset Gaussians).
 fn problem(n: usize) -> (DiscreteDistribution, DiscreteDistribution, CostMatrix) {
-    let support: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 6.0 - 3.0).collect();
+    let support: Vec<f64> = (0..n)
+        .map(|i| i as f64 / (n - 1) as f64 * 6.0 - 3.0)
+        .collect();
     let gauss = |mean: f64| -> Vec<f64> {
         support
             .iter()
@@ -54,9 +56,7 @@ fn bench_solvers(c: &mut Criterion) {
         // smaller sizes so the bench suite stays fast.
         if n <= 100 {
             group.bench_with_input(BenchmarkId::new("simplex_exact", n), &n, |b, _| {
-                b.iter(|| {
-                    solve_transportation_simplex(mu.masses(), nu.masses(), &cost).unwrap()
-                })
+                b.iter(|| solve_transportation_simplex(mu.masses(), nu.masses(), &cost).unwrap())
             });
         }
     }

@@ -86,8 +86,7 @@ fn main() {
 
         // Joint repair on the nQ² product support.
         let start = Instant::now();
-        let joint_plan =
-            JointRepairPlan::design(&split.research, JointRepairConfig::default())?;
+        let joint_plan = JointRepairPlan::design(&split.research, JointRepairConfig::default())?;
         metrics.push((
             "design_ms/joint".to_string(),
             start.elapsed().as_secs_f64() * 1e3,
@@ -97,10 +96,7 @@ fn main() {
             "marginal-E/joint repair".to_string(),
             cd.evaluate(&rep_joint)?.aggregate(),
         ));
-        metrics.push((
-            "joint-E/joint repair".to_string(),
-            jd.evaluate(&rep_joint)?,
-        ));
+        metrics.push(("joint-E/joint repair".to_string(), jd.evaluate(&rep_joint)?));
         Ok(metrics)
     });
 

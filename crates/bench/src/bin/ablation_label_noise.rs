@@ -146,11 +146,7 @@ fn main() {
         }
     }
     if let Some(w) = stats.get("accuracy/EM labels") {
-        println!(
-            "EM label accuracy: {:.3} ± {:.3}",
-            w.mean(),
-            w.sample_sd()
-        );
+        println!("EM label accuracy: {:.3} ± {:.3}", w.mean(), w.sample_sd());
     }
     println!(
         "\nExpected shape: EM-labelled and group-blind repairs sit between unrepaired\n\

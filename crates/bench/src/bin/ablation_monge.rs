@@ -37,8 +37,7 @@ fn main() {
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let mut metrics = Vec::new();
         for &n_q in N_Q_SWEEP {
-            let plan =
-                RepairPlanner::new(RepairConfig::with_n_q(n_q)).design(&split.research)?;
+            let plan = RepairPlanner::new(RepairConfig::with_n_q(n_q)).design(&split.research)?;
             let monge = MongeRepair::from_plan(&plan);
 
             let rand_rep = plan.repair_dataset(&split.archive, &mut rng)?;

@@ -107,7 +107,10 @@ fn main() {
     }
 
     println!("\nAblation A3 — randomized (Eq. 14-15) vs deterministic mass split, archival data");
-    println!("{:<30} {:>20} {:>20}", "variant", "E (residual)", "RMSE damage");
+    println!(
+        "{:<30} {:>20} {:>20}",
+        "variant", "E (residual)", "RMSE damage"
+    );
     for variant in [
         "randomized, exact",
         "deterministic, exact",

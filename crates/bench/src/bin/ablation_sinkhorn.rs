@@ -55,6 +55,7 @@ fn main() {
         };
 
         eval("exact".into(), SolverBackend::ExactMonotone, &mut rng)?;
+        eval("simplex".into(), SolverBackend::Simplex, &mut rng)?;
         for &eps in EPSILONS {
             eval(
                 format!("eps={eps}"),
@@ -74,7 +75,7 @@ fn main() {
         "{:<12} {:>20} {:>20} {:>20}",
         "solver", "E (residual)", "RMSE damage", "design time (ms)"
     );
-    let mut rows: Vec<String> = vec!["exact".into()];
+    let mut rows: Vec<String> = vec!["exact".into(), "simplex".into()];
     rows.extend(EPSILONS.iter().map(|e| format!("eps={e}")));
     for row in rows {
         let g = |pfx: &str| {

@@ -40,8 +40,7 @@ fn main() {
             ));
             // The tiny-nR points can miss a subgroup; treat as a failed
             // point rather than a failed replicate.
-            let plan = match RepairPlanner::new(RepairConfig::with_n_q(N_Q))
-                .design(&split.research)
+            let plan = match RepairPlanner::new(RepairConfig::with_n_q(N_Q)).design(&split.research)
             {
                 Ok(p) => p,
                 Err(_) => continue,

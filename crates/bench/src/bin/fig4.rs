@@ -36,8 +36,7 @@ fn main() {
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let mut metrics = Vec::new();
         for &n_q in N_Q_SWEEP {
-            let plan =
-                RepairPlanner::new(RepairConfig::with_n_q(n_q)).design(&split.research)?;
+            let plan = RepairPlanner::new(RepairConfig::with_n_q(n_q)).design(&split.research)?;
             let rep_res = plan.repair_dataset(&split.research, &mut rng)?;
             let rep_arc = plan.repair_dataset(&split.archive, &mut rng)?;
             let composite = rep_res.concat(&rep_arc)?;
@@ -68,7 +67,9 @@ fn main() {
     if let Some(w) = stats.get("unrepaired/composite") {
         println!(
             "{:<8} {:>18.4} ± {:.4}   (no repair, for scale)",
-            "-", w.mean(), w.sample_sd()
+            "-",
+            w.mean(),
+            w.sample_sd()
         );
     }
     println!(

@@ -48,10 +48,7 @@ fn run_once(
     let e_res_geo = cd.evaluate(&geo)?;
 
     for (k, name) in FEATURES.iter().enumerate() {
-        metrics.push((
-            format!("None/research-{name}"),
-            e_res_none.e_per_feature[k],
-        ));
+        metrics.push((format!("None/research-{name}"), e_res_none.e_per_feature[k]));
         metrics.push((format!("None/archive-{name}"), e_arc_none.e_per_feature[k]));
         metrics.push((
             format!("Distributional (ours)/research-{name}"),

@@ -50,12 +50,12 @@ where
         .unwrap_or(4)
         .min(runs.max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..n_threads {
             let stats = &stats;
             let failures = &failures;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local: McStats = BTreeMap::new();
                 let mut local_failures = 0usize;
                 let mut i = t;
@@ -77,8 +77,7 @@ where
                 *failures.lock() += local_failures;
             });
         }
-    })
-    .expect("Monte-Carlo worker panicked");
+    });
 
     (stats.into_inner(), failures.into_inner())
 }
@@ -149,15 +148,15 @@ pub fn write_results(name: &str, stats: &McStats, extra: &BTreeMap<String, f64>)
         })
         .collect();
     #[derive(Serialize)]
-    struct FileOut<'a> {
-        experiment: &'a str,
+    struct FileOut {
+        experiment: String,
         metrics: Vec<MetricSnapshot>,
-        extra: &'a BTreeMap<String, f64>,
+        extra: BTreeMap<String, f64>,
     }
     let out = FileOut {
-        experiment: name,
+        experiment: name.to_string(),
         metrics: snapshots,
-        extra,
+        extra: extra.clone(),
     };
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {

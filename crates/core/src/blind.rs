@@ -220,10 +220,7 @@ mod tests {
         let (blind, archive) = setup(3);
         let mut rng = StdRng::seed_from_u64(8);
         let blind_rep = blind.repair_dataset_blind(&archive, &mut rng).unwrap();
-        let oracle_rep = blind
-            .plan()
-            .repair_dataset(&archive, &mut rng)
-            .unwrap();
+        let oracle_rep = blind.plan().repair_dataset(&archive, &mut rng).unwrap();
         let cd = ConditionalDependence::default();
         let e_blind = cd.evaluate(&blind_rep).unwrap().aggregate();
         let e_oracle = cd.evaluate(&oracle_rep).unwrap().aggregate();

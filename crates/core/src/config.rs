@@ -7,20 +7,10 @@ use otr_stats::kde::Bandwidth;
 
 use crate::error::{RepairError, Result};
 
-/// Which OT solver designs the plans `π*_{u,s,k}`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum SolverBackend {
-    /// Exact 1-D monotone coupling (north-west-corner on sorted supports)
-    /// — optimal for the squared-Euclidean cost, `O(nQ)` per plan.
-    ExactMonotone,
-    /// Entropic Sinkhorn–Knopp with the given regularization `ε` —
-    /// the `O(nQ²/ε²)` alternative of Section IV-A1; plans are blurred by
-    /// the entropy term, which the randomization of Algorithm 2 inherits.
-    Sinkhorn {
-        /// Regularization strength (in squared-feature units).
-        epsilon: f64,
-    },
-}
+// Backend selection is owned by the OT crate's unified solver seam;
+// re-exported here so existing `otr_core::SolverBackend` callers keep
+// working.
+pub use otr_ot::solvers::backend::SolverBackend;
 
 /// Configuration for [`crate::RepairPlanner`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,14 +74,7 @@ impl RepairConfig {
                 reason: format!("must be in [0,1], got {}", self.t),
             });
         }
-        if let SolverBackend::Sinkhorn { epsilon } = self.solver {
-            if !(epsilon > 0.0) || !epsilon.is_finite() {
-                return Err(RepairError::InvalidParameter {
-                    name: "solver.epsilon",
-                    reason: format!("must be positive and finite, got {epsilon}"),
-                });
-            }
-        }
+        self.solver.validate()?;
         if let Bandwidth::Fixed(h) = self.bandwidth {
             if !(h > 0.0) || !h.is_finite() {
                 return Err(RepairError::InvalidParameter {

@@ -111,9 +111,7 @@ impl ContinuousURepairer {
             .collect();
 
         // Assign points to bins and design each stratum.
-        let bin_of = |u: f64| -> usize {
-            edges.iter().take_while(|&&e| u >= e).count()
-        };
+        let bin_of = |u: f64| -> usize { edges.iter().take_while(|&&e| u >= e).count() };
         let planner = RepairPlanner::new(config);
         let mut plans = Vec::with_capacity(bins);
         for b in 0..bins {
@@ -127,11 +125,7 @@ impl ContinuousURepairer {
                 }
                 // The binary planner reports bin identity through the u
                 // slot; clamp to u8 range for readability of errors.
-                feature_plans.push(planner.design_feature_columns(
-                    xs,
-                    b.min(1) as u8,
-                    k,
-                )?);
+                feature_plans.push(planner.design_feature_columns(xs, b.min(1) as u8, k)?);
             }
             plans.push(feature_plans);
         }
@@ -235,10 +229,7 @@ mod tests {
 
     /// Mean per-bin W2 between the s-conditional empirical feature
     /// distributions — the dependence proxy for continuous u.
-    fn per_bin_dependence(
-        repairer: &ContinuousURepairer,
-        points: &[ContinuousUPoint],
-    ) -> f64 {
+    fn per_bin_dependence(repairer: &ContinuousURepairer, points: &[ContinuousUPoint]) -> f64 {
         let mut total = 0.0;
         let mut count = 0usize;
         for b in 0..repairer.bins() {
@@ -326,9 +317,7 @@ mod tests {
     #[test]
     fn design_rejects_bad_inputs() {
         let research = population(500, 7);
-        assert!(
-            ContinuousURepairer::design(&research, 1, RepairConfig::with_n_q(20)).is_err()
-        );
+        assert!(ContinuousURepairer::design(&research, 1, RepairConfig::with_n_q(20)).is_err());
         assert!(ContinuousURepairer::design(&[], 3, RepairConfig::with_n_q(20)).is_err());
         let mut bad = research.clone();
         bad[0].u = f64::NAN;
@@ -338,8 +327,7 @@ mod tests {
         assert!(ContinuousURepairer::design(&bad, 3, RepairConfig::with_n_q(20)).is_err());
         // Too many bins for the data: some bin loses an s-group.
         assert!(
-            ContinuousURepairer::design(&research[..40], 20, RepairConfig::with_n_q(20))
-                .is_err()
+            ContinuousURepairer::design(&research[..40], 20, RepairConfig::with_n_q(20)).is_err()
         );
     }
 

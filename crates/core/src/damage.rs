@@ -131,9 +131,7 @@ mod tests {
         let spec = SimulationSpec::paper_defaults();
         let mut rng = StdRng::seed_from_u64(2);
         let data = spec.sample_dataset(300, &mut rng).unwrap();
-        let shifted = data
-            .map_features(|p| vec![p.x[0] + 2.0, p.x[1]])
-            .unwrap();
+        let shifted = data.map_features(|p| vec![p.x[0] + 2.0, p.x[1]]).unwrap();
         let report = dataset_damage(&data, &shifted).unwrap();
         assert!((report.rmse_per_feature[0] - 2.0).abs() < 1e-12);
         assert!(report.rmse_per_feature[1] < 1e-15);

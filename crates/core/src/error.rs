@@ -40,7 +40,12 @@ pub enum RepairError {
 impl fmt::Display for RepairError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RepairError::InsufficientResearchData { u, s, found, needed } => write!(
+            RepairError::InsufficientResearchData {
+                u,
+                s,
+                found,
+                needed,
+            } => write!(
                 f,
                 "research group (u={u}, s={s}) has {found} observations, need at least {needed}"
             ),

@@ -99,8 +99,7 @@ impl GeometricRepair {
         let d = research.dim();
 
         // Output features, indexed by original point position.
-        let mut new_x: Vec<Vec<f64>> =
-            research.points().iter().map(|p| p.x.clone()).collect();
+        let mut new_x: Vec<Vec<f64>> = research.points().iter().map(|p| p.x.clone()).collect();
 
         for u in 0..2u8 {
             // Original indices of each s-group within `research`.
@@ -183,8 +182,7 @@ impl GeometricRepair {
                 }
                 for (j1, &orig_idx) in sorted1.iter().enumerate() {
                     let x1 = research.points()[orig_idx].x[k];
-                    new_x[orig_idx][k] =
-                        (1.0 - self.t) * cond_mean_0[j1] + self.t * x1;
+                    new_x[orig_idx][k] = (1.0 - self.t) * cond_mean_0[j1] + self.t * x1;
                 }
             }
         }
@@ -315,10 +313,7 @@ mod tests {
                 let c1 = repaired.feature_column(GroupKey { u, s: 1 }, k).unwrap();
                 let m0: f64 = c0.iter().sum::<f64>() / c0.len() as f64;
                 let m1: f64 = c1.iter().sum::<f64>() / c1.len() as f64;
-                assert!(
-                    (m0 - m1).abs() < 0.1,
-                    "u={u}, k={k}: means {m0} vs {m1}"
-                );
+                assert!((m0 - m1).abs() < 0.1, "u={u}, k={k}: means {m0} vs {m1}");
             }
         }
     }

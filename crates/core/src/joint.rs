@@ -25,7 +25,7 @@
 use rand::Rng;
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
-use otr_ot::{sinkhorn, CostMatrix, OtPlan, SinkhornConfig};
+use otr_ot::{CostMatrix, OtPlan, Solver1d as _, SolverBackend};
 use otr_stats::dist::Categorical;
 use otr_stats::GaussianKde2d;
 
@@ -36,12 +36,21 @@ use crate::error::{RepairError, Result};
 pub struct JointRepairConfig {
     /// Grid points **per dimension** (total support = `n_q²` states).
     pub n_q: usize,
-    /// Entropic regularization for barycentre and plans.
+    /// Entropic regularization of the fixed-support barycentre (the
+    /// iterative-Bregman construction is inherently entropic, whatever
+    /// solver designs the plans).
     pub epsilon: f64,
     /// Geodesic position of the repair target.
     pub t: f64,
     /// Minimum research observations per `(u, s)` group.
     pub min_group_size: usize,
+    /// OT solver backend for the plans `π*_{u,s} : µ_{u,s} → ν`.
+    /// `None` (the default) means entropic Sinkhorn at this config's
+    /// [`epsilon`](Self::epsilon), so tuning `epsilon` alone keeps
+    /// governing both barycentre and plans as it always did.
+    /// [`SolverBackend::ExactMonotone`] is rejected at design time: the
+    /// product support has no 1-D order.
+    pub solver: Option<SolverBackend>,
 }
 
 impl Default for JointRepairConfig {
@@ -51,7 +60,18 @@ impl Default for JointRepairConfig {
             epsilon: 0.05,
             t: 0.5,
             min_group_size: 10,
+            solver: None,
         }
+    }
+}
+
+impl JointRepairConfig {
+    /// The backend that will design the plans: the explicit override, or
+    /// Sinkhorn at [`epsilon`](Self::epsilon).
+    pub fn plan_solver(&self) -> SolverBackend {
+        self.solver.unwrap_or(SolverBackend::Sinkhorn {
+            epsilon: self.epsilon,
+        })
     }
 }
 
@@ -105,6 +125,18 @@ impl JointRepairPlan {
             return Err(RepairError::InvalidParameter {
                 name: "t",
                 reason: format!("must be in [0,1], got {}", config.t),
+            });
+        }
+        let solver = config.plan_solver();
+        solver.validate()?;
+        // Reject 1-D-only backends before the expensive KDE and
+        // barycentre stages run, not at the final solve.
+        if solver == SolverBackend::ExactMonotone {
+            return Err(RepairError::InvalidParameter {
+                name: "solver",
+                reason: "the exact monotone backend requires 1-D ordered supports; \
+                         joint repair needs `Simplex` or `Sinkhorn`"
+                    .into(),
             });
         }
 
@@ -180,16 +212,12 @@ impl JointRepairPlan {
 
         // Entropic W2 barycentre on the fixed product support (iterative
         // Bregman projections with the 2-D Gibbs kernel).
-        let bary = entropic_barycentre_2d(
-            &pmfs[0],
-            &pmfs[1],
-            config.t,
-            &points,
-            config.epsilon,
-            5_000,
-        )?;
+        let bary =
+            entropic_barycentre_2d(&pmfs[0], &pmfs[1], config.t, &points, config.epsilon, 5_000)?;
 
-        // Sinkhorn plans µ_s -> ν under squared Euclidean cost on R².
+        // Plans µ_s -> ν under squared Euclidean cost on R², through the
+        // configured backend (the seam rejects backends that need 1-D
+        // structure and owns the Sinkhorn fallback policy).
         let cost = CostMatrix::from_fn(&points, &points, |a, b| {
             let dx = a.0 - b.0;
             let dy = a.1 - b.1;
@@ -197,16 +225,7 @@ impl JointRepairPlan {
         })?;
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
         for pmf in &pmfs {
-            plans.push(sinkhorn(
-                pmf,
-                &bary,
-                &cost,
-                SinkhornConfig {
-                    epsilon: config.epsilon,
-                    max_iters: 20_000,
-                    tol: 1e-6,
-                },
-            )?);
+            plans.push(config.plan_solver().solve_with_cost(pmf, &bary, &cost)?);
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
 
@@ -300,11 +319,7 @@ impl JointRepairPlan {
     ///
     /// # Errors
     /// Rejects dimension mismatches.
-    pub fn repair_dataset<R: Rng + ?Sized>(
-        &self,
-        data: &Dataset,
-        rng: &mut R,
-    ) -> Result<Dataset> {
+    pub fn repair_dataset<R: Rng + ?Sized>(&self, data: &Dataset, rng: &mut R) -> Result<Dataset> {
         let points = data
             .points()
             .iter()
@@ -427,8 +442,7 @@ mod tests {
         let spec = correlation_spec();
         let mut rng = StdRng::seed_from_u64(1);
         let split = spec.generate(1_500, 3_000, &mut rng).unwrap();
-        let plan = JointRepairPlan::design(&split.research, JointRepairConfig::default())
-            .unwrap();
+        let plan = JointRepairPlan::design(&split.research, JointRepairConfig::default()).unwrap();
         let repaired = plan.repair_dataset(&split.archive, &mut rng).unwrap();
 
         let jd = JointDependence::default();
@@ -465,8 +479,7 @@ mod tests {
         let spec = correlation_spec();
         let mut rng = StdRng::seed_from_u64(3);
         let split = spec.generate(800, 500, &mut rng).unwrap();
-        let plan = JointRepairPlan::design(&split.research, JointRepairConfig::default())
-            .unwrap();
+        let plan = JointRepairPlan::design(&split.research, JointRepairConfig::default()).unwrap();
         let repaired = plan.repair_dataset(&split.archive, &mut rng).unwrap();
         assert_eq!(repaired.len(), split.archive.len());
         for p in repaired.points().iter().take(100) {
@@ -493,6 +506,41 @@ mod tests {
             }
         }
         assert!(plan.expected_transport_cost(2, 0).is_err());
+    }
+
+    #[test]
+    fn respects_configured_backend() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(6);
+        let research = spec.sample_dataset(600, &mut rng).unwrap();
+
+        // Without an override, the plans follow the config's epsilon.
+        let cfg = JointRepairConfig::default();
+        assert_eq!(
+            cfg.plan_solver(),
+            SolverBackend::Sinkhorn {
+                epsilon: cfg.epsilon
+            }
+        );
+
+        // The exact simplex is a valid joint backend (coarse grid: the
+        // simplex is O(n³)-class on n_q² states).
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 6;
+        cfg.solver = Some(SolverBackend::Simplex);
+        let plan = JointRepairPlan::design(&research, cfg).unwrap();
+        let repaired = plan.repair_dataset(&research, &mut rng).unwrap();
+        assert_eq!(repaired.len(), research.len());
+
+        // A backend needing 1-D structure is rejected, not ignored.
+        let mut cfg = JointRepairConfig::default();
+        cfg.solver = Some(SolverBackend::ExactMonotone);
+        assert!(JointRepairPlan::design(&research, cfg).is_err());
+
+        // Invalid Sinkhorn epsilon is caught by the seam's validation.
+        let mut cfg = JointRepairConfig::default();
+        cfg.solver = Some(SolverBackend::Sinkhorn { epsilon: -0.5 });
+        assert!(JointRepairPlan::design(&research, cfg).is_err());
     }
 
     #[test]

@@ -185,11 +185,7 @@ mod tests {
             .points()
             .iter()
             .filter(|p| p.u == 0)
-            .filter(|p| {
-                fp.support
-                    .iter()
-                    .all(|&q| (q - p.x[0]).abs() > 1e-9)
-            })
+            .filter(|p| fp.support.iter().all(|&q| (q - p.x[0]).abs() > 1e-9))
             .count();
         let total = repaired.points().iter().filter(|p| p.u == 0).count();
         assert!(

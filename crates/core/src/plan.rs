@@ -20,14 +20,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
-use otr_ot::{
-    quantile_barycentre, sinkhorn, solve_monotone_1d, solve_transportation_simplex,
-    CostMatrix, DiscreteDistribution, OtPlan, SinkhornConfig,
-};
+use otr_ot::{quantile_barycentre, DiscreteDistribution, OtPlan, Solver1d as _};
 use otr_stats::dist::Categorical;
 use otr_stats::kde::GaussianKde;
 
-use crate::config::{RepairConfig, SolverBackend};
+use crate::config::RepairConfig;
 use crate::error::{RepairError, Result};
 
 /// The designed transport machinery for one `(u, k)` stratum.
@@ -70,8 +67,7 @@ impl FeaturePlan {
         if self.support.len() < 2 {
             return 0.0;
         }
-        (self.support[self.support.len() - 1] - self.support[0])
-            / (self.support.len() - 1) as f64
+        (self.support[self.support.len() - 1] - self.support[0]) / (self.support.len() - 1) as f64
     }
 
     /// (Re)build the per-row alias samplers from the OT plans. Must be
@@ -87,11 +83,9 @@ impl FeaturePlan {
             let mut rows = Vec::with_capacity(plan.rows());
             for i in 0..plan.rows() {
                 let row = plan.row(i);
-                let cat = Categorical::new(row).map_err(|e| {
-                    RepairError::InvalidParameter {
-                        name: "plan row",
-                        reason: format!("(u={}, s={s}, k={}) row {i}: {e}", self.u, self.k),
-                    }
+                let cat = Categorical::new(row).map_err(|e| RepairError::InvalidParameter {
+                    name: "plan row",
+                    reason: format!("(u={}, s={s}, k={}) row {i}: {e}", self.u, self.k),
                 })?;
                 rows.push(cat);
             }
@@ -118,7 +112,9 @@ impl FeaturePlan {
     /// Requires a compiled plan and `s ∈ {0,1}`.
     pub fn repair_value<R: Rng + ?Sized>(&self, s: u8, x: f64, rng: &mut R) -> Result<f64> {
         if s > 1 {
-            return Err(RepairError::PlanMismatch(format!("label s={s} outside {{0,1}}")));
+            return Err(RepairError::PlanMismatch(format!(
+                "label s={s} outside {{0,1}}"
+            )));
         }
         if !self.is_compiled() {
             return Err(RepairError::PlanMismatch(
@@ -231,11 +227,7 @@ impl RepairPlan {
     ///
     /// # Errors
     /// Rejects dimension mismatches.
-    pub fn repair_dataset<R: Rng + ?Sized>(
-        &self,
-        data: &Dataset,
-        rng: &mut R,
-    ) -> Result<Dataset> {
+    pub fn repair_dataset<R: Rng + ?Sized>(&self, data: &Dataset, rng: &mut R) -> Result<Dataset> {
         if data.dim() != self.dim {
             return Err(RepairError::PlanMismatch(format!(
                 "dataset dimension {} vs plan dimension {}",
@@ -385,11 +377,7 @@ impl RepairPlanner {
         }
 
         // Line 4: uniform support across the pooled research range.
-        let lo = xs
-            .iter()
-            .flatten()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let lo = xs.iter().flatten().copied().fold(f64::INFINITY, f64::min);
         let hi = xs
             .iter()
             .flatten()
@@ -398,9 +386,7 @@ impl RepairPlanner {
         if !(lo < hi) {
             return Err(RepairError::InvalidParameter {
                 name: "research data",
-                reason: format!(
-                    "feature {k} of group u={u} has zero spread (all values = {lo})"
-                ),
+                reason: format!("feature {k} of group u={u} has zero spread (all values = {lo})"),
             });
         }
         let n_q = self.config.n_q;
@@ -422,10 +408,7 @@ impl RepairPlanner {
             }
             marginals.push(DiscreteDistribution::new(support.clone(), pmf)?);
         }
-        let marginals: [DiscreteDistribution; 2] = [
-            marginals.remove(0),
-            marginals.remove(0),
-        ];
+        let marginals: [DiscreteDistribution; 2] = [marginals.remove(0), marginals.remove(0)];
 
         // Line 9 / Equation 7: the t-barycentre target on the same support.
         let barycentre = quantile_barycentre(
@@ -436,35 +419,11 @@ impl RepairPlanner {
             self.config.barycentre_resolution,
         )?;
 
-        // Line 11 / Equation 13: OT plans µ_s -> ν.
+        // Line 11 / Equation 13: OT plans µ_s -> ν, through the unified
+        // solver seam (which owns the Sinkhorn→simplex fallback policy).
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
         for m in &marginals {
-            let plan = match self.config.solver {
-                SolverBackend::ExactMonotone => solve_monotone_1d(m, &barycentre)?,
-                SolverBackend::Sinkhorn { epsilon } => {
-                    let cost = CostMatrix::squared_euclidean(&support, &support)?;
-                    match sinkhorn(
-                        m.masses(),
-                        barycentre.masses(),
-                        &cost,
-                        SinkhornConfig::with_epsilon(epsilon),
-                    ) {
-                        Ok(p) => p,
-                        // Pathologically small ε on a wide support may not
-                        // converge; the exact simplex is the documented
-                        // fallback (same optimum, no regularization).
-                        Err(otr_ot::OtError::NoConvergence { .. }) => {
-                            solve_transportation_simplex(
-                                m.masses(),
-                                barycentre.masses(),
-                                &cost,
-                            )?
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-            };
-            plans.push(plan);
+            plans.push(self.config.solver.solve_1d(m, &barycentre)?);
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
 
@@ -485,6 +444,7 @@ impl RepairPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SolverBackend;
     use otr_data::SimulationSpec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

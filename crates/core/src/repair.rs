@@ -87,8 +87,7 @@ impl StreamingRepairer {
         if self.stats.repaired == 0 {
             return 0.0;
         }
-        self.stats.out_of_range as f64
-            / (self.stats.repaired as f64 * self.plan.dim as f64)
+        self.stats.out_of_range as f64 / (self.stats.repaired as f64 * self.plan.dim as f64)
     }
 }
 

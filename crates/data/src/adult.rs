@@ -136,13 +136,8 @@ impl AdultSynth {
         let (ui, si) = (u as usize, s as usize);
 
         let age_mean = self.drifted_mean(&self.age_mean, ui, si, gamma);
-        let age = TruncatedNormal::new(
-            age_mean,
-            self.age_sd[ui][si],
-            AGE_RANGE.0,
-            AGE_RANGE.1,
-        )?
-        .sample(rng);
+        let age = TruncatedNormal::new(age_mean, self.age_sd[ui][si], AGE_RANGE.0, AGE_RANGE.1)?
+            .sample(rng);
 
         let hours_mean = self.drifted_mean(&self.hours_mean, ui, si, gamma);
         // Mixture: a 40-hour heap (tight component) and the group-specific
@@ -328,7 +323,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let d = g.sample_dataset(5_000, &mut rng).unwrap();
         for p in d.points() {
-            assert!((AGE_RANGE.0..=AGE_RANGE.1).contains(&p.x[0]), "age {}", p.x[0]);
+            assert!(
+                (AGE_RANGE.0..=AGE_RANGE.1).contains(&p.x[0]),
+                "age {}",
+                p.x[0]
+            );
             assert!(
                 (HOURS_RANGE.0..=HOURS_RANGE.1).contains(&p.x[1]),
                 "hours {}",

@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn crlf_tolerated() {
-        assert_eq!(parse_line("a,b\r", 1).unwrap(), vec!["a".to_string(), "b".into()]);
+        assert_eq!(
+            parse_line("a,b\r", 1).unwrap(),
+            vec!["a".to_string(), "b".into()]
+        );
     }
 
     #[test]
@@ -149,7 +152,11 @@ mod tests {
     #[test]
     fn round_trip() {
         let rows = vec![
-            vec!["plain".to_string(), "with,comma".into(), "with\"quote".into()],
+            vec![
+                "plain".to_string(),
+                "with,comma".into(),
+                "with\"quote".into(),
+            ],
             vec![" leading".to_string(), String::new()],
         ];
         let mut buf = Vec::new();

@@ -85,7 +85,9 @@ impl Dataset {
                 )));
             }
             if p.x.iter().any(|v| !v.is_finite()) {
-                return Err(DataError::Shape(format!("point {i} has non-finite features")));
+                return Err(DataError::Shape(format!(
+                    "point {i} has non-finite features"
+                )));
             }
             if p.s > 1 || p.u > 1 {
                 return Err(DataError::Shape(format!(
@@ -324,9 +326,7 @@ mod tests {
     fn from_points_validates() {
         assert!(Dataset::from_points(vec![]).is_err());
         assert!(Dataset::from_points(vec![pt(&[], 0, 0)]).is_err());
-        assert!(
-            Dataset::from_points(vec![pt(&[1.0], 0, 0), pt(&[1.0, 2.0], 0, 0)]).is_err()
-        );
+        assert!(Dataset::from_points(vec![pt(&[1.0], 0, 0), pt(&[1.0, 2.0], 0, 0)]).is_err());
         assert!(Dataset::from_points(vec![pt(&[f64::NAN], 0, 0)]).is_err());
         assert!(Dataset::from_points(vec![pt(&[1.0], 2, 0)]).is_err());
         assert!(Dataset::from_points(vec![pt(&[1.0], 0, 3)]).is_err());

@@ -47,10 +47,7 @@ pub fn read_labelled_csv<R: BufRead>(reader: R) -> Result<Dataset> {
     {
         return Err(DataError::Csv {
             line: 1,
-            reason: format!(
-                "header must be `s,u,x0,x1,…`, got {:?}",
-                header.join(",")
-            ),
+            reason: format!("header must be `s,u,x0,x1,…`, got {:?}", header.join(",")),
         });
     }
     let d = header.len() - 2;

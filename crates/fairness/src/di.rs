@@ -137,11 +137,7 @@ mod tests {
         let mut preds = Vec::new();
         for &(u, s, yhat, n) in cells {
             for _ in 0..n {
-                pts.push(LabelledPoint {
-                    x: vec![0.0],
-                    s,
-                    u,
-                });
+                pts.push(LabelledPoint { x: vec![0.0], s, u });
                 preds.push(yhat);
             }
         }
@@ -217,12 +213,7 @@ mod tests {
 
     #[test]
     fn zero_denominator_is_an_error() {
-        let (data, preds) = build(&[
-            (0, 0, 1, 10),
-            (0, 1, 0, 10),
-            (1, 0, 1, 10),
-            (1, 1, 1, 10),
-        ]);
+        let (data, preds) = build(&[(0, 0, 1, 10), (0, 1, 0, 10), (1, 0, 1, 10), (1, 1, 1, 10)]);
         assert!(conditional_disparate_impact(&data, &preds).is_err());
     }
 

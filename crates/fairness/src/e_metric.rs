@@ -122,12 +122,7 @@ impl ConditionalDependence {
         // Shared evaluation grid over the pooled range, padded by
         // `padding_bandwidths` of the larger bandwidth.
         let pad = self.padding_bandwidths * kde0.bandwidth().max(kde1.bandwidth());
-        let lo = x0
-            .iter()
-            .chain(&x1)
-            .copied()
-            .fold(f64::INFINITY, f64::min)
-            - pad;
+        let lo = x0.iter().chain(&x1).copied().fold(f64::INFINITY, f64::min) - pad;
         let hi = x0
             .iter()
             .chain(&x1)
@@ -152,12 +147,7 @@ mod tests {
     use rand::SeedableRng;
 
     /// Build a 1-feature dataset with s-conditional normals per u.
-    fn build(
-        rng: &mut StdRng,
-        n_per_group: usize,
-        mean_s0: f64,
-        mean_s1: f64,
-    ) -> Dataset {
+    fn build(rng: &mut StdRng, n_per_group: usize, mean_s0: f64, mean_s1: f64) -> Dataset {
         let mut pts = Vec::new();
         for u in 0..2u8 {
             for (s, mean) in [(0u8, mean_s0), (1u8, mean_s1)] {
@@ -216,8 +206,7 @@ mod tests {
         }
         let data = Dataset::from_points(pts).unwrap();
         let report = ConditionalDependence::default().evaluate(&data).unwrap();
-        let manual =
-            report.pr_u[0] * report.e_uk[0][0] + report.pr_u[1] * report.e_uk[1][0];
+        let manual = report.pr_u[0] * report.e_uk[0][0] + report.pr_u[1] * report.e_uk[1][0];
         assert!((report.e_per_feature[0] - manual).abs() < 1e-12);
         // 1200 of 1600 points have u = 0.
         assert!((report.pr_u[0] - 0.75).abs() < 1e-12);
@@ -254,10 +243,7 @@ mod tests {
         }
         let data = Dataset::from_points(pts).unwrap();
         let err = ConditionalDependence::default().evaluate(&data);
-        assert!(matches!(
-            err,
-            Err(FairnessError::InsufficientGroup { .. })
-        ));
+        assert!(matches!(err, Err(FairnessError::InsufficientGroup { .. })));
     }
 
     #[test]

@@ -123,9 +123,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn correlated_spec(rho0: f64, rho1: f64) -> SimulationSpec {
-        let cov = |rho: f64| {
-            Matrix::from_rows(2, 2, vec![1.0, rho, rho, 1.0]).unwrap()
-        };
+        let cov = |rho: f64| Matrix::from_rows(2, 2, vec![1.0, rho, rho, 1.0]).unwrap();
         SimulationSpec {
             // Identical means: all s|u dependence is in the correlation.
             means: [
@@ -133,10 +131,7 @@ mod tests {
                 [vec![0.0, 0.0], vec![0.0, 0.0]],
             ],
             sigma: 1.0,
-            covs: Some([
-                [cov(rho0), cov(rho1)],
-                [cov(rho0), cov(rho1)],
-            ]),
+            covs: Some([[cov(rho0), cov(rho1)], [cov(rho0), cov(rho1)]]),
             pr_u0: 0.5,
             pr_s0_given_u: [0.4, 0.4],
         }

@@ -24,4 +24,4 @@ pub use e_metric::{ConditionalDependence, EReport};
 pub use error::FairnessError;
 pub use joint::JointDependence;
 pub use logistic::LogisticRegression;
-pub use wmetric::{WassersteinDependence, WReport};
+pub use wmetric::{WReport, WassersteinDependence};

@@ -127,12 +127,7 @@ impl LogisticRegression {
             grad_w.iter_mut().for_each(|g| *g = 0.0);
             let mut grad_b = 0.0;
             for (x, &y) in std_rows.iter().zip(ys) {
-                let z = bias
-                    + weights
-                        .iter()
-                        .zip(x)
-                        .map(|(w, v)| w * v)
-                        .sum::<f64>();
+                let z = bias + weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
                 let err = sigmoid(z) - y as f64;
                 for (g, v) in grad_w.iter_mut().zip(x) {
                     *g += err * v;
@@ -175,11 +170,7 @@ impl LogisticRegression {
         if x.len() != self.weights.len() {
             return Err(FairnessError::InvalidParameter {
                 name: "x",
-                reason: format!(
-                    "dimension {} (expected {})",
-                    x.len(),
-                    self.weights.len()
-                ),
+                reason: format!("dimension {} (expected {})", x.len(), self.weights.len()),
             });
         }
         let z = self.bias
@@ -228,10 +219,7 @@ impl LogisticRegression {
     }
 
     /// Generate a linearly separable toy problem (for tests/examples).
-    pub fn toy_problem<R: Rng + ?Sized>(
-        n: usize,
-        rng: &mut R,
-    ) -> (Vec<Vec<f64>>, Vec<u8>) {
+    pub fn toy_problem<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Vec<Vec<f64>>, Vec<u8>) {
         let mut xs = Vec::with_capacity(n);
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
@@ -278,21 +266,14 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         assert!(LogisticRegression::fit(&[], &[], LogisticConfig::default()).is_err());
-        assert!(LogisticRegression::fit(
-            &[vec![1.0]],
-            &[0, 1],
-            LogisticConfig::default()
-        )
-        .is_err());
+        assert!(LogisticRegression::fit(&[vec![1.0]], &[0, 1], LogisticConfig::default()).is_err());
         assert!(LogisticRegression::fit(
             &[vec![1.0], vec![1.0, 2.0]],
             &[0, 1],
             LogisticConfig::default()
         )
         .is_err());
-        assert!(
-            LogisticRegression::fit(&[vec![1.0]], &[2], LogisticConfig::default()).is_err()
-        );
+        assert!(LogisticRegression::fit(&[vec![1.0]], &[2], LogisticConfig::default()).is_err());
         let bad = LogisticConfig {
             learning_rate: 0.0,
             ..Default::default()
@@ -316,8 +297,7 @@ mod tests {
             .iter()
             .map(|x| vec![x[0] * 1000.0, x[1] * 0.001])
             .collect();
-        let model =
-            LogisticRegression::fit(&scaled, &ys, LogisticConfig::default()).unwrap();
+        let model = LogisticRegression::fit(&scaled, &ys, LogisticConfig::default()).unwrap();
         let correct = scaled
             .iter()
             .zip(&ys)

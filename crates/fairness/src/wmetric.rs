@@ -79,16 +79,18 @@ impl WassersteinDependence {
                         });
                     }
                 }
-                let mu = DiscreteDistribution::empirical(&x0)
-                    .map_err(|e| FairnessError::InvalidParameter {
+                let mu = DiscreteDistribution::empirical(&x0).map_err(|e| {
+                    FairnessError::InvalidParameter {
                         name: "empirical distribution",
                         reason: e.to_string(),
-                    })?;
-                let nu = DiscreteDistribution::empirical(&x1)
-                    .map_err(|e| FairnessError::InvalidParameter {
+                    }
+                })?;
+                let nu = DiscreteDistribution::empirical(&x1).map_err(|e| {
+                    FairnessError::InvalidParameter {
                         name: "empirical distribution",
                         reason: e.to_string(),
-                    })?;
+                    }
+                })?;
                 w_uk[u as usize][k] =
                     w2(&mu, &nu).map_err(|e| FairnessError::InvalidParameter {
                         name: "wasserstein",
@@ -204,9 +206,7 @@ mod tests {
             },
         ];
         let data = Dataset::from_points(pts).unwrap();
-        let wd = WassersteinDependence {
-            min_group_size: 5,
-        };
+        let wd = WassersteinDependence { min_group_size: 5 };
         assert!(matches!(
             wd.evaluate(&data),
             Err(FairnessError::InsufficientGroup { .. })

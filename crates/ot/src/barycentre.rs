@@ -211,11 +211,7 @@ pub fn entropic_barycentre(
                 u[s][i] = bary[i] / tmp[i].max(FLOOR);
             }
         }
-        let delta: f64 = bary
-            .iter()
-            .zip(&prev)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
         if delta < 1e-10 {
             converged = true;
             break;
@@ -279,10 +275,7 @@ mod tests {
         let b = quantile_barycentre(&mu0, &mu1, 0.5, &q, None).unwrap();
         let d0 = crate::wasserstein::w2(&mu0, &b).unwrap();
         let d1 = crate::wasserstein::w2(&mu1, &b).unwrap();
-        assert!(
-            (d0 - d1).abs() < 0.05,
-            "W2 to each marginal: {d0} vs {d1}"
-        );
+        assert!((d0 - d1).abs() < 0.05, "W2 to each marginal: {d0} vs {d1}");
     }
 
     #[test]
@@ -320,8 +313,7 @@ mod tests {
         let mu0 = gaussian_on(&q, -1.0, 0.7);
         let mu1 = gaussian_on(&q, 1.0, 0.7);
         let exact = quantile_barycentre(&mu0, &mu1, 0.5, &q, None).unwrap();
-        let ent =
-            entropic_barycentre(&[&mu0, &mu1], &[0.5, 0.5], &q, 0.05, 5_000).unwrap();
+        let ent = entropic_barycentre(&[&mu0, &mu1], &[0.5, 0.5], &q, 0.05, 5_000).unwrap();
         // Compare means and W2 between the two barycentres.
         assert!(
             (exact.mean() - ent.mean()).abs() < 0.1,
@@ -351,8 +343,7 @@ mod tests {
         let a = gaussian_on(&q, -1.0, 0.5);
         let b = gaussian_on(&q, 0.0, 0.5);
         let c = gaussian_on(&q, 1.0, 0.5);
-        let bary =
-            entropic_barycentre(&[&a, &b, &c], &[1.0, 1.0, 1.0], &q, 0.1, 5_000).unwrap();
+        let bary = entropic_barycentre(&[&a, &b, &c], &[1.0, 1.0, 1.0], &q, 0.1, 5_000).unwrap();
         assert!(bary.mean().abs() < 0.05, "mean = {}", bary.mean());
     }
 }

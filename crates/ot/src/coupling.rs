@@ -83,9 +83,7 @@ impl OtPlan {
 
     /// Row marginal (push-forward onto the source): `Σ_j π[i][j]`.
     pub fn row_marginal(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|i| self.row(i).iter().sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
     }
 
     /// Column marginal (push-forward onto the target): `Σ_i π[i][j]`.
@@ -170,11 +168,7 @@ impl OtPlan {
         if mass <= 0.0 {
             return None;
         }
-        let weighted: f64 = row
-            .iter()
-            .zip(target_support)
-            .map(|(m, y)| m * y)
-            .sum();
+        let weighted: f64 = row.iter().zip(target_support).map(|(m, y)| m * y).sum();
         Some(weighted / mass)
     }
 

@@ -35,7 +35,9 @@ impl DiscreteDistribution {
             });
         }
         if support.iter().any(|x| !x.is_finite()) {
-            return Err(OtError::UnsortedSupport("support contains non-finite points"));
+            return Err(OtError::UnsortedSupport(
+                "support contains non-finite points",
+            ));
         }
         for w in support.windows(2) {
             if !(w[0] < w[1]) {

@@ -219,8 +219,7 @@ mod tests {
     fn serde_round_trip() {
         let d = dd(&[0.0, 2.0], &[0.3, 0.7]);
         let f = MidpointCdf::new(&d);
-        let back: MidpointCdf =
-            serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+        let back: MidpointCdf = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
         assert_eq!(f, back);
     }
 }

@@ -18,6 +18,10 @@
 //! * [`solvers::sinkhorn`] — the **Sinkhorn–Knopp** entropic solver
 //!   (log-domain stabilized), the `O(nQ²/ε²)` alternative discussed in
 //!   Section IV-A1.
+//! * [`solvers::backend`] — the **unified solver seam**: [`SolverBackend`]
+//!   and the [`Solver1d`] interface own backend selection, epsilon
+//!   validation, and the Sinkhorn→simplex fallback policy; every
+//!   downstream solve dispatches through it.
 //! * [`barycentre`] — Wasserstein-2 barycentres (Equation 7): the exact
 //!   1-D quantile-interpolation construction (McCann interpolation) pushed
 //!   onto a fixed support, plus the entropic fixed-support
@@ -41,6 +45,7 @@ pub use coupling::OtPlan;
 pub use discrete::DiscreteDistribution;
 pub use error::OtError;
 pub use interp::MidpointCdf;
+pub use solvers::backend::{Solver1d, SolverBackend};
 pub use solvers::monotone::solve_monotone_1d;
 pub use solvers::simplex::solve_transportation_simplex;
 pub use solvers::sinkhorn::{sinkhorn, SinkhornConfig};

@@ -1,0 +1,371 @@
+//! The unified solver seam: one type that owns backend selection,
+//! epsilon handling, and failure-fallback policy for every OT solve in
+//! the workspace.
+//!
+//! Downstream crates (`otr-core`'s planners, the CLI's `--solver` flag,
+//! the bench ablations) never match on solver variants: they hold a
+//! [`SolverBackend`] and call [`Solver1d::solve_1d`] /
+//! [`Solver1d::solve_with_cost`]. Adding a backend (a parallel design, a
+//! new regularizer) means adding a variant *here* and nowhere else.
+//!
+//! Policy centralized here:
+//! * **Backend selection** — the `match` over variants lives only in this
+//!   module.
+//! * **Epsilon handling** — Sinkhorn's regularization strength is carried
+//!   by the variant and validated by [`SolverBackend::validate`].
+//! * **Sinkhorn fallback** — a pathologically small `ε` on a wide support
+//!   may exhaust the iteration budget; the exact transportation simplex
+//!   is the documented fallback (same optimum, no regularization). That
+//!   policy used to be inlined in `otr-core`'s per-feature planner and
+//!   silently absent from the joint planner; it now applies uniformly.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostMatrix;
+use crate::coupling::OtPlan;
+use crate::discrete::DiscreteDistribution;
+use crate::error::{OtError, Result};
+use crate::solvers::monotone::solve_monotone_1d;
+use crate::solvers::simplex::solve_transportation_simplex;
+use crate::solvers::sinkhorn::{sinkhorn, SinkhornConfig};
+
+/// Which OT solver designs coupling plans.
+///
+/// Serialized with serde's external tagging (`"ExactMonotone"`,
+/// `{"Sinkhorn":{"epsilon":0.05}}`), so persisted repair plans record the
+/// backend that designed them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum SolverBackend {
+    /// Exact 1-D monotone coupling (north-west-corner on sorted supports)
+    /// — optimal for convex translation-invariant costs, `O(n + m)` per
+    /// plan; the Algorithm 1 hot path. Requires 1-D geometry: it cannot
+    /// serve [`Solver1d::solve_with_cost`] on arbitrary cost matrices.
+    #[default]
+    ExactMonotone,
+    /// Exact transportation simplex (MODI) — any cost matrix, any
+    /// dimension, `O(n³ log n)`-class. Ground truth and the fallback
+    /// target for a non-converging Sinkhorn.
+    Simplex,
+    /// Entropic Sinkhorn–Knopp with the given regularization `ε` — the
+    /// `O(n²/ε²)` alternative of Section IV-A1; plans are blurred by the
+    /// entropy term, which the randomization of Algorithm 2 inherits.
+    Sinkhorn {
+        /// Regularization strength (in squared-feature units).
+        epsilon: f64,
+    },
+}
+
+impl SolverBackend {
+    /// Validate the backend's parameters (currently: Sinkhorn's `ε` must
+    /// be positive and finite).
+    ///
+    /// # Errors
+    /// [`OtError::InvalidParameter`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        if let SolverBackend::Sinkhorn { epsilon } = self {
+            if !(*epsilon > 0.0) || !epsilon.is_finite() {
+                return Err(OtError::InvalidParameter {
+                    name: "solver.epsilon",
+                    reason: format!("must be positive and finite, got {epsilon}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Largest plan size (rows × cols) the Sinkhorn failure path will hand
+/// to the exact simplex. Covers every 1-D design the workspace runs
+/// (`n_q ≤ 512`) while keeping huge product-support problems from
+/// silently entering an `O(n³)`-class rescue.
+pub const SIMPLEX_FALLBACK_MAX_CELLS: usize = 512 * 512;
+
+/// The one interface through which every layer of the workspace solves
+/// optimal transport. Object-safe, so callers may also hold
+/// `&dyn Solver1d`.
+pub trait Solver1d {
+    /// Short diagnostic name of the backend.
+    fn name(&self) -> &'static str;
+
+    /// Solve 1-D OT between two distributions on ordered supports under
+    /// squared-Euclidean cost (the Algorithm 1 setting).
+    ///
+    /// # Errors
+    /// Propagates validation failures. Up to
+    /// [`SIMPLEX_FALLBACK_MAX_CELLS`] the entropic backend does not fail
+    /// for non-convergence — it falls back to the exact simplex (which
+    /// can itself report [`OtError::NoConvergence`] on pathologically
+    /// degenerate instances that exhaust its pivot budget).
+    fn solve_1d(&self, mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> Result<OtPlan>;
+
+    /// Solve OT between two mass vectors under an explicit cost matrix
+    /// (the joint/2-D setting, or any non-Euclidean geometry).
+    ///
+    /// # Errors
+    /// [`OtError::InvalidParameter`] for backends that require 1-D
+    /// structure ([`SolverBackend::ExactMonotone`]); otherwise as
+    /// [`Solver1d::solve_1d`].
+    fn solve_with_cost(&self, mu: &[f64], nu: &[f64], cost: &CostMatrix) -> Result<OtPlan>;
+}
+
+impl Solver1d for SolverBackend {
+    fn name(&self) -> &'static str {
+        match self {
+            SolverBackend::ExactMonotone => "exact-monotone",
+            SolverBackend::Simplex => "simplex",
+            SolverBackend::Sinkhorn { .. } => "sinkhorn",
+        }
+    }
+
+    fn solve_1d(&self, mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> Result<OtPlan> {
+        self.validate()?;
+        match self {
+            SolverBackend::ExactMonotone => solve_monotone_1d(mu, nu),
+            SolverBackend::Simplex | SolverBackend::Sinkhorn { .. } => {
+                let cost = CostMatrix::squared_euclidean(mu.support(), nu.support())?;
+                self.solve_with_cost(mu.masses(), nu.masses(), &cost)
+            }
+        }
+    }
+
+    fn solve_with_cost(&self, mu: &[f64], nu: &[f64], cost: &CostMatrix) -> Result<OtPlan> {
+        self.validate()?;
+        match self {
+            SolverBackend::ExactMonotone => Err(OtError::InvalidParameter {
+                name: "solver",
+                reason: "the exact monotone backend requires 1-D ordered supports; \
+                         use `Simplex` or `Sinkhorn` for general cost matrices"
+                    .into(),
+            }),
+            SolverBackend::Simplex => solve_transportation_simplex(mu, nu, cost),
+            SolverBackend::Sinkhorn { epsilon } => {
+                match sinkhorn(mu, nu, cost, SinkhornConfig::with_epsilon(*epsilon)) {
+                    Ok(plan) => Ok(plan),
+                    // The single home of the Sinkhorn-failure policy: fall
+                    // back to the exact simplex rather than surfacing a
+                    // convergence error for a solvable problem — but only
+                    // where the simplex is affordable. Beyond the cell cap
+                    // (joint/product supports can reach n_q⁴ cells) an
+                    // O(n³)-class rescue would hang for hours, so the
+                    // convergence error surfaces instead.
+                    Err(OtError::NoConvergence { .. })
+                        if mu.len() * nu.len() <= SIMPLEX_FALLBACK_MAX_CELLS =>
+                    {
+                        solve_transportation_simplex(mu, nu, cost)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverBackend::ExactMonotone => write!(f, "exact"),
+            SolverBackend::Simplex => write!(f, "simplex"),
+            SolverBackend::Sinkhorn { epsilon } => write!(f, "sinkhorn:{epsilon}"),
+        }
+    }
+}
+
+impl FromStr for SolverBackend {
+    type Err = OtError;
+
+    /// Parse the CLI spelling: `exact` (or `monotone`), `simplex`, or
+    /// `sinkhorn:<eps>`.
+    fn from_str(s: &str) -> Result<Self> {
+        let backend = match s {
+            "exact" | "monotone" => SolverBackend::ExactMonotone,
+            "simplex" => SolverBackend::Simplex,
+            _ => match s.strip_prefix("sinkhorn:") {
+                Some(eps) => {
+                    let epsilon = eps.parse::<f64>().map_err(|_| OtError::InvalidParameter {
+                        name: "solver",
+                        reason: format!("cannot parse Sinkhorn epsilon from `{eps}`"),
+                    })?;
+                    SolverBackend::Sinkhorn { epsilon }
+                }
+                None => {
+                    return Err(OtError::InvalidParameter {
+                        name: "solver",
+                        reason: format!(
+                            "unknown solver `{s}` (expected `exact`, `simplex`, or \
+                             `sinkhorn:<eps>`)"
+                        ),
+                    })
+                }
+            },
+        };
+        backend.validate()?;
+        Ok(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dd(support: &[f64], masses: &[f64]) -> DiscreteDistribution {
+        DiscreteDistribution::new(support.to_vec(), masses.to_vec()).unwrap()
+    }
+
+    fn all_backends() -> [SolverBackend; 3] {
+        [
+            SolverBackend::ExactMonotone,
+            SolverBackend::Simplex,
+            SolverBackend::Sinkhorn { epsilon: 0.05 },
+        ]
+    }
+
+    #[test]
+    fn all_backends_produce_valid_couplings_via_unified_interface() {
+        let mu = dd(&[-1.0, 0.0, 1.0, 2.0], &[0.1, 0.4, 0.3, 0.2]);
+        let nu = dd(&[-0.5, 0.5, 1.5], &[0.3, 0.4, 0.3]);
+        for backend in all_backends() {
+            let plan = backend.solve_1d(&mu, &nu).unwrap();
+            plan.validate_marginals(mu.masses(), nu.masses())
+                .unwrap_or_else(|e| panic!("{}: {e}", backend.name()));
+        }
+    }
+
+    #[test]
+    fn exact_backends_agree_on_transport_cost() {
+        let mu = dd(&[0.0, 1.0, 2.0, 3.5], &[0.25, 0.25, 0.25, 0.25]);
+        let nu = dd(&[0.5, 2.5, 4.0], &[0.5, 0.3, 0.2]);
+        let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
+        let mono = SolverBackend::ExactMonotone
+            .solve_1d(&mu, &nu)
+            .unwrap()
+            .transport_cost(&cost)
+            .unwrap();
+        let simp = SolverBackend::Simplex
+            .solve_1d(&mu, &nu)
+            .unwrap()
+            .transport_cost(&cost)
+            .unwrap();
+        assert!(
+            (mono - simp).abs() < 1e-9 * (1.0 + mono),
+            "{mono} vs {simp}"
+        );
+        // Entropic cost upper-bounds the exact optimum and converges to it.
+        let entropic = SolverBackend::Sinkhorn { epsilon: 0.01 }
+            .solve_1d(&mu, &nu)
+            .unwrap()
+            .transport_cost(&cost)
+            .unwrap();
+        assert!(entropic >= mono - 1e-9);
+        assert!((entropic - mono).abs() < 0.05, "{entropic} vs {mono}");
+    }
+
+    #[test]
+    fn sinkhorn_no_convergence_falls_back_to_simplex() {
+        // eps = 1e-12 over a cost range of ~36 cannot converge in the
+        // default iteration budget; the unified seam must silently hand
+        // the problem to the exact simplex and return its optimum.
+        let mu = dd(&[0.0, 3.0, 6.0], &[0.5, 0.25, 0.25]);
+        let nu = dd(&[1.0, 4.0], &[0.6, 0.4]);
+        let backend = SolverBackend::Sinkhorn { epsilon: 1e-12 };
+        let plan = backend.solve_1d(&mu, &nu).unwrap();
+        plan.validate_marginals(mu.masses(), nu.masses()).unwrap();
+        let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
+        let exact = SolverBackend::ExactMonotone
+            .solve_1d(&mu, &nu)
+            .unwrap()
+            .transport_cost(&cost)
+            .unwrap();
+        let got = plan.transport_cost(&cost).unwrap();
+        assert!(
+            (got - exact).abs() < 1e-9 * (1.0 + exact),
+            "fallback must hit the exact optimum: {got} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn general_cost_matrices_dispatch_correctly() {
+        // A 2-D-style problem: cost has no 1-D structure.
+        let mu = [0.5, 0.5];
+        let nu = [0.25, 0.75];
+        let cost =
+            CostMatrix::from_fn(&[0, 1], &[0, 1], |a, b| if a == b { 0.0 } else { 2.0 }).unwrap();
+        for backend in [
+            SolverBackend::Simplex,
+            SolverBackend::Sinkhorn { epsilon: 0.1 },
+        ] {
+            let plan = backend.solve_with_cost(&mu, &nu, &cost).unwrap();
+            plan.validate_marginals(&mu, &nu).unwrap();
+        }
+        // The monotone backend must refuse rather than silently mis-solve.
+        let err = SolverBackend::ExactMonotone.solve_with_cost(&mu, &nu, &cost);
+        assert!(matches!(err, Err(OtError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_epsilon() {
+        assert!(SolverBackend::Sinkhorn { epsilon: 0.0 }.validate().is_err());
+        assert!(SolverBackend::Sinkhorn { epsilon: -1.0 }
+            .validate()
+            .is_err());
+        assert!(SolverBackend::Sinkhorn { epsilon: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(SolverBackend::Sinkhorn {
+            epsilon: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(SolverBackend::ExactMonotone.validate().is_ok());
+        assert!(SolverBackend::Simplex.validate().is_ok());
+        // Invalid parameters surface through the solve path too.
+        let mu = dd(&[0.0, 1.0], &[0.5, 0.5]);
+        assert!(SolverBackend::Sinkhorn { epsilon: -1.0 }
+            .solve_1d(&mu, &mu)
+            .is_err());
+    }
+
+    #[test]
+    fn parses_and_displays_cli_spellings() {
+        assert_eq!(
+            "exact".parse::<SolverBackend>().unwrap(),
+            SolverBackend::ExactMonotone
+        );
+        assert_eq!(
+            "monotone".parse::<SolverBackend>().unwrap(),
+            SolverBackend::ExactMonotone
+        );
+        assert_eq!(
+            "simplex".parse::<SolverBackend>().unwrap(),
+            SolverBackend::Simplex
+        );
+        assert_eq!(
+            "sinkhorn:0.05".parse::<SolverBackend>().unwrap(),
+            SolverBackend::Sinkhorn { epsilon: 0.05 }
+        );
+        assert!("sinkhorn:".parse::<SolverBackend>().is_err());
+        assert!("sinkhorn:-3".parse::<SolverBackend>().is_err());
+        assert!("sinkhorn:abc".parse::<SolverBackend>().is_err());
+        assert!("gurobi".parse::<SolverBackend>().is_err());
+        // Display round-trips through FromStr.
+        for backend in all_backends() {
+            let back: SolverBackend = backend.to_string().parse().unwrap();
+            assert_eq!(back, backend);
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_all_variants() {
+        for backend in all_backends() {
+            let json = serde_json::to_string(&backend).unwrap();
+            let back: SolverBackend = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, backend);
+        }
+        assert_eq!(
+            serde_json::to_string(&SolverBackend::ExactMonotone).unwrap(),
+            "\"ExactMonotone\""
+        );
+    }
+}

@@ -9,7 +9,15 @@
 //! | [`monotone`] | exact for convex 1-D costs | `O(n + m)` | Algorithm 1 hot path |
 //! | [`simplex`]  | exact for any cost | `O(n³ log n)`-ish | ground truth, d > 1 |
 //! | [`sinkhorn`] | ε-approximate | `O(n²/ε²)` | large supports (Sec. IV-A1) |
+//!
+//! Downstream code selects among them through the [`backend`] module's
+//! [`SolverBackend`] / [`Solver1d`] seam, which owns backend dispatch,
+//! epsilon validation, and the Sinkhorn→simplex fallback policy in one
+//! place.
 
+pub mod backend;
 pub mod monotone;
 pub mod simplex;
 pub mod sinkhorn;
+
+pub use backend::{Solver1d, SolverBackend};

@@ -25,10 +25,7 @@ use crate::error::Result;
 /// # Errors
 /// Propagates construction failures; inputs are already validated by
 /// [`DiscreteDistribution`].
-pub fn solve_monotone_1d(
-    mu: &DiscreteDistribution,
-    nu: &DiscreteDistribution,
-) -> Result<OtPlan> {
+pub fn solve_monotone_1d(mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> Result<OtPlan> {
     let n = mu.len();
     let m = nu.len();
     let mut mass = vec![0.0f64; n * m];
@@ -103,9 +100,7 @@ pub fn solve_monotone_1d(
     let plan = OtPlan::from_dense(n, m, mass)?;
     // The greedy sweep conserves mass by construction; validate in debug
     // builds to catch regressions without taxing the hot path.
-    debug_assert!(plan
-        .validate_marginals(mu.masses(), nu.masses())
-        .is_ok());
+    debug_assert!(plan.validate_marginals(mu.masses(), nu.masses()).is_ok());
     Ok(plan)
 }
 
@@ -115,10 +110,7 @@ pub fn solve_monotone_1d(
 ///
 /// # Errors
 /// Propagates solver failures.
-pub fn monotone_w2_squared(
-    mu: &DiscreteDistribution,
-    nu: &DiscreteDistribution,
-) -> Result<f64> {
+pub fn monotone_w2_squared(mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> Result<f64> {
     let plan = solve_monotone_1d(mu, nu)?;
     let cost = crate::cost::CostMatrix::squared_euclidean(mu.support(), nu.support())?;
     plan.transport_cost(&cost)

@@ -18,8 +18,8 @@
 //! * The pivot cycle is the unique tree path between the entering cell's
 //!   row and column nodes.
 
-use crate::coupling::OtPlan;
 use crate::cost::CostMatrix;
+use crate::coupling::OtPlan;
 use crate::error::{OtError, Result};
 
 /// Reduced-cost optimality tolerance, scaled by the largest cost entry.
@@ -36,11 +36,7 @@ const OPT_TOL: f64 = 1e-10;
 /// * Validation errors for empty/mismatched/invalid inputs.
 /// * [`OtError::NoConvergence`] if the pivot budget is exhausted (cycling
 ///   on a pathological degenerate instance).
-pub fn solve_transportation_simplex(
-    a: &[f64],
-    b: &[f64],
-    cost: &CostMatrix,
-) -> Result<OtPlan> {
+pub fn solve_transportation_simplex(a: &[f64], b: &[f64], cost: &CostMatrix) -> Result<OtPlan> {
     let n = a.len();
     let m = b.len();
     if n == 0 || m == 0 {
@@ -78,9 +74,7 @@ pub fn solve_transportation_simplex(
     // Bipartite adjacency: node k in 0..n are rows, n..n+m are columns.
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n + m];
 
-    let add_basis = |cell: usize,
-                         in_basis: &mut Vec<bool>,
-                         adj: &mut Vec<Vec<(usize, usize)>>| {
+    let add_basis = |cell: usize, in_basis: &mut Vec<bool>, adj: &mut Vec<Vec<(usize, usize)>>| {
         let (i, j) = (cell / m, cell % m);
         in_basis[cell] = true;
         adj[i].push((n + j, cell));
@@ -228,7 +222,9 @@ pub fn solve_transportation_simplex(
             }
         }
         let Some(leaving) = leaving else {
-            return Err(OtError::SolverInternal("cycle had no minus positions".into()));
+            return Err(OtError::SolverInternal(
+                "cycle had no minus positions".into(),
+            ));
         };
 
         // --- Pivot.
@@ -280,10 +276,8 @@ mod tests {
             6.0, 8.0, 6.0, 7.0, //
             5.0, 7.0, 6.0, 8.0,
         ];
-        let cost = CostMatrix::from_fn(&[0, 1, 2], &[0, 1, 2, 3], |&i, &j| {
-            costs[i * 4 + j]
-        })
-        .unwrap();
+        let cost =
+            CostMatrix::from_fn(&[0, 1, 2], &[0, 1, 2, 3], |&i, &j| costs[i * 4 + j]).unwrap();
         let a = [40.0, 60.0, 50.0];
         let b = [20.0, 30.0, 50.0, 50.0];
         let plan = solve_transportation_simplex(&a, &b, &cost).unwrap();
@@ -311,20 +305,14 @@ mod tests {
             vec![0.1, 0.3, 0.2, 0.25, 0.15],
         )
         .unwrap();
-        let nu = DiscreteDistribution::new(
-            vec![-1.0, 0.0, 2.0, 3.0],
-            vec![0.3, 0.3, 0.2, 0.2],
-        )
-        .unwrap();
+        let nu =
+            DiscreteDistribution::new(vec![-1.0, 0.0, 2.0, 3.0], vec![0.3, 0.3, 0.2, 0.2]).unwrap();
         let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
         let mono = solve_monotone_1d(&mu, &nu).unwrap();
         let simp = solve_transportation_simplex(mu.masses(), nu.masses(), &cost).unwrap();
         let cm = mono.transport_cost(&cost).unwrap();
         let cs = simp.transport_cost(&cost).unwrap();
-        assert!(
-            (cm - cs).abs() < 1e-9,
-            "monotone {cm} vs simplex {cs}"
-        );
+        assert!((cm - cs).abs() < 1e-9, "monotone {cm} vs simplex {cs}");
     }
 
     #[test]
@@ -352,8 +340,7 @@ mod tests {
         // Cost rewarding crossings: c(i,j) = -(i*j) shifted positive. The
         // optimal plan pairs low with high.
         let cost = CostMatrix::from_fn(&[0.0, 1.0], &[0.0, 1.0], |x, y| 1.0 - x * y).unwrap();
-        let plan =
-            solve_transportation_simplex(&[0.5, 0.5], &[0.5, 0.5], &cost).unwrap();
+        let plan = solve_transportation_simplex(&[0.5, 0.5], &[0.5, 0.5], &cost).unwrap();
         // Diagonal (1,1) carries mass to exploit the -xy term.
         assert!(plan.get(1, 1) > 0.49);
     }

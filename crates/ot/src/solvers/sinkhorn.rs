@@ -9,8 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::coupling::OtPlan;
 use crate::cost::CostMatrix;
+use crate::coupling::OtPlan;
 use crate::error::{OtError, Result};
 
 /// Configuration for [`sinkhorn`].
@@ -264,13 +264,9 @@ mod tests {
 
     #[test]
     fn cost_approaches_exact_as_epsilon_shrinks() {
-        let mu = DiscreteDistribution::new(
-            vec![-1.0, 0.0, 1.0, 2.0],
-            vec![0.25, 0.25, 0.25, 0.25],
-        )
-        .unwrap();
-        let nu =
-            DiscreteDistribution::new(vec![0.0, 1.0, 3.0], vec![0.5, 0.3, 0.2]).unwrap();
+        let mu = DiscreteDistribution::new(vec![-1.0, 0.0, 1.0, 2.0], vec![0.25, 0.25, 0.25, 0.25])
+            .unwrap();
+        let nu = DiscreteDistribution::new(vec![0.0, 1.0, 3.0], vec![0.5, 0.3, 0.2]).unwrap();
         let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
         let exact = solve_monotone_1d(&mu, &nu)
             .unwrap()
@@ -329,8 +325,7 @@ mod tests {
     fn zero_mass_atoms_are_ignored() {
         let a = [0.5, 0.0, 0.5];
         let b = [1.0, 0.0];
-        let cost =
-            CostMatrix::squared_euclidean(&[0.0, 1.0, 2.0], &[1.0, 5.0]).unwrap();
+        let cost = CostMatrix::squared_euclidean(&[0.0, 1.0, 2.0], &[1.0, 5.0]).unwrap();
         let plan = sinkhorn(&a, &b, &cost, SinkhornConfig::default()).unwrap();
         assert!(plan.row_marginal()[1].abs() < 1e-12);
         assert!(plan.col_marginal()[1].abs() < 1e-12);

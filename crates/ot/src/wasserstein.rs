@@ -14,11 +14,7 @@ use crate::error::{OtError, Result};
 ///
 /// # Errors
 /// Requires `p ≥ 1`.
-pub fn wasserstein_1d(
-    mu: &DiscreteDistribution,
-    nu: &DiscreteDistribution,
-    p: f64,
-) -> Result<f64> {
+pub fn wasserstein_1d(mu: &DiscreteDistribution, nu: &DiscreteDistribution, p: f64) -> Result<f64> {
     if p < 1.0 || !p.is_finite() {
         return Err(OtError::InvalidParameter {
             name: "p",
@@ -116,8 +112,7 @@ mod tests {
         let nu = dd(&[-1.5, 0.0, 1.0], &[0.3, 0.4, 0.3]);
         let direct = wasserstein_1d(&mu, &nu, 2.0).unwrap();
         let plan = solve_monotone_1d(&mu, &nu).unwrap();
-        let via_plan =
-            wasserstein_from_plan(&plan, mu.support(), nu.support(), 2.0).unwrap();
+        let via_plan = wasserstein_from_plan(&plan, mu.support(), nu.support(), 2.0).unwrap();
         assert!(
             (direct - via_plan).abs() < 1e-10,
             "direct {direct} vs plan {via_plan}"

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use otr_ot::wasserstein::w2;
 use otr_ot::{
-    quantile_barycentre, sinkhorn, solve_monotone_1d, solve_transportation_simplex,
-    wasserstein_1d, CostMatrix, DiscreteDistribution, MidpointCdf, SinkhornConfig,
+    quantile_barycentre, sinkhorn, solve_monotone_1d, solve_transportation_simplex, wasserstein_1d,
+    CostMatrix, DiscreteDistribution, MidpointCdf, SinkhornConfig,
 };
 
 /// Strategy: a discrete distribution with `n` strictly increasing support

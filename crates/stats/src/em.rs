@@ -54,8 +54,7 @@ impl GmmFit {
     /// Posterior probability that `x` belongs to component 0.
     pub fn posterior0(&self, x: f64) -> f64 {
         let p0 = self.weight0 * normal_pdf((x - self.means[0]) / self.sds[0]) / self.sds[0];
-        let p1 =
-            (1.0 - self.weight0) * normal_pdf((x - self.means[1]) / self.sds[1]) / self.sds[1];
+        let p1 = (1.0 - self.weight0) * normal_pdf((x - self.means[1]) / self.sds[1]) / self.sds[1];
         if p0 + p1 <= 0.0 {
             // Point in the far tails of both components: fall back to the
             // nearer mean measured in component SDs.
@@ -147,12 +146,7 @@ impl GaussianMixtureEm {
             // Keep weights off the boundary so a component cannot die.
             w0 = (r0 / n).clamp(1e-6, 1.0 - 1e-6);
             if r0 > 1e-12 {
-                mu[0] = data
-                    .iter()
-                    .zip(&resp0)
-                    .map(|(x, r)| r * x)
-                    .sum::<f64>()
-                    / r0;
+                mu[0] = data.iter().zip(&resp0).map(|(x, r)| r * x).sum::<f64>() / r0;
                 let v0 = data
                     .iter()
                     .zip(&resp0)
@@ -202,10 +196,7 @@ impl GaussianMixtureEm {
         let q25 = crate::quantile::empirical_quantile(data, 0.25)?;
         let q75 = crate::quantile::empirical_quantile(data, 0.75)?;
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var = data
-            .iter()
-            .map(|x| (x - mean) * (x - mean))
-            .sum::<f64>()
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
             / (data.len() as f64 - 1.0).max(1.0);
         let sd = var.sqrt().max(1e-3);
         self.fit_with_init(data, 0.5, [q25, q75], [0.5 * sd + 1e-6, 0.5 * sd + 1e-6])
@@ -240,7 +231,10 @@ mod tests {
     fn recovers_well_separated_components() {
         let (xs, _) = two_group_sample(1, 2000, 3000);
         let fit = GaussianMixtureEm::default().fit(&xs).unwrap();
-        let (m0, m1) = (fit.means[0].min(fit.means[1]), fit.means[0].max(fit.means[1]));
+        let (m0, m1) = (
+            fit.means[0].min(fit.means[1]),
+            fit.means[0].max(fit.means[1]),
+        );
         assert!((m0 + 2.0).abs() < 0.1, "m0 = {m0}");
         assert!((m1 - 2.0).abs() < 0.1, "m1 = {m1}");
         let w_small = fit.weight0.min(1.0 - fit.weight0);
@@ -315,9 +309,7 @@ mod tests {
     fn log_likelihood_improves_over_bad_init() {
         let (xs, _) = two_group_sample(9, 1000, 1000);
         let em = GaussianMixtureEm::default();
-        let bad = em
-            .fit_with_init(&xs, 0.5, [-0.1, 0.1], [3.0, 3.0])
-            .unwrap();
+        let bad = em.fit_with_init(&xs, 0.5, [-0.1, 0.1], [3.0, 3.0]).unwrap();
         // Even from a poor start, EM should land near the true means.
         let lo = bad.means[0].min(bad.means[1]);
         let hi = bad.means[0].max(bad.means[1]);

@@ -55,7 +55,10 @@ impl fmt::Display for StatsError {
             StatsError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             StatsError::InvalidProbabilities(msg) => write!(f, "invalid probabilities: {msg}"),
         }
     }

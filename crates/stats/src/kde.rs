@@ -64,9 +64,7 @@ impl GaussianKde {
         if !(h > 0.0) || !h.is_finite() {
             return Err(StatsError::InvalidParameter {
                 name: "bandwidth",
-                reason: format!(
-                    "derived bandwidth {h} is not positive (degenerate sample?)"
-                ),
+                reason: format!("derived bandwidth {h} is not positive (degenerate sample?)"),
             });
         }
         Ok(Self {
@@ -137,11 +135,7 @@ pub fn silverman_bandwidth(sample: &[f64]) -> f64 {
     let n = sample.len() as f64;
     let sd = sample_sd(sample);
     let iqr = interquartile_range(sample);
-    let spread = if iqr > 0.0 {
-        sd.min(iqr / 1.34)
-    } else {
-        sd
-    };
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
     0.9 * spread * n.powf(-0.2)
 }
 

@@ -216,10 +216,7 @@ mod tests {
     fn erf_matches_reference() {
         for &(x, want) in ERF_TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-13,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-13, "erf({x}) = {got}, want {want}");
             assert!((erf(-x) + want).abs() < 1e-13, "erf odd symmetry at {x}");
         }
     }
@@ -249,7 +246,18 @@ mod tests {
 
     #[test]
     fn inverse_normal_cdf_round_trip() {
-        for p in [1e-10, 1e-6, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0 - 1e-6] {
+        for p in [
+            1e-10,
+            1e-6,
+            0.01,
+            0.1,
+            0.25,
+            0.5,
+            0.75,
+            0.9,
+            0.99,
+            1.0 - 1e-6,
+        ] {
             let x = inverse_normal_cdf(p);
             let back = normal_cdf(x);
             assert!(

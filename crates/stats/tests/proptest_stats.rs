@@ -12,10 +12,8 @@ use otr_stats::{
 };
 
 fn arb_pmf(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..1.0, 2..=max_n).prop_filter(
-        "needs positive total",
-        |v| v.iter().sum::<f64>() > 0.1,
-    )
+    proptest::collection::vec(0.0f64..1.0, 2..=max_n)
+        .prop_filter("needs positive total", |v| v.iter().sum::<f64>() > 0.1)
 }
 
 proptest! {

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let di_rep = conditional_disparate_impact(&pool, &preds_rep)?;
 
     println!("u-conditional disparate impact DI(g,u) = Pr[hire|s=0,u] / Pr[hire|s=1,u]");
-    println!("{:<22} {:>10} {:>10} {:>22}", "model", "DI(u=0)", "DI(u=1)", "passes 4/5 rule?");
+    println!(
+        "{:<22} {:>10} {:>10} {:>22}",
+        "model", "DI(u=0)", "DI(u=1)", "passes 4/5 rule?"
+    );
     println!(
         "{:<22} {:>10.3} {:>10.3} {:>22}",
         "raw data",

@@ -53,7 +53,7 @@ fn print_usage() {
          \n\
          USAGE:\n\
            otrepair design   --research <csv> --out <plan.json> [--nq N] [--t T]\n\
-                             [--solver exact|sinkhorn:<eps>] [--min-group N]\n\
+                             [--solver exact|simplex|sinkhorn:<eps>] [--min-group N]\n\
            otrepair apply    --plan <plan.json> --data <csv> --out <csv>\n\
                              [--seed N] [--partial LAMBDA] [--monge]\n\
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
@@ -82,15 +82,15 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 
 fn load_dataset(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    Ok(ot_fair_repair::data::read_labelled_csv(BufReader::new(file))?)
+    Ok(ot_fair_repair::data::read_labelled_csv(BufReader::new(
+        file,
+    ))?)
 }
 
 fn cmd_design(args: &[String]) -> CliResult {
     let research_path = required(args, "--research")?;
     let out_path = required(args, "--out")?;
-    let mut config = RepairConfig::with_n_q(
-        opt(args, "--nq").map_or(Ok(50), str::parse)?,
-    );
+    let mut config = RepairConfig::with_n_q(opt(args, "--nq").map_or(Ok(50), str::parse)?);
     if let Some(t) = opt(args, "--t") {
         config.t = t.parse()?;
     }
@@ -98,13 +98,9 @@ fn cmd_design(args: &[String]) -> CliResult {
         config.min_group_size = mg.parse()?;
     }
     if let Some(solver) = opt(args, "--solver") {
-        config.solver = match solver {
-            "exact" => SolverBackend::ExactMonotone,
-            s if s.starts_with("sinkhorn:") => SolverBackend::Sinkhorn {
-                epsilon: s["sinkhorn:".len()..].parse()?,
-            },
-            other => return Err(format!("unknown solver `{other}`").into()),
-        };
+        // Backend spellings (and their validation) are owned by the OT
+        // crate's unified solver seam.
+        config.solver = solver.parse::<SolverBackend>()?;
     }
 
     let research = load_dataset(research_path)?;
@@ -133,8 +129,8 @@ fn cmd_apply(args: &[String]) -> CliResult {
     let partial: Option<f64> = opt(args, "--partial").map(str::parse).transpose()?;
     let use_monge = has_flag(args, "--monge");
 
-    let blob = std::fs::read_to_string(plan_path)
-        .map_err(|e| format!("cannot read {plan_path}: {e}"))?;
+    let blob =
+        std::fs::read_to_string(plan_path).map_err(|e| format!("cannot read {plan_path}: {e}"))?;
     let plan = RepairPlan::from_json(&blob)?;
     let data = load_dataset(data_path)?;
     eprintln!(
@@ -182,8 +178,10 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     }
     println!("\nconditional s|u-dependence (symmetrized KLD, lower = fairer):");
     for (k, e) in report.e_per_feature.iter().enumerate() {
-        println!("  E_x{k} = {e:.6}   (E_u0 = {:.6}, E_u1 = {:.6})",
-            report.e_uk[0][k], report.e_uk[1][k]);
+        println!(
+            "  E_x{k} = {e:.6}   (E_u0 = {:.6}, E_u1 = {:.6})",
+            report.e_uk[0][k], report.e_uk[1][k]
+        );
     }
     println!("  aggregate E = {:.6}", report.aggregate());
     if has_flag(args, "--joint") {

@@ -49,14 +49,24 @@ fn design_apply_evaluate_loop() {
     let out = dir.join("repaired.csv").to_string_lossy().into_owned();
 
     let status = Command::new(bin())
-        .args(["design", "--research", &research, "--out", &plan, "--nq", "40"])
+        .args([
+            "design",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--nq",
+            "40",
+        ])
         .status()
         .unwrap();
     assert!(status.success(), "design failed");
     assert!(std::fs::metadata(&plan).unwrap().len() > 1_000);
 
     let status = Command::new(bin())
-        .args(["apply", "--plan", &plan, "--data", &archive, "--out", &out, "--seed", "3"])
+        .args([
+            "apply", "--plan", &plan, "--data", &archive, "--out", &out, "--seed", "3",
+        ])
         .status()
         .unwrap();
     assert!(status.success(), "apply failed");
@@ -108,8 +118,16 @@ fn apply_monge_mode_and_partial_conflict() {
     // --monge + --partial must be rejected.
     let conflicted = Command::new(bin())
         .args([
-            "apply", "--plan", &plan, "--data", &archive, "--out", &out, "--monge",
-            "--partial", "0.5",
+            "apply",
+            "--plan",
+            &plan,
+            "--data",
+            &archive,
+            "--out",
+            &out,
+            "--monge",
+            "--partial",
+            "0.5",
         ])
         .output()
         .unwrap();

@@ -97,10 +97,8 @@ fn streaming_repair_agrees_with_batch_statistics() {
         .unwrap();
 
     let mut streamer = StreamingRepairer::new(plan.clone(), 42);
-    let streamed = Dataset::from_points(
-        streamer.repair_batch(split.archive.points()).unwrap(),
-    )
-    .unwrap();
+    let streamed =
+        Dataset::from_points(streamer.repair_batch(split.archive.points()).unwrap()).unwrap();
 
     let mut rng = StdRng::seed_from_u64(42);
     let batch = plan.repair_dataset(&split.archive, &mut rng).unwrap();
@@ -159,8 +157,7 @@ fn classifier_di_improves_after_repair() {
     let di_raw =
         conditional_disparate_impact(&pool, &m_raw.predict_dataset(&pool).unwrap()).unwrap();
     let di_rep =
-        conditional_disparate_impact(&pool, &m_rep.predict_dataset(&pool_rep).unwrap())
-            .unwrap();
+        conditional_disparate_impact(&pool, &m_rep.predict_dataset(&pool_rep).unwrap()).unwrap();
 
     // Worst-group DI distance from parity must shrink.
     let dist = |r: &DiReport| {
@@ -202,7 +199,9 @@ fn partial_repair_frontier_is_monotone() {
 #[test]
 fn adult_like_pipeline_reproduces_table2_shape() {
     let mut rng = StdRng::seed_from_u64(900);
-    let split = AdultSynth::default().generate(4_000, 12_000, &mut rng).unwrap();
+    let split = AdultSynth::default()
+        .generate(4_000, 12_000, &mut rng)
+        .unwrap();
     let plan = RepairPlanner::new(RepairConfig::with_n_q(120))
         .design(&split.research)
         .unwrap();

@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Acceptable size arguments for [`vec`]: a fixed size or a range.
+pub trait IntoSizeRange {
+    /// Draw a concrete length.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose
+/// length comes from `size`.
+pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let n = self.size.pick(rng);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.element.gen_value(rng)?);
+        }
+        Some(out)
+    }
+}

@@ -1,0 +1,500 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace-local serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports exactly the shapes this workspace uses:
+//! non-generic structs with named fields, tuple structs, and enums with
+//! unit / tuple / struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes. Anything else is rejected with a
+//! compile-time panic rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume leading attributes, returning (skip, default) from any
+    /// `#[serde(...)]` among them.
+    fn eat_attrs(&mut self) -> (bool, bool) {
+        let mut skip = false;
+        let mut default = false;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            let args = match inner.get(1) {
+                                Some(TokenTree::Group(args))
+                                    if args.delimiter() == Delimiter::Parenthesis =>
+                                {
+                                    args.stream().to_string()
+                                }
+                                _ => panic!("malformed #[serde] attribute"),
+                            };
+                            for arg in args.split(',') {
+                                match arg.trim() {
+                                    "skip" => skip = true,
+                                    "default" => default = true,
+                                    other => panic!(
+                                        "unsupported serde attribute `{other}` \
+                                         (vendored serde_derive supports only \
+                                         `skip` and `default`)"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => panic!("expected bracketed attribute body after `#`"),
+            }
+        }
+        (skip, default)
+    }
+
+    /// Consume an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a field's type: everything up to a `,` outside any `<...>`
+    /// generic-argument nesting (or the end). Parens/brackets/braces are
+    /// single `Group` tokens, so only angle brackets need depth tracking.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => return,
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (skip, default) = c.eat_attrs();
+        c.eat_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        assert!(c.eat_punct(':'), "expected `:` after field `{name}`");
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        c.eat_vis();
+        c.skip_type();
+        count += 1;
+        c.eat_punct(',');
+    }
+    count
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_vis();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.eat_attrs();
+                let vname = match vc.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("expected variant name, found {other:?}"),
+                };
+                let variant = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.pos += 1;
+                        Variant::Struct(vname, fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vc.pos += 1;
+                        Variant::Tuple(vname, n)
+                    }
+                    _ => Variant::Unit(vname),
+                };
+                variants.push(variant);
+                vc.eat_punct(',');
+            }
+            Shape::Enum(variants)
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Parsed { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "entries.push((\"{0}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Obj(entries)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Obj(vec![(\
+                         \"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\
+                             \"{vn}\".to_string(), ::serde::Value::Arr(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__inner.push((\"{0}\".to_string(), \
+                                 ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {inner} \
+                             ::serde::Value::Obj(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Obj(__inner))]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_fields_ctor(ty: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{0}: match {source}.get(\"{0}\") {{\n\
+                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 }},\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match {source}.get(\"{0}\") {{\n\
+                     ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                         ::serde::Error::missing_field(\"{0}\", \"{ty}\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = named_fields_ctor(name, fields, "__value");
+            format!(
+                "if __value.as_obj().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"expected object for {name}, got {{}}\", __value.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_arr().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"expected {n} elements for {name}, got {{}}\", __arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __arr = __inner.as_arr().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for \
+                                     {name}::{vn}\"))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(\
+                                         ::serde::Error::custom(\"wrong arity for \
+                                         {name}::{vn}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits = named_fields_ctor(&format!("{name}::{vn}"), fields, "__inner");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n\
+                             {inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     __v => {{\n\
+                         let __obj = __v.as_obj().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected variant object for {name}, got {{}}\", \
+                             __v.kind())))?;\n\
+                         if __obj.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected single-key variant object for {name}\"));\n\
+                         }}\n\
+                         let (__tag, __inner) = &__obj[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
