@@ -4,15 +4,31 @@
 //! computationally efficient, so that large data sets can be repaired".
 //! After plan design, repairing one point is O(1) per feature (direct
 //! grid indexing + one Bernoulli + one O(1) alias draw), independent of
-//! `nR`, `nA`, and — thanks to the alias tables — of `nQ`. This bench
-//! demonstrates exactly that: throughput flat in `nQ`, linear in `d`.
+//! `nR`, `nA`, and — thanks to the alias tables — of `nQ`; and the rows
+//! are independent, so dataset repair parallelizes linearly while the
+//! per-row SplitMix64 streams keep the output bit-identical to the
+//! sequential path.
+//!
+//! Two modes:
+//!
+//! * default (`cargo bench --bench repair_throughput`) — criterion
+//!   groups: throughput vs `nQ`, plan-design cost vs `nQ`, and
+//!   sequential-vs-parallel dataset repair on a 100k-row archive;
+//! * `--quick` — the CI perf-smoke gate: one timed
+//!   sequential-vs-parallel comparison on a ≥100k-row synthetic archive
+//!   (bit-identity asserted), written to `BENCH_throughput.json`. If
+//!   `OTR_BENCH_BASELINE` names a committed baseline JSON, exits
+//!   non-zero when either throughput regresses more than 25%.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
-use otr_core::{RepairConfig, RepairPlanner};
-use otr_data::SimulationSpec;
+use otr_core::{RepairConfig, RepairPlan, RepairPlanner};
+use otr_data::{Dataset, SimulationSpec};
 
 fn bench_repair(c: &mut Criterion) {
     let spec = SimulationSpec::paper_defaults();
@@ -43,9 +59,200 @@ fn bench_repair(c: &mut Criterion) {
     design_group.finish();
 }
 
+fn bench_parallel(c: &mut Criterion) {
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(2);
+    let research = spec.sample_dataset(500, &mut rng).unwrap();
+    let archive = spec.sample_dataset(100_000, &mut rng).unwrap();
+    let plan = RepairPlanner::new(RepairConfig::with_n_q(50))
+        .design(&research)
+        .unwrap();
+
+    let mut group = c.benchmark_group("parallel_repair_100k");
+    group.throughput(Throughput::Elements(archive.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| plan.repair_dataset_seeded(&archive, 7).unwrap())
+    });
+    let mut thread_counts = vec![2usize, 4, otr_par::thread_count(0)];
+    thread_counts.sort_unstable();
+    thread_counts.dedup(); // auto may equal 2 or 4 — don't bench twice
+    for threads in thread_counts {
+        let mut plan = plan.clone();
+        plan.config.threads = threads;
+        let archive = &archive;
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            move |b, _| b.iter(|| plan.repair_dataset_par(archive, 7).unwrap()),
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_repair
+    targets = bench_repair, bench_parallel
 }
-criterion_main!(benches);
+
+/// The machine-readable result of one `--quick` run; `ci/bench_baseline.json`
+/// is a (conservatively scaled) copy of this structure.
+#[derive(Debug, Serialize, Deserialize)]
+struct ThroughputReport {
+    rows: usize,
+    dim: usize,
+    threads: usize,
+    seq_secs: f64,
+    par_secs: f64,
+    seq_rows_per_sec: f64,
+    par_rows_per_sec: f64,
+    speedup: f64,
+}
+
+/// The workspace root (cargo runs bench binaries with the *package*
+/// directory as cwd; reports and baselines live at the repo root).
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Best-of-`reps` wall-clock time of `f`, in seconds.
+fn best_of(reps: usize, mut f: impl FnMut() -> Dataset) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// CI perf-smoke mode: measure, record, and (optionally) gate.
+fn quick_gate() {
+    // Default sized so one measurement takes ~0.1 s even sequentially:
+    // long enough that the 25% gate margin dwarfs timer noise, short
+    // enough for a smoke job.
+    let rows: usize = std::env::var("OTR_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let threads = otr_par::thread_count(0);
+    eprintln!("perf-smoke: {rows} archive rows, {threads} worker threads");
+
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(1);
+    let research = spec.sample_dataset(500, &mut rng).unwrap();
+    let archive = spec.sample_dataset(rows, &mut rng).unwrap();
+    let plan: RepairPlan = RepairPlanner::new(RepairConfig::with_n_q(50))
+        .design(&research)
+        .unwrap();
+
+    // The determinism contract is part of the gate: parallel output must
+    // be bit-identical to the sequential per-row-stream reference.
+    let seq_out = plan.repair_dataset_seeded(&archive, 7).unwrap();
+    let par_out = plan.repair_dataset_par(&archive, 7).unwrap();
+    assert!(
+        seq_out.points() == par_out.points(),
+        "parallel repair diverged from the sequential reference"
+    );
+
+    let seq_secs = best_of(5, || plan.repair_dataset_seeded(&archive, 7).unwrap());
+    let par_secs = best_of(5, || plan.repair_dataset_par(&archive, 7).unwrap());
+    let report = ThroughputReport {
+        rows,
+        dim: archive.dim(),
+        threads,
+        seq_secs,
+        par_secs,
+        seq_rows_per_sec: rows as f64 / seq_secs,
+        par_rows_per_sec: rows as f64 / par_secs,
+        speedup: seq_secs / par_secs,
+    };
+    println!(
+        "sequential: {:.3} s ({:.0} rows/s)\nparallel:   {:.3} s ({:.0} rows/s)\nspeedup:    {:.2}x at {} threads",
+        report.seq_secs,
+        report.seq_rows_per_sec,
+        report.par_secs,
+        report.par_rows_per_sec,
+        report.speedup,
+        report.threads
+    );
+
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let out_path = workspace_root().join("BENCH_throughput.json");
+    std::fs::write(&out_path, &json).expect("cannot write BENCH_throughput.json");
+    eprintln!("wrote {}", out_path.display());
+
+    if let Ok(path) = std::env::var("OTR_BENCH_BASELINE") {
+        // Relative baseline paths are repo-root-relative, so the CI
+        // workflow and a manual run from anywhere agree.
+        let mut full = std::path::PathBuf::from(&path);
+        if full.is_relative() {
+            full = workspace_root().join(full);
+        }
+        let blob = std::fs::read_to_string(&full)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: ThroughputReport = serde_json::from_str(&blob)
+            .unwrap_or_else(|e| panic!("malformed baseline {path}: {e}"));
+        // >25% regression against the committed baseline fails the job.
+        // Absolute rows/sec floors (deliberately conservative, so
+        // runner-to-runner noise passes) catch structural slowdowns — an
+        // accidentally quadratic hot path, a per-row allocation storm —
+        // and, once the baseline records a real multi-thread speedup,
+        // the within-run seq/par ratio catches a silently serialized
+        // parallel path no matter how fast the runner is.
+        let mut failed = false;
+        for (name, got, base) in [
+            (
+                "sequential",
+                report.seq_rows_per_sec,
+                baseline.seq_rows_per_sec,
+            ),
+            (
+                "parallel",
+                report.par_rows_per_sec,
+                baseline.par_rows_per_sec,
+            ),
+        ] {
+            let floor = base * 0.75;
+            if got < floor {
+                eprintln!(
+                    "perf regression: {name} throughput {got:.0} rows/s is below \
+                     75% of baseline {base:.0} rows/s"
+                );
+                failed = true;
+            } else {
+                eprintln!("perf gate: {name} {got:.0} rows/s >= floor {floor:.0} rows/s — ok");
+            }
+        }
+        // The speedup leg only arms when the baseline recorded a genuine
+        // parallel win AND this runner has the threads to reproduce one
+        // (a single-core runner can never show a speedup).
+        if baseline.speedup > 1.0 && report.threads > 1 {
+            let floor = baseline.speedup * 0.75;
+            if report.speedup < floor {
+                eprintln!(
+                    "perf regression: parallel speedup {:.2}x is below 75% of \
+                     baseline {:.2}x — the parallel path may have serialized",
+                    report.speedup, baseline.speedup
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "perf gate: speedup {:.2}x >= floor {floor:.2}x — ok",
+                    report.speedup
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_gate();
+    } else {
+        benches();
+    }
+}

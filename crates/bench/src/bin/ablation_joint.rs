@@ -1,7 +1,7 @@
 //! **Ablation A8** — intra-feature correlation structure (Section VI of
 //! the paper).
 //!
-//! The paper's per-feature stratification "neglect[s] the intra-feature
+//! The paper's per-feature stratification "neglect\[s\] the intra-feature
 //! correlation structure in the x_{u,s}" and defers its impact to future
 //! work. This harness constructs the adversarial case: `s`-conditionals
 //! with **identical marginals but opposite correlation** (`ρ = ±0.8`).
@@ -19,7 +19,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{run_mc, runs_from_args, write_results};
+use otr_bench::{run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{JointRepairConfig, JointRepairPlan, RepairConfig, RepairPlanner};
 use otr_data::SimulationSpec;
 use otr_fairness::{ConditionalDependence, JointDependence};
@@ -52,7 +52,7 @@ fn main() {
     let cd = ConditionalDependence::default();
     let jd = JointDependence::default();
 
-    let (stats, failures) = run_mc(runs, 12_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 12_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let mut metrics = Vec::new();
@@ -100,9 +100,7 @@ fn main() {
         Ok(metrics)
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     println!("\nAblation A8 — correlation-borne dependence: per-feature vs joint repair");
     println!(
@@ -145,6 +143,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("ablation_joint", &stats, &extra);
 }

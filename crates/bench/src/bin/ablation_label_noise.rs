@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{run_mc, runs_from_args, write_results};
+use otr_bench::{run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{GroupBlindRepairer, RepairConfig, RepairPlanner};
 use otr_data::{Dataset, GroupKey, LabelledPoint, SimulationSpec};
 use otr_fairness::ConditionalDependence;
@@ -84,7 +84,7 @@ fn main() {
     let spec = SimulationSpec::paper_defaults();
     let cd = ConditionalDependence::default();
 
-    let (stats, failures) = run_mc(runs, 10_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 10_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let plan = RepairPlanner::new(RepairConfig::with_n_q(N_Q)).design(&split.research)?;
@@ -130,9 +130,7 @@ fn main() {
         ])
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     println!("\nAblation A4 — repair with oracle vs EM-estimated archival labels");
     for row in [
@@ -157,6 +155,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("ablation_label_noise", &stats, &extra);
 }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{run_mc, runs_from_args, write_results};
+use otr_bench::{run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{MongeRepair, RepairConfig, RepairPlanner};
 use otr_data::SimulationSpec;
 use otr_fairness::ConditionalDependence;
@@ -32,7 +32,7 @@ fn main() {
     let spec = SimulationSpec::paper_defaults();
     let cd = ConditionalDependence::default();
 
-    let (stats, failures) = run_mc(runs, 11_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 11_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let mut metrics = Vec::new();
@@ -77,9 +77,7 @@ fn main() {
         Ok(metrics)
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     println!("\nAblation A7 — Kantorovich (Alg. 2) vs Monge quantile map, archival data");
     println!(
@@ -110,6 +108,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("ablation_monge", &stats, &extra);
 }

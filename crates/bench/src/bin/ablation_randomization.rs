@@ -13,50 +13,16 @@
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
-use rand::Rng;
 use rand::SeedableRng;
 
-use otr_bench::{run_mc, runs_from_args, write_results};
-use otr_core::{dataset_damage, RepairConfig, RepairPlan, RepairPlanner, SolverBackend};
-use otr_data::{Dataset, LabelledPoint, SimulationSpec};
+use otr_bench::{run_mc_threaded, runs_from_args, threads_from_args, write_results};
+use otr_core::{dataset_damage, MassSplit, RepairConfig, RepairPlanner, SolverBackend};
+use otr_data::SimulationSpec;
 use otr_fairness::ConditionalDependence;
 
 const N_RESEARCH: usize = 500;
 const N_ARCHIVE: usize = 5_000;
 const N_Q: usize = 50;
-
-/// Deterministic Algorithm-2 variant: nearest grid cell (no Bernoulli),
-/// then the row's barycentric projection (no multinomial).
-fn repair_deterministic<R: Rng>(
-    plan: &RepairPlan,
-    data: &Dataset,
-    _rng: &mut R,
-) -> Result<Dataset, Box<dyn std::error::Error>> {
-    let mut points = Vec::with_capacity(data.len());
-    for p in data.points() {
-        let mut x = Vec::with_capacity(p.x.len());
-        for (k, &v) in p.x.iter().enumerate() {
-            let fp = plan.feature_plan(p.u, k)?;
-            let support = &fp.support;
-            let n_q = support.len();
-            let step = fp.step();
-            let q = if v <= support[0] || step == 0.0 {
-                0
-            } else if v >= support[n_q - 1] {
-                n_q - 1
-            } else {
-                (((v - support[0]) / step) + 0.5).floor() as usize
-            }
-            .min(n_q - 1);
-            let projected = fp.plans[p.s as usize]
-                .barycentric_projection(q, support)
-                .unwrap_or(v);
-            x.push(projected);
-        }
-        points.push(LabelledPoint { x, s: p.s, u: p.u });
-    }
-    Ok(Dataset::from_points(points)?)
-}
 
 fn main() {
     let runs = runs_from_args(20);
@@ -67,7 +33,7 @@ fn main() {
     let spec = SimulationSpec::paper_defaults();
     let cd = ConditionalDependence::default();
 
-    let (stats, failures) = run_mc(runs, 9_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 9_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let mut metrics = Vec::new();
@@ -81,7 +47,11 @@ fn main() {
             cfg.solver = solver;
             let plan = RepairPlanner::new(cfg).design(&split.research)?;
             let randomized = plan.repair_dataset(&split.archive, &mut rng)?;
-            let deterministic = repair_deterministic(&plan, &split.archive, &mut rng)?;
+            // Same designed plan, deterministic mass split (the variant
+            // is a first-class `RepairConfig` mode).
+            let mut det_plan = plan.clone();
+            det_plan.config.mass_split = MassSplit::Deterministic;
+            let deterministic = det_plan.repair_dataset(&split.archive, &mut rng)?;
             metrics.push((
                 format!("E/randomized, {backend_name}"),
                 cd.evaluate(&randomized)?.aggregate(),
@@ -102,9 +72,7 @@ fn main() {
         Ok(metrics)
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     println!("\nAblation A3 — randomized (Eq. 14-15) vs deterministic mass split, archival data");
     println!(
@@ -134,6 +102,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("ablation_randomization", &stats, &extra);
 }

@@ -14,7 +14,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{run_mc, runs_from_args, write_results};
+use otr_bench::{run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{dataset_damage, RepairConfig, RepairPlanner, SolverBackend};
 use otr_data::SimulationSpec;
 use otr_fairness::ConditionalDependence;
@@ -31,7 +31,7 @@ fn main() {
     let spec = SimulationSpec::paper_defaults();
     let cd = ConditionalDependence::default();
 
-    let (stats, failures) = run_mc(runs, 8_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 8_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
         let mut metrics = Vec::new();
@@ -66,9 +66,7 @@ fn main() {
         Ok(metrics)
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     println!("\nAblation A2 — exact monotone vs Sinkhorn plan design (archival repair)");
     println!(
@@ -102,6 +100,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("ablation_sinkhorn", &stats, &extra);
 }

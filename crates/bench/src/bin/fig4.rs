@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{run_mc, runs_from_args, write_results};
+use otr_bench::{run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{RepairConfig, RepairPlanner};
 use otr_data::SimulationSpec;
 use otr_fairness::ConditionalDependence;
@@ -29,7 +29,7 @@ fn main() {
     let spec = SimulationSpec::paper_defaults();
     let cd = ConditionalDependence::default();
 
-    let (stats, failures) = run_mc(runs, 4_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 4_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         // One data draw per replicate, shared across the nQ sweep so the
         // curve reflects nQ alone.
@@ -53,9 +53,7 @@ fn main() {
         Ok(metrics)
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     println!("\nFigure 4 — E of the composite repaired data (X_R ∪ X_A) vs nQ");
     println!("{:<8} {:>26}", "nQ", "E composite repaired");
@@ -78,6 +76,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("fig4", &stats, &extra);
 }

@@ -4,7 +4,7 @@
 //! Protocol (paper defaults): `nR = 500`, `nA = 5000`, `nQ = 50`,
 //! 200 Monte-Carlo replicates; report `E_k` (mean ± sd) per feature for
 //! the research and archive data under: no repair, our distributional
-//! repair (Algorithms 1+2), and the geometric repair of [10] (research
+//! repair (Algorithms 1+2), and the geometric repair of \[10\] (research
 //! data only — it cannot repair off-sample points).
 //!
 //! Usage: `table1 [runs]` (default 200).
@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{render_table, run_mc, runs_from_args, write_results};
+use otr_bench::{render_table, run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{GeometricRepair, RepairConfig, RepairPlanner};
 use otr_data::SimulationSpec;
 use otr_fairness::ConditionalDependence;
@@ -31,7 +31,7 @@ fn main() {
     let planner = RepairPlanner::new(RepairConfig::with_n_q(N_Q));
     let cd = ConditionalDependence::default();
 
-    let (stats, failures) = run_mc(runs, 1_000, |seed| {
+    let (stats, failures) = run_mc_threaded(runs, 1_000, threads_from_args(), |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let split = spec.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
 
@@ -73,9 +73,7 @@ fn main() {
         Ok(metrics)
     });
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     let table = render_table(
         "\nTable I — E_k for simulated bivariate Gaussian sub-groups (lower = better repair)",
@@ -92,6 +90,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("table1", &stats, &extra);
 }

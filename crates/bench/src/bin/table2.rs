@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use otr_bench::{render_table, run_mc, runs_from_args, write_results};
+use otr_bench::{render_table, run_mc_threaded, runs_from_args, threads_from_args, write_results};
 use otr_core::{GeometricRepair, RepairConfig, RepairPlanner};
 use otr_data::adult::load_adult_csv;
 use otr_data::{AdultSynth, SplitData};
@@ -83,23 +83,21 @@ fn main() {
         for (name, value) in metrics {
             stats.entry(name).or_default().push(value);
         }
-        (stats, 0)
+        (stats, otr_bench::McFailures::default())
     } else {
         eprintln!(
             "table2: {runs} replicates of the Adult-like synthetic generator \
              (nR={N_RESEARCH}, nA={N_ARCHIVE}, nQ={N_Q}); set ADULT_CSV= for the real file"
         );
         let generator = AdultSynth::default();
-        run_mc(runs, 5_000, move |seed| {
+        run_mc_threaded(runs, 5_000, threads_from_args(), move |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let split = generator.generate(N_RESEARCH, N_ARCHIVE, &mut rng)?;
             run_once(&split, &mut rng)
         })
     };
 
-    if failures > 0 {
-        eprintln!("warning: {failures} replicates failed and were skipped");
-    }
+    failures.warn_if_any();
 
     let table = render_table(
         "\nTable II — E_k for the Adult income study (lower = better repair)",
@@ -121,6 +119,6 @@ fn main() {
 
     let mut extra = BTreeMap::new();
     extra.insert("runs".into(), runs as f64);
-    extra.insert("failures".into(), failures as f64);
+    extra.insert("failures".into(), failures.count as f64);
     write_results("table2", &stats, &extra);
 }

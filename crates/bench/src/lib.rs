@@ -17,15 +17,15 @@
 //! Monte-Carlo replicates and writes a JSON result file alongside the
 //! printed table (under `results/`).
 //!
-//! This library crate hosts the shared machinery: a parallel Monte-Carlo
-//! runner with per-run seeding and exact Welford merging, plus
-//! paper-style table formatting.
+//! This library crate hosts the shared machinery: a deterministic
+//! parallel Monte-Carlo runner (built on `otr-par`'s chunked executor)
+//! with per-run seeding, in-order Welford merging, and first-failure
+//! diagnostics, plus paper-style table formatting.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
 
-use parking_lot::Mutex;
 use serde::Serialize;
 
 use otr_stats::Welford;
@@ -33,53 +33,102 @@ use otr_stats::Welford;
 /// A named collection of Monte-Carlo statistics.
 pub type McStats = BTreeMap<String, Welford>;
 
+/// Failure accounting of a Monte-Carlo sweep: how many replicates
+/// errored, and what the lowest-seeded one said (so a 200-run sweep that
+/// silently skipped half its replicates is diagnosable from the table
+/// footer alone).
+#[derive(Debug, Clone, Default)]
+pub struct McFailures {
+    /// Replicates that returned an error and were skipped.
+    pub count: usize,
+    /// Error message of the lowest-index failing replicate.
+    pub first_error: Option<String>,
+}
+
+impl McFailures {
+    /// Print the standard table-footer warning if any replicate failed.
+    pub fn warn_if_any(&self) {
+        if self.count == 0 {
+            return;
+        }
+        match &self.first_error {
+            Some(e) => eprintln!(
+                "warning: {} replicates failed and were skipped (first error: {e})",
+                self.count
+            ),
+            None => eprintln!("warning: {} replicates failed and were skipped", self.count),
+        }
+    }
+}
+
 /// Run `runs` Monte-Carlo replicates of `f` in parallel, seeding replicate
 /// `i` with `base_seed + i`, and merge the per-replicate named metrics
-/// exactly (Welford parallel combine).
+/// exactly (Welford parallel combine, in replicate order).
 ///
 /// `f` returns `(name, value)` pairs; replicates that return an error are
-/// counted and skipped (failure injection must not kill a 200-run sweep).
-pub fn run_mc<F>(runs: usize, base_seed: u64, f: F) -> (McStats, usize)
+/// counted and skipped (failure injection must not kill a 200-run sweep),
+/// with the first error message recorded in the returned [`McFailures`].
+///
+/// Thread count is auto (`OTR_THREADS` env or available parallelism);
+/// use [`run_mc_threaded`] for an explicit count. Replicate seeds — and
+/// therefore every per-replicate metric — do not depend on the thread
+/// count.
+pub fn run_mc<F>(runs: usize, base_seed: u64, f: F) -> (McStats, McFailures)
 where
     F: Fn(u64) -> Result<Vec<(String, f64)>, Box<dyn std::error::Error>> + Sync,
 {
-    let stats: Mutex<McStats> = Mutex::new(BTreeMap::new());
-    let failures = Mutex::new(0usize);
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(runs.max(1));
+    run_mc_threaded(runs, base_seed, 0, f)
+}
 
-    std::thread::scope(|scope| {
-        for t in 0..n_threads {
-            let stats = &stats;
-            let failures = &failures;
-            let f = &f;
-            scope.spawn(move || {
-                let mut local: McStats = BTreeMap::new();
-                let mut local_failures = 0usize;
-                let mut i = t;
-                while i < runs {
-                    match f(base_seed + i as u64) {
-                        Ok(metrics) => {
-                            for (name, value) in metrics {
-                                local.entry(name).or_default().push(value);
-                            }
-                        }
-                        Err(_) => local_failures += 1,
+/// [`run_mc`] with an explicit worker-thread count (`0` = auto).
+pub fn run_mc_threaded<F>(
+    runs: usize,
+    base_seed: u64,
+    threads: usize,
+    f: F,
+) -> (McStats, McFailures)
+where
+    F: Fn(u64) -> Result<Vec<(String, f64)>, Box<dyn std::error::Error>> + Sync,
+{
+    let indices: Vec<u64> = (0..runs as u64).collect();
+    // One (stats, failures, first_error) accumulator per contiguous
+    // chunk of replicates; chunk results come back in replicate order,
+    // so the merge below is deterministic and the first recorded error
+    // is the lowest-index failure regardless of thread count.
+    let chunks = otr_par::par_chunks(&indices, threads, |_, chunk| {
+        let mut local: McStats = BTreeMap::new();
+        let mut failures = 0usize;
+        let mut first_error: Option<String> = None;
+        for &i in chunk {
+            match f(base_seed + i) {
+                Ok(metrics) => {
+                    for (name, value) in metrics {
+                        local.entry(name).or_default().push(value);
                     }
-                    i += n_threads;
                 }
-                let mut global = stats.lock();
-                for (name, w) in local {
-                    global.entry(name).or_default().merge(&w);
+                Err(e) => {
+                    failures += 1;
+                    if first_error.is_none() {
+                        first_error = Some(format!("replicate {i} (seed {}): {e}", base_seed + i));
+                    }
                 }
-                *failures.lock() += local_failures;
-            });
+            }
         }
+        (local, failures, first_error)
     });
 
-    (stats.into_inner(), failures.into_inner())
+    let mut stats: McStats = BTreeMap::new();
+    let mut failures = McFailures::default();
+    for (local, count, first_error) in chunks {
+        for (name, w) in local {
+            stats.entry(name).or_default().merge(&w);
+        }
+        failures.count += count;
+        if failures.first_error.is_none() {
+            failures.first_error = first_error;
+        }
+    }
+    (stats, failures)
 }
 
 /// Format `mean ± sd` with sensible precision.
@@ -177,6 +226,18 @@ pub fn runs_from_args(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parse the optional `--threads N` CLI flag shared by every experiment
+/// binary (`0` / absent = auto: `OTR_THREADS` env or available
+/// parallelism).
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,7 +245,8 @@ mod tests {
     #[test]
     fn run_mc_aggregates_all_runs() {
         let (stats, failures) = run_mc(100, 0, |seed| Ok(vec![("x".into(), seed as f64)]));
-        assert_eq!(failures, 0);
+        assert_eq!(failures.count, 0);
+        assert!(failures.first_error.is_none());
         let w = &stats["x"];
         assert_eq!(w.count(), 100);
         assert!((w.mean() - 49.5).abs() < 1e-9);
@@ -194,21 +256,58 @@ mod tests {
     fn run_mc_counts_failures_without_dying() {
         let (stats, failures) = run_mc(50, 0, |seed| {
             if seed % 5 == 0 {
-                Err("injected".into())
+                Err(format!("injected at {seed}").into())
             } else {
                 Ok(vec![("ok".into(), 1.0)])
             }
         });
-        assert_eq!(failures, 10);
+        assert_eq!(failures.count, 10);
         assert_eq!(stats["ok"].count(), 40);
+        // The recorded message is the lowest-index failure, whatever the
+        // thread count.
+        let msg = failures.first_error.unwrap();
+        assert!(msg.contains("injected at 0"), "got: {msg}");
     }
 
     #[test]
     fn run_mc_deterministic_irrespective_of_threads() {
-        let (a, _) = run_mc(64, 7, |seed| Ok(vec![("v".into(), (seed * seed) as f64)]));
-        let (b, _) = run_mc(64, 7, |seed| Ok(vec![("v".into(), (seed * seed) as f64)]));
-        assert_eq!(a["v"].count(), b["v"].count());
-        assert!((a["v"].mean() - b["v"].mean()).abs() < 1e-9);
+        let mut reference: Option<McStats> = None;
+        for threads in [1usize, 2, 7] {
+            let (stats, failures) = run_mc_threaded(64, 7, threads, |seed| {
+                Ok(vec![("v".into(), (seed * seed) as f64)])
+            });
+            assert_eq!(failures.count, 0);
+            match &reference {
+                None => reference = Some(stats),
+                Some(r) => {
+                    assert_eq!(stats["v"].count(), r["v"].count());
+                    assert!((stats["v"].mean() - r["v"].mean()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_mc_first_error_is_lowest_index_for_any_thread_count() {
+        for threads in [1usize, 2, 7] {
+            let (_, failures) = run_mc_threaded(40, 100, threads, |seed| {
+                if seed >= 117 {
+                    Err(format!("boom {seed}").into())
+                } else {
+                    Ok(vec![("ok".into(), 1.0)])
+                }
+            });
+            assert_eq!(failures.count, 23);
+            assert!(
+                failures
+                    .first_error
+                    .as_deref()
+                    .unwrap()
+                    .contains("boom 117"),
+                "threads = {threads}: {:?}",
+                failures.first_error
+            );
+        }
     }
 
     #[test]

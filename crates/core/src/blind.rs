@@ -1,5 +1,5 @@
 //! Group-blind repair of `s`-unlabelled archival data — the paper's
-//! priority future-work direction (Section VI; its refs [37]–[39]).
+//! priority future-work direction (Section VI; its refs \[37\]–\[39\]).
 //!
 //! Algorithm 1's artifacts already contain everything needed to handle a
 //! missing protected attribute: the interpolated marginals `µ_{u,s,k}`
@@ -16,7 +16,7 @@
 //! `ŝ ~ Bernoulli(Pr[s=0 | x, u])` per point and routes the point through
 //! the corresponding plan rows — marginally, the repaired distribution is
 //! the posterior mixture of the two `s`-conditional repairs, which is
-//! exactly the group-blind transport of Zhou & Marecek (paper ref [37])
+//! exactly the group-blind transport of Zhou & Marecek (paper ref \[37\])
 //! specialized to our discrete plans.
 
 use rand::Rng;

@@ -12,6 +12,23 @@ use crate::error::{RepairError, Result};
 // working.
 pub use otr_ot::solvers::backend::SolverBackend;
 
+/// How Algorithm 2 splits a plan row's mass over target states when a
+/// point is repaired (the Section IV-B design axis that
+/// `ablation_randomization` measures).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MassSplit {
+    /// The paper's randomized split: Bernoulli grid quantization
+    /// (Equation 14) followed by a multinomial draw from the normalized
+    /// plan row (Equation 15). Preserves the repaired marginal exactly.
+    #[default]
+    Randomized,
+    /// Deterministic variant: nearest grid cell, then the row's
+    /// barycentric projection (conditional mean). Repairs equal inputs
+    /// equally — individual-fairness friendly — at the cost of
+    /// collapsing each row's mass to a point.
+    Deterministic,
+}
+
 /// Configuration for [`crate::RepairPlanner`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RepairConfig {
@@ -32,6 +49,21 @@ pub struct RepairConfig {
     /// Sampling resolution of the barycentre quantile curve (`None` =
     /// automatic: `max(16 · nQ, 1024)`).
     pub barycentre_resolution: Option<usize>,
+    /// Worker threads for dataset-level repair, batch repair, and plan
+    /// design (`0` = auto: the `OTR_THREADS` environment variable if
+    /// set, else the machine's available parallelism). Parallel output
+    /// is bit-identical to sequential for every setting.
+    ///
+    /// Runtime policy, not part of the designed artifact: it is **not**
+    /// serialized into plan JSON (a design-time thread count must not
+    /// become the execution policy of every machine the plan ships to);
+    /// deserialized plans always start at `0` = auto.
+    #[serde(skip)]
+    pub threads: usize,
+    /// Mass-split mode of Algorithm 2 (randomized multinomial draws vs
+    /// deterministic barycentric projection).
+    #[serde(default)]
+    pub mass_split: MassSplit,
 }
 
 impl Default for RepairConfig {
@@ -43,6 +75,8 @@ impl Default for RepairConfig {
             solver: SolverBackend::ExactMonotone,
             min_group_size: 2,
             barycentre_resolution: None,
+            threads: 0,
+            mass_split: MassSplit::Randomized,
         }
     }
 }
@@ -147,9 +181,27 @@ mod tests {
             solver: SolverBackend::Sinkhorn { epsilon: 0.01 },
             min_group_size: 5,
             barycentre_resolution: Some(4096),
+            threads: 3,
+            mass_split: MassSplit::Deterministic,
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: RepairConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(c, back);
+        // `threads` is machine-local runtime policy and must NOT travel
+        // with the artifact; everything else round-trips.
+        assert_eq!(back.threads, 0);
+        assert_eq!(c, RepairConfig { threads: 3, ..back });
+    }
+
+    #[test]
+    fn threads_and_mass_split_default_when_absent() {
+        // Plans serialized before the parallel-execution fields existed
+        // must keep deserializing (the deployable-artifact contract).
+        let legacy = r#"{"n_q":50,"t":0.5,"bandwidth":"Silverman",
+            "solver":"ExactMonotone","min_group_size":2,
+            "barycentre_resolution":null}"#;
+        let back: RepairConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.threads, 0);
+        assert_eq!(back.mass_split, MassSplit::Randomized);
+        back.validate().unwrap();
     }
 }

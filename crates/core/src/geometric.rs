@@ -1,5 +1,5 @@
 //! The geometric (on-sample) repair baseline of Del Barrio, Gordaliza &
-//! Loubes — reference [10] of the paper, Equations (8)–(9).
+//! Loubes — reference \[10\] of the paper, Equations (8)–(9).
 //!
 //! Each research point is mapped point-wise toward the barycentre using
 //! the optimal coupling between the two **empirical** `s`-conditional

@@ -22,10 +22,12 @@
 //! trade-off the paper cites for its per-feature design. The
 //! `ablation_joint` experiment measures both sides.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
 use otr_ot::{CostMatrix, OtPlan, Solver1d as _, SolverBackend};
+use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
 use otr_stats::GaussianKde2d;
 
@@ -51,6 +53,9 @@ pub struct JointRepairConfig {
     /// [`SolverBackend::ExactMonotone`] is rejected at design time: the
     /// product support has no 1-D order.
     pub solver: Option<SolverBackend>,
+    /// Worker threads for stratum design and parallel dataset repair
+    /// (`0` = auto: `OTR_THREADS` env or available parallelism).
+    pub threads: usize,
 }
 
 impl Default for JointRepairConfig {
@@ -61,6 +66,7 @@ impl Default for JointRepairConfig {
             t: 0.5,
             min_group_size: 10,
             solver: None,
+            threads: 0,
         }
     }
 }
@@ -140,10 +146,12 @@ impl JointRepairPlan {
             });
         }
 
-        let mut strata = Vec::with_capacity(2);
-        for u in 0..2u8 {
-            strata.push(Self::design_stratum(research, u, &config)?);
-        }
+        // The two u-strata are independent (separate KDEs, barycentres,
+        // and Sinkhorn solves — the expensive part of joint design);
+        // design them concurrently with a deterministic error order.
+        let strata = try_par_map_indexed(2, config.threads, |u| {
+            Self::design_stratum(research, u as u8, &config)
+        })?;
         Ok(Self { config, strata })
     }
 
@@ -255,6 +263,13 @@ impl JointRepairPlan {
         self.config.n_q
     }
 
+    /// Retune the worker-thread count of a designed plan (deployment
+    /// knob; `0` = auto). Has no effect on repair output, only on
+    /// wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+    }
+
     /// Expected squared-Euclidean transport cost of the `(u, s)` plan —
     /// the design-time estimate of how far that subgroup's mass moves
     /// (a joint-repair damage diagnostic).
@@ -325,6 +340,22 @@ impl JointRepairPlan {
             .iter()
             .map(|p| self.repair_point(p, rng))
             .collect::<Result<Vec<_>>>()?;
+        Ok(Dataset::from_points(points)?)
+    }
+
+    /// Repair an entire data set jointly, in parallel, with per-row
+    /// SplitMix64 RNG streams derived from `seed` — the joint analogue
+    /// of [`crate::RepairPlan::repair_dataset_par`], bit-identical for
+    /// any `config.threads` setting.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches.
+    pub fn repair_dataset_par(&self, data: &Dataset, seed: u64) -> Result<Dataset> {
+        let pts = data.points();
+        let points = try_par_map_indexed(pts.len(), self.config.threads, |i| {
+            let mut rng = StdRng::seed_from_u64(splitmix_seed(seed, i as u64));
+            self.repair_point(&pts[i], &mut rng)
+        })?;
         Ok(Dataset::from_points(points)?)
     }
 }
@@ -541,6 +572,25 @@ mod tests {
         let mut cfg = JointRepairConfig::default();
         cfg.solver = Some(SolverBackend::Sinkhorn { epsilon: -0.5 });
         assert!(JointRepairPlan::design(&research, cfg).is_err());
+    }
+
+    #[test]
+    fn parallel_joint_repair_identical_across_thread_counts() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = spec.generate(400, 600, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 8; // keep the n_q² Sinkhorn solves cheap
+        let mut plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let mut reference: Option<Dataset> = None;
+        for threads in [1usize, 2, 7] {
+            plan.set_threads(threads);
+            let out = plan.repair_dataset_par(&split.archive, 11).unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(out.points(), r.points(), "threads = {threads}"),
+            }
+        }
     }
 
     #[test]

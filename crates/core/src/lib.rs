@@ -20,7 +20,7 @@
 //!   ([`RepairPlan::repair_dataset`]), and as a streaming
 //!   [`repair::StreamingRepairer`].
 //! * [`geometric`] — the on-sample **geometric repair** baseline of
-//!   Del Barrio et al. (reference [10]; Equations 8–9), against which
+//!   Del Barrio et al. (reference \[10\]; Equations 8–9), against which
 //!   Tables I and II compare.
 //! * [`damage`] — data-damage diagnostics (per-feature MSE and `W₂`
 //!   between pre- and post-repair marginals), quantifying the
@@ -51,7 +51,7 @@ pub mod plan;
 pub mod repair;
 
 pub use blind::GroupBlindRepairer;
-pub use config::{RepairConfig, SolverBackend};
+pub use config::{MassSplit, RepairConfig, SolverBackend};
 pub use continuous_u::{ContinuousUPoint, ContinuousURepairer};
 pub use damage::{dataset_damage, DamageReport};
 pub use error::RepairError;

@@ -16,15 +16,17 @@
 //! The designed [`RepairPlan`] is the paper's deployable artifact: `4·d`
 //! small matrices wholly independent of the archival data size.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
 use otr_ot::{quantile_barycentre, DiscreteDistribution, OtPlan, Solver1d as _};
+use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
 use otr_stats::kde::GaussianKde;
 
-use crate::config::RepairConfig;
+use crate::config::{MassSplit, RepairConfig};
 use crate::error::{RepairError, Result};
 
 /// The designed transport machinery for one `(u, k)` stratum.
@@ -100,6 +102,20 @@ impl FeaturePlan {
             && self.samplers[1].len() == self.plans[1].rows()
     }
 
+    /// The boundary clamp shared by every quantization mode: `Some(0)` /
+    /// `Some(n_q − 1)` for values at or beyond the research range
+    /// (Section V-A2a), `None` for values strictly inside the grid.
+    fn boundary_cell(&self, x: f64) -> Option<usize> {
+        let n_q = self.support.len();
+        if x <= self.support[0] || self.step() == 0.0 {
+            Some(0)
+        } else if x >= self.support[n_q - 1] {
+            Some(n_q - 1)
+        } else {
+            None
+        }
+    }
+
     /// Repair one feature value via Algorithm 2 (lines 5–9): quantize to
     /// the grid with the Bernoulli fractional trial of Equation (14), then
     /// draw the repaired state from the normalized plan row
@@ -122,16 +138,10 @@ impl FeaturePlan {
             ));
         }
         let n_q = self.support.len();
-        let lo = self.support[0];
-        let step = self.step();
 
         // Quantization with the fractional Bernoulli (Equation 14).
-        let q = if x <= lo || step == 0.0 {
-            0
-        } else if x >= self.support[n_q - 1] {
-            n_q - 1
-        } else {
-            let pos = (x - lo) / step;
+        let q = self.boundary_cell(x).unwrap_or_else(|| {
+            let pos = (x - self.support[0]) / self.step();
             let base = pos.floor();
             let tau = pos - base;
             let mut q = base as usize;
@@ -140,11 +150,35 @@ impl FeaturePlan {
                 q += 1;
             }
             q.min(n_q - 1)
-        };
+        });
 
         // Multinomial draw from the selected plan row (Equation 15).
         let j = self.samplers[s as usize][q].sample(rng);
         Ok(self.support[j])
+    }
+
+    /// Deterministic mass-split variant of [`Self::repair_value`]
+    /// ([`MassSplit::Deterministic`]): nearest grid cell (no Bernoulli),
+    /// then the row's barycentric projection (conditional mean, no
+    /// multinomial). Equal inputs repair equally.
+    ///
+    /// # Errors
+    /// Requires `s ∈ {0,1}`.
+    pub fn repair_value_deterministic(&self, s: u8, x: f64) -> Result<f64> {
+        if s > 1 {
+            return Err(RepairError::PlanMismatch(format!(
+                "label s={s} outside {{0,1}}"
+            )));
+        }
+        let n_q = self.support.len();
+        let q = self.boundary_cell(x).unwrap_or_else(|| {
+            ((((x - self.support[0]) / self.step()) + 0.5).floor() as usize).min(n_q - 1)
+        });
+        // A compiled plan row always carries mass, so the projection is
+        // defined; fall back to the cell's own state defensively.
+        Ok(self.plans[s as usize]
+            .barycentric_projection(q, &self.support)
+            .unwrap_or(self.support[q]))
     }
 }
 
@@ -180,7 +214,8 @@ impl RepairPlan {
     }
 
     /// Repair one feature value of a labelled observation (Algorithm 2
-    /// inner loop).
+    /// inner loop), splitting row mass per the design-time
+    /// [`MassSplit`] mode (`rng` is untouched in deterministic mode).
     ///
     /// # Errors
     /// Same domain requirements as [`Self::feature_plan`].
@@ -192,7 +227,34 @@ impl RepairPlan {
         x: f64,
         rng: &mut R,
     ) -> Result<f64> {
-        self.feature_plan(u, k)?.repair_value(s, x, rng)
+        let fp = self.feature_plan(u, k)?;
+        match self.config.mass_split {
+            MassSplit::Randomized => fp.repair_value(s, x, rng),
+            MassSplit::Deterministic => fp.repair_value_deterministic(s, x),
+        }
+    }
+
+    /// Check that a point is repairable by this plan (dimension and
+    /// binary labels) without repairing it — the cheap pre-validation
+    /// batch entry points run before consuming any randomness.
+    ///
+    /// # Errors
+    /// Rejects dimension/label mismatches.
+    pub fn repair_point_domain(&self, point: &LabelledPoint) -> Result<()> {
+        if point.x.len() != self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "point dimension {} vs plan dimension {}",
+                point.x.len(),
+                self.dim
+            )));
+        }
+        if point.u > 1 || point.s > 1 {
+            return Err(RepairError::PlanMismatch(format!(
+                "labels (s={}, u={}) outside {{0,1}}",
+                point.s, point.u
+            )));
+        }
+        Ok(())
     }
 
     /// Repair a full labelled point (all features).
@@ -228,13 +290,7 @@ impl RepairPlan {
     /// # Errors
     /// Rejects dimension mismatches.
     pub fn repair_dataset<R: Rng + ?Sized>(&self, data: &Dataset, rng: &mut R) -> Result<Dataset> {
-        if data.dim() != self.dim {
-            return Err(RepairError::PlanMismatch(format!(
-                "dataset dimension {} vs plan dimension {}",
-                data.dim(),
-                self.dim
-            )));
-        }
+        self.check_dim(data)?;
         let mut points = Vec::with_capacity(data.len());
         for p in data.points() {
             points.push(self.repair_point(p, rng)?);
@@ -279,6 +335,105 @@ impl RepairPlan {
         Ok(Dataset::from_points(points)?)
     }
 
+    /// Repair row `i` of a dataset under the per-row RNG stream
+    /// contract: row `i` always draws from
+    /// `StdRng::seed_from_u64(splitmix_seed(seed, i))`, whatever thread
+    /// executes it. This is the unit of work shared by the sequential
+    /// and parallel dataset entry points, which is what makes their
+    /// outputs bit-identical.
+    fn repair_point_stream(
+        &self,
+        seed: u64,
+        i: usize,
+        point: &LabelledPoint,
+    ) -> Result<LabelledPoint> {
+        let mut rng = StdRng::seed_from_u64(splitmix_seed(seed, i as u64));
+        self.repair_point(point, &mut rng)
+    }
+
+    /// Repair an entire data set in parallel with per-row SplitMix64 RNG
+    /// streams derived from `seed`. Output is **bit-identical for any
+    /// thread count** (including 1) and equal to
+    /// [`Self::repair_dataset_seeded`]; threads come from
+    /// `config.threads` (`0` = auto / `OTR_THREADS`).
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches.
+    pub fn repair_dataset_par(&self, data: &Dataset, seed: u64) -> Result<Dataset> {
+        self.check_dim(data)?;
+        let pts = data.points();
+        let points = try_par_map_indexed(pts.len(), self.config.threads, |i| {
+            self.repair_point_stream(seed, i, &pts[i])
+        })?;
+        Ok(Dataset::from_points(points)?)
+    }
+
+    /// Sequential reference implementation of the per-row-stream repair
+    /// contract: exactly [`Self::repair_dataset_par`] on one thread.
+    /// Exposed so tests and benches can prove bit-identity and measure
+    /// speedup against a genuinely single-threaded baseline.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches.
+    pub fn repair_dataset_seeded(&self, data: &Dataset, seed: u64) -> Result<Dataset> {
+        self.check_dim(data)?;
+        let mut points = Vec::with_capacity(data.len());
+        for (i, p) in data.points().iter().enumerate() {
+            points.push(self.repair_point_stream(seed, i, p)?);
+        }
+        Ok(Dataset::from_points(points)?)
+    }
+
+    /// Parallel partial repair: per-row streams as in
+    /// [`Self::repair_dataset_par`], then the feature-space geodesic
+    /// interpolation of [`Self::repair_dataset_partial`], fused into one
+    /// pass over the data.
+    ///
+    /// # Errors
+    /// Requires `λ ∈ [0,1]`; rejects dimension mismatches.
+    pub fn repair_dataset_partial_par(
+        &self,
+        data: &Dataset,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<Dataset> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(RepairError::InvalidParameter {
+                name: "lambda",
+                reason: format!("must be in [0,1], got {lambda}"),
+            });
+        }
+        self.check_dim(data)?;
+        let pts = data.points();
+        let points = try_par_map_indexed(pts.len(), self.config.threads, |i| {
+            let orig = &pts[i];
+            let rep = self.repair_point_stream(seed, i, orig)?;
+            let x = orig
+                .x
+                .iter()
+                .zip(&rep.x)
+                .map(|(o, r)| (1.0 - lambda) * o + lambda * r)
+                .collect();
+            Ok::<_, RepairError>(LabelledPoint {
+                x,
+                s: orig.s,
+                u: orig.u,
+            })
+        })?;
+        Ok(Dataset::from_points(points)?)
+    }
+
+    fn check_dim(&self, data: &Dataset) -> Result<()> {
+        if data.dim() != self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "dataset dimension {} vs plan dimension {}",
+                data.dim(),
+                self.dim
+            )));
+        }
+        Ok(())
+    }
+
     /// Serialize the plan to JSON (the deployable artifact).
     ///
     /// # Errors
@@ -320,22 +475,24 @@ impl RepairPlanner {
 
     /// Design the full repair plan from the research data set `X_R`
     /// (Algorithm 1). Deterministic: no randomness is involved at design
-    /// time.
+    /// time, and the independent `(u, k)` strata are designed
+    /// concurrently (`config.threads`; `0` = auto / `OTR_THREADS`)
+    /// with identical output for any thread count.
     ///
     /// # Errors
     /// * [`RepairError::InsufficientResearchData`] when an `(u, s)` group
     ///   has fewer than `min_group_size` points.
     /// * Degenerate-feature errors when a group's feature has zero spread
     ///   (no KDE bandwidth / zero-width support).
+    ///
+    /// With several invalid strata, the reported error is the one a
+    /// sequential `u`-major sweep would hit first.
     pub fn design(&self, research: &Dataset) -> Result<RepairPlan> {
         self.config.validate()?;
         let d = research.dim();
-        let mut features = Vec::with_capacity(2 * d);
-        for u in 0..2u8 {
-            for k in 0..d {
-                features.push(self.design_feature(research, u, k)?);
-            }
-        }
+        let features = try_par_map_indexed(2 * d, self.config.threads, |idx| {
+            self.design_feature(research, (idx / d) as u8, idx % d)
+        })?;
         Ok(RepairPlan {
             config: self.config,
             dim: d,
@@ -651,6 +808,81 @@ mod tests {
         for (a, b) in vals_a.iter().zip(&vals_b) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn parallel_repair_bit_identical_across_thread_counts() {
+        let data = research(20, 400);
+        let archive = research(21, 1_000);
+        let mut reference: Option<Dataset> = None;
+        for threads in [1usize, 2, 7] {
+            let mut cfg = RepairConfig::with_n_q(30);
+            cfg.threads = threads;
+            let plan = RepairPlanner::new(cfg).design(&data).unwrap();
+            let par = plan.repair_dataset_par(&archive, 99).unwrap();
+            // Parallel equals the sequential per-row-stream reference...
+            let seq = plan.repair_dataset_seeded(&archive, 99).unwrap();
+            assert_eq!(par.points(), seq.points(), "threads = {threads}");
+            // ...and every thread count produces the same bytes.
+            match &reference {
+                None => reference = Some(par),
+                Some(r) => assert_eq!(par.points(), r.points(), "threads = {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_design_matches_sequential_design() {
+        let data = research(22, 500);
+        let mut seq_cfg = RepairConfig::with_n_q(40);
+        seq_cfg.threads = 1;
+        let mut par_cfg = seq_cfg;
+        par_cfg.threads = 5;
+        let a = RepairPlanner::new(seq_cfg).design(&data).unwrap();
+        let b = RepairPlanner::new(par_cfg).design(&data).unwrap();
+        // Feature plans are identical; only the threads knob differs.
+        assert_eq!(a.feature_plans(), b.feature_plans());
+    }
+
+    #[test]
+    fn deterministic_mass_split_is_rng_independent() {
+        let data = research(23, 400);
+        let mut cfg = RepairConfig::with_n_q(30);
+        cfg.mass_split = MassSplit::Deterministic;
+        let plan = RepairPlanner::new(cfg).design(&data).unwrap();
+        let archive = research(24, 500);
+        let a = plan
+            .repair_dataset(&archive, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let b = plan
+            .repair_dataset(&archive, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert_eq!(a.points(), b.points(), "deterministic split used the RNG");
+        // The parallel path agrees whatever the seed.
+        let par = plan.repair_dataset_par(&archive, 7).unwrap();
+        assert_eq!(par.points(), a.points());
+        // Equal inputs repair equally (individual-fairness property).
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = plan.repair_value(0, 1, 0, 0.25, &mut rng).unwrap();
+        let y = plan.repair_value(0, 1, 0, 0.25, &mut rng).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn partial_par_interpolates_and_matches_full_repair() {
+        let data = research(25, 400);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(30))
+            .design(&data)
+            .unwrap();
+        let archive = research(26, 300);
+        let zero = plan.repair_dataset_partial_par(&archive, 0.0, 9).unwrap();
+        for (a, b) in zero.points().iter().zip(archive.points()) {
+            assert_eq!(a.x, b.x);
+        }
+        let one = plan.repair_dataset_partial_par(&archive, 1.0, 9).unwrap();
+        let full = plan.repair_dataset_par(&archive, 9).unwrap();
+        assert_eq!(one.points(), full.points());
+        assert!(plan.repair_dataset_partial_par(&archive, -0.1, 9).is_err());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! further reference to the research data.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use otr_data::LabelledPoint;
+use otr_par::{splitmix_seed, try_par_map_indexed};
 
 use crate::error::Result;
 use crate::plan::RepairPlan;
@@ -59,27 +60,51 @@ impl StreamingRepairer {
     /// # Errors
     /// Same requirements as [`RepairPlan::repair_point`].
     pub fn repair(&mut self, point: &LabelledPoint) -> Result<LabelledPoint> {
-        // Count out-of-range features before repairing.
-        for (k, &v) in point.x.iter().enumerate() {
-            if let Ok(fp) = self.plan.feature_plan(point.u, k) {
-                let lo = fp.support[0];
-                let hi = fp.support[fp.support.len() - 1];
-                if v < lo || v > hi {
-                    self.stats.out_of_range += 1;
-                }
-            }
-        }
+        let oob = out_of_range_features(&self.plan, point);
         let repaired = self.plan.repair_point(point, &mut self.rng)?;
+        self.stats.out_of_range += oob;
         self.stats.repaired += 1;
         Ok(repaired)
     }
 
     /// Repair a batch, returning repaired points in order.
     ///
+    /// The batch is repaired in parallel (`plan.config.threads`; `0` =
+    /// auto / `OTR_THREADS`): the owned RNG is advanced **once** to
+    /// derive a batch seed, and every point then draws from its own
+    /// SplitMix64 stream, so the output is a pure function of the
+    /// repairer's seed, the batches pushed so far, and the batch
+    /// contents — bit-identical for any thread count.
+    ///
     /// # Errors
-    /// Fails atomically on the first invalid point.
+    /// Fails atomically on the first invalid point (by batch order):
+    /// stream statistics **and the owned RNG** are untouched on failure,
+    /// and an empty batch is a strict no-op, so a caller that drops a
+    /// bad batch and retries stays on the same random stream.
     pub fn repair_batch(&mut self, points: &[LabelledPoint]) -> Result<Vec<LabelledPoint>> {
-        points.iter().map(|p| self.repair(p)).collect()
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate the whole batch (cheap label/dimension checks) before
+        // consuming any randomness — atomicity of the RNG stream.
+        for p in points {
+            self.plan.repair_point_domain(p)?;
+        }
+        let batch_seed = self.rng.next_u64();
+        let plan = &self.plan;
+        let repaired = try_par_map_indexed(points.len(), plan.config.threads, |i| {
+            let p = &points[i];
+            let oob = out_of_range_features(plan, p);
+            let mut rng = StdRng::seed_from_u64(splitmix_seed(batch_seed, i as u64));
+            plan.repair_point(p, &mut rng).map(|r| (r, oob))
+        })?;
+        let mut out = Vec::with_capacity(repaired.len());
+        for (r, oob) in repaired {
+            self.stats.repaired += 1;
+            self.stats.out_of_range += oob;
+            out.push(r);
+        }
+        Ok(out)
     }
 
     /// Fraction of feature values seen so far that were out of range.
@@ -89,6 +114,22 @@ impl StreamingRepairer {
         }
         self.stats.out_of_range as f64 / (self.stats.repaired as f64 * self.plan.dim as f64)
     }
+}
+
+/// Feature values of `point` outside the plan's support range (they will
+/// be clamped to boundary states at repair time — the stationarity
+/// warning sign of Section V-A2a). The single definition behind both the
+/// point-wise and batch stream counters.
+fn out_of_range_features(plan: &RepairPlan, point: &LabelledPoint) -> u64 {
+    point
+        .x
+        .iter()
+        .enumerate()
+        .filter(|&(k, &v)| {
+            plan.feature_plan(point.u, k)
+                .is_ok_and(|fp| v < fp.support[0] || v > fp.support[fp.support.len() - 1])
+        })
+        .count() as u64
 }
 
 #[cfg(test)]
@@ -154,6 +195,44 @@ mod tests {
             .repair_batch(&points)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failed_or_empty_batch_leaves_rng_untouched() {
+        let (plan, points) = setup();
+        let bad = LabelledPoint {
+            x: vec![0.0],
+            s: 0,
+            u: 0,
+        };
+        let mut poisoned = StreamingRepairer::new(plan.clone(), 42);
+        assert!(poisoned.repair_batch(&[]).unwrap().is_empty());
+        assert!(poisoned.repair_batch(std::slice::from_ref(&bad)).is_err());
+        assert_eq!(poisoned.stats().repaired, 0);
+        // After dropping the bad batch, the stream continues exactly as
+        // if the failure never happened.
+        let out_after_failure = poisoned.repair_batch(&points).unwrap();
+        let out_fresh = StreamingRepairer::new(plan, 42)
+            .repair_batch(&points)
+            .unwrap();
+        assert_eq!(out_after_failure, out_fresh);
+    }
+
+    #[test]
+    fn batch_identical_across_thread_counts() {
+        let (plan, points) = setup();
+        let mut reference: Option<Vec<LabelledPoint>> = None;
+        for threads in [1usize, 2, 7] {
+            let mut plan = plan.clone();
+            plan.config.threads = threads;
+            let out = StreamingRepairer::new(plan, 42)
+                .repair_batch(&points)
+                .unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "threads = {threads}"),
+            }
+        }
     }
 
     #[test]

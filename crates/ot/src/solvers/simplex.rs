@@ -2,7 +2,7 @@
 //! transportation-simplex with MODI (u–v potential) pricing.
 //!
 //! This is the `O(nQ³ log nQ)`-class exact solver the paper cites for
-//! unregularized OT (Section IV-A1, refs [13], [32]). In this workspace it
+//! unregularized OT (Section IV-A1, refs \[13\], \[32\]). In this workspace it
 //! serves as (i) the ground-truth oracle against which the 1-D monotone
 //! solver and Sinkhorn are property-tested, and (ii) the solver for
 //! multi-dimensional cost structures where the monotone shortcut does not

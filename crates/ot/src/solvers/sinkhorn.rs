@@ -1,5 +1,5 @@
 //! Entropic-regularized optimal transport: the Sinkhorn–Knopp algorithm
-//! (Cuturi 2013, the paper's reference [35]), implemented in the log
+//! (Cuturi 2013, the paper's reference \[35\]), implemented in the log
 //! domain for numerical stability at small regularization `ε`.
 //!
 //! Section IV-A1 of the paper contrasts unregularized OT's

@@ -1,0 +1,272 @@
+//! # otr-par — deterministic scoped parallelism for the repair pipeline
+//!
+//! Every hot loop in the workspace (archival repair, plan design,
+//! Monte-Carlo replication) is an embarrassingly parallel map over an
+//! index range whose output must be **bit-identical for any thread
+//! count**: reproducibility of the paper's tables is non-negotiable, so
+//! parallelism may change wall-clock time and nothing else.
+//!
+//! The executor is therefore deliberately *work-stealing-free*: an index
+//! range `0..n` is split into at most `threads` contiguous chunks of
+//! near-equal size, one scoped thread per chunk, and chunk results are
+//! reassembled **in chunk order** on the calling thread. Determinism
+//! falls out of the structure — no locks, no atomics, no arrival-order
+//! merges — and the only building block is [`std::thread::scope`], so
+//! the workspace's offline `vendor/` policy is untouched.
+//!
+//! Randomized maps get determinism from [`splitmix_seed`]: derive an
+//! independent RNG stream per item from a base seed, so item `i` draws
+//! the same randomness whether it runs on thread 0 of 1 or thread 6
+//! of 7.
+//!
+//! Thread count resolution (everywhere in the workspace): an explicit
+//! request wins; `0` means "auto" — the `OTR_THREADS` environment
+//! variable if set and positive, else [`std::thread::available_parallelism`].
+
+use std::ops::Range;
+
+/// Environment variable overriding the auto thread count.
+pub const THREADS_ENV: &str = "OTR_THREADS";
+
+/// Resolve a requested thread count: `requested > 0` is taken verbatim;
+/// `0` means auto (`OTR_THREADS` env if set and positive, else
+/// [`std::thread::available_parallelism`], else 4).
+pub fn thread_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// The `stream`-th output of a SplitMix64 sequence seeded at `base` —
+/// the canonical way to derive independent per-item RNG seeds from one
+/// base seed. Adjacent streams are decorrelated by the full 64-bit
+/// finalizer, unlike naive `base + i` seeding.
+pub fn splitmix_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Split `0..n` into at most `chunks` contiguous, near-equal, non-empty
+/// ranges covering the whole index space in order.
+fn chunk_bounds(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1).min(n);
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `worker` over the chunked index range on scoped threads and
+/// return the per-chunk results **in chunk order**. The single-chunk
+/// case runs inline on the caller (no spawn overhead for tiny inputs or
+/// `threads = 1`). Worker panics propagate to the caller.
+fn run_chunked<R: Send>(
+    n: usize,
+    threads: usize,
+    worker: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    let bounds = chunk_bounds(n, thread_count(threads));
+    if bounds.len() <= 1 {
+        return bounds.into_iter().map(worker).collect();
+    }
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|range| scope.spawn(move || worker(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Parallel indexed map: `out[i] = f(i)` for `i in 0..n`, computed on up
+/// to `threads` scoped threads (`0` = auto). Output order and content
+/// are identical for every thread count.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut chunks = run_chunked(n, threads, |range| range.map(&f).collect::<Vec<T>>());
+    if chunks.len() == 1 {
+        return chunks.pop().unwrap(); // skip the reassembly copy
+    }
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Fallible parallel indexed map. On success returns `out[i] = f(i)` in
+/// index order; on failure returns the error of the **lowest failing
+/// index** (each chunk stops at its first error, and chunks cover the
+/// index space in order), matching what a sequential loop would report.
+pub fn try_par_map_indexed<T, E, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let mut chunks = run_chunked(n, threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for i in range {
+            match f(i) {
+                Ok(v) => out.push(v),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    });
+    if chunks.len() == 1 {
+        return chunks.pop().unwrap(); // skip the reassembly copy
+    }
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+/// Parallel chunked fold: split `items` into at most `threads` contiguous
+/// chunks and apply `f(chunk_start, chunk)` to each, returning the
+/// per-chunk results in chunk order. This is the primitive for maps that
+/// want thread-local accumulation (e.g. Monte-Carlo statistics merged
+/// exactly once per chunk) rather than per-item output.
+pub fn par_chunks<I, R, F>(items: &[I], threads: usize, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &[I]) -> R + Sync,
+{
+    run_chunked(items.len(), threads, |range| f(range.start, &items[range]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_range_in_order() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for chunks in [1usize, 2, 3, 7, 64] {
+                let bounds = chunk_bounds(n, chunks);
+                let mut expect = 0;
+                for b in &bounds {
+                    assert_eq!(b.start, expect);
+                    assert!(!b.is_empty());
+                    expect = b.end;
+                }
+                assert_eq!(expect, n);
+                if n > 0 {
+                    assert!(bounds.len() <= chunks);
+                    let lens: Vec<usize> = bounds.iter().map(|b| b.len()).collect();
+                    let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(mx - mn <= 1, "unbalanced chunks: {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_identical_across_thread_counts() {
+        let reference: Vec<u64> = (0..257).map(|i| splitmix_seed(42, i as u64)).collect();
+        for threads in [1usize, 2, 3, 7, 16] {
+            let got = par_map_indexed(257, threads, |i| splitmix_seed(42, i as u64));
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 8, |i| i * 10), vec![0]);
+        assert_eq!(par_map_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_failing_index() {
+        for threads in [1usize, 2, 7] {
+            let r: Result<Vec<usize>, usize> = try_par_map_indexed(100, threads, |i| {
+                if i == 13 || i == 77 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(r.unwrap_err(), 13, "threads = {threads}");
+        }
+        let ok: Result<Vec<usize>, ()> = try_par_map_indexed(10, 3, Ok);
+        assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_sees_every_item_once_in_order() {
+        let items: Vec<usize> = (0..101).collect();
+        for threads in [1usize, 2, 5, 13] {
+            let chunks = par_chunks(&items, threads, |start, chunk| (start, chunk.to_vec()));
+            let mut rebuilt = Vec::new();
+            let mut expect_start = 0;
+            for (start, chunk) in chunks {
+                assert_eq!(start, expect_start);
+                expect_start = start + chunk.len();
+                rebuilt.extend(chunk);
+            }
+            assert_eq!(rebuilt, items, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn splitmix_streams_differ_and_are_stable() {
+        let a = splitmix_seed(7, 0);
+        assert_eq!(a, splitmix_seed(7, 0));
+        assert_ne!(a, splitmix_seed(7, 1));
+        assert_ne!(a, splitmix_seed(8, 0));
+        // Adjacent streams should differ in roughly half their bits.
+        let diff = (splitmix_seed(7, 1) ^ splitmix_seed(7, 2)).count_ones();
+        assert!((16..=48).contains(&diff), "weak mixing: {diff} bits");
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert_eq!(thread_count(3), 3);
+        // Auto must be positive whatever the environment says.
+        assert!(thread_count(0) >= 1);
+    }
+
+    #[test]
+    fn env_var_overrides_auto() {
+        // Serial within this one test; other tests only use explicit
+        // thread counts, so no cross-test env races.
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(thread_count(0), 5);
+        assert_eq!(thread_count(2), 2); // explicit still wins
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(thread_count(0) >= 1);
+        std::env::remove_var(THREADS_ENV);
+    }
+}

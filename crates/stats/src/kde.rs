@@ -3,7 +3,7 @@
 //! Algorithm 1 interpolates each `(u,s)`-conditional empirical marginal
 //! onto a uniform support `Q` by evaluating a Gaussian KDE at the grid
 //! points and normalizing the result into a pmf. The bandwidth defaults to
-//! Silverman's rule of thumb (reference [31] of the paper).
+//! Silverman's rule of thumb (reference \[31\] of the paper).
 
 use serde::{Deserialize, Serialize};
 

@@ -21,9 +21,6 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use ot_fair_repair::prelude::*;
 
 fn main() -> ExitCode {
@@ -54,11 +51,14 @@ fn print_usage() {
          USAGE:\n\
            otrepair design   --research <csv> --out <plan.json> [--nq N] [--t T]\n\
                              [--solver exact|simplex|sinkhorn:<eps>] [--min-group N]\n\
+                             [--threads N]\n\
            otrepair apply    --plan <plan.json> --data <csv> --out <csv>\n\
-                             [--seed N] [--partial LAMBDA] [--monge]\n\
+                             [--seed N] [--partial LAMBDA] [--monge] [--threads N]\n\
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
          \n\
-         CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features."
+         CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features.\n\
+         --threads 0 (default) = auto: OTR_THREADS env or available cores.\n\
+         Repair output is bit-identical for any thread count at a given --seed."
     );
 }
 
@@ -102,6 +102,9 @@ fn cmd_design(args: &[String]) -> CliResult {
         // crate's unified solver seam.
         config.solver = solver.parse::<SolverBackend>()?;
     }
+    if let Some(threads) = opt(args, "--threads") {
+        config.threads = threads.parse()?;
+    }
 
     let research = load_dataset(research_path)?;
     eprintln!(
@@ -131,7 +134,12 @@ fn cmd_apply(args: &[String]) -> CliResult {
 
     let blob =
         std::fs::read_to_string(plan_path).map_err(|e| format!("cannot read {plan_path}: {e}"))?;
-    let plan = RepairPlan::from_json(&blob)?;
+    let mut plan = RepairPlan::from_json(&blob)?;
+    if let Some(threads) = opt(args, "--threads") {
+        // Deployment-side override of the design-time thread count; the
+        // repaired bytes depend only on --seed, never on this.
+        plan.config.threads = threads.parse()?;
+    }
     let data = load_dataset(data_path)?;
     eprintln!(
         "repairing {} points through {} ({} mode)",
@@ -146,10 +154,11 @@ fn cmd_apply(args: &[String]) -> CliResult {
         }
         MongeRepair::from_plan(&plan).repair_dataset(&data)?
     } else {
-        let mut rng = StdRng::seed_from_u64(seed);
+        // Per-row SplitMix64 streams: parallel, and bit-identical for
+        // any thread count at a given seed.
         match partial {
-            Some(lambda) => plan.repair_dataset_partial(&data, lambda, &mut rng)?,
-            None => plan.repair_dataset(&data, &mut rng)?,
+            Some(lambda) => plan.repair_dataset_partial_par(&data, lambda, seed)?,
+            None => plan.repair_dataset_par(&data, seed)?,
         }
     };
 

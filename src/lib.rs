@@ -53,8 +53,8 @@ pub use otr_stats as stats;
 pub mod prelude {
     pub use otr_core::{
         dataset_damage, ContinuousUPoint, ContinuousURepairer, DamageReport, GeometricRepair,
-        GroupBlindRepairer, JointRepairConfig, JointRepairPlan, MongeRepair, RepairConfig,
-        RepairPlan, RepairPlanner, SolverBackend, StreamingRepairer,
+        GroupBlindRepairer, JointRepairConfig, JointRepairPlan, MassSplit, MongeRepair,
+        RepairConfig, RepairPlan, RepairPlanner, SolverBackend, StreamingRepairer,
     };
     pub use otr_data::{AdultSynth, Dataset, GroupKey, LabelledPoint, SimulationSpec, SplitData};
     pub use otr_fairness::{

@@ -136,6 +136,55 @@ fn apply_monge_mode_and_partial_conflict() {
 }
 
 #[test]
+fn apply_output_identical_for_any_thread_count() {
+    let dir = tmp_dir("threads");
+    let (research, archive) = write_csvs(&dir, 3);
+    let plan = dir.join("plan.json").to_string_lossy().into_owned();
+
+    assert!(Command::new(bin())
+        .args([
+            "design",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--nq",
+            "30"
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "7"] {
+        let out = dir
+            .join(format!("repaired-t{threads}.csv"))
+            .to_string_lossy()
+            .into_owned();
+        assert!(Command::new(bin())
+            .args([
+                "apply",
+                "--plan",
+                &plan,
+                "--data",
+                &archive,
+                "--out",
+                &out,
+                "--seed",
+                "11",
+                "--threads",
+                threads,
+            ])
+            .status()
+            .unwrap()
+            .success());
+        outputs.push(std::fs::read(&out).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 threads");
+    assert_eq!(outputs[0], outputs[2], "1 vs 7 threads");
+}
+
+#[test]
 fn helpful_errors_for_bad_inputs() {
     let unknown = Command::new(bin()).args(["frobnicate"]).output().unwrap();
     assert!(!unknown.status.success());

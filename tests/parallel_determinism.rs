@@ -1,0 +1,99 @@
+//! The parallel-execution determinism contract, end to end through the
+//! facade: `repair_dataset` output is **byte-identical** (compared at
+//! the f64 bit level) across `OTR_THREADS` ∈ {1, 2, 7} and equal to the
+//! sequential path, for both the randomized and the deterministic
+//! mass-split configurations.
+
+use ot_fair_repair::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Dataset, Dataset) {
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = spec.generate(400, 1_200, &mut rng).unwrap();
+    (split.research, split.archive)
+}
+
+/// Exact byte image of a dataset's feature values (f64 `==` would also
+/// accept `-0.0 == 0.0`; the contract is stronger).
+fn byte_image(data: &Dataset) -> Vec<u64> {
+    data.points()
+        .iter()
+        .flat_map(|p| p.x.iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// The satellite contract, verbatim: vary the `OTR_THREADS` environment
+/// variable (auto mode), byte-compare against the sequential reference.
+/// All env mutation lives in this single test; the sibling test uses
+/// explicit thread counts, so the two cannot race.
+#[test]
+fn byte_identical_across_otr_threads_env_for_both_mass_splits() {
+    let (research, archive) = setup();
+    for mass_split in [MassSplit::Randomized, MassSplit::Deterministic] {
+        let mut cfg = RepairConfig::with_n_q(40);
+        cfg.mass_split = mass_split;
+        cfg.threads = 0; // auto: defer to OTR_THREADS
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in ["1", "2", "7"] {
+            std::env::set_var("OTR_THREADS", threads);
+            let plan = RepairPlanner::new(cfg).design(&research).unwrap();
+            let par = plan.repair_dataset_par(&archive, 42).unwrap();
+            let seq = plan.repair_dataset_seeded(&archive, 42).unwrap();
+            let par_bytes = byte_image(&par);
+            assert_eq!(
+                par_bytes,
+                byte_image(&seq),
+                "parallel != sequential ({mass_split:?}, OTR_THREADS={threads})"
+            );
+            match &reference {
+                None => reference = Some(par_bytes),
+                Some(r) => assert_eq!(
+                    &par_bytes, r,
+                    "thread-count-dependent output ({mass_split:?}, OTR_THREADS={threads})"
+                ),
+            }
+        }
+        std::env::remove_var("OTR_THREADS");
+    }
+}
+
+/// Same contract driven through `RepairConfig::threads` (the CLI's
+/// `--threads` path) instead of the environment.
+#[test]
+fn byte_identical_across_explicit_thread_counts() {
+    let (research, archive) = setup();
+    for mass_split in [MassSplit::Randomized, MassSplit::Deterministic] {
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 7] {
+            let mut cfg = RepairConfig::with_n_q(40);
+            cfg.mass_split = mass_split;
+            cfg.threads = threads;
+            let plan = RepairPlanner::new(cfg).design(&research).unwrap();
+            let out = byte_image(&plan.repair_dataset_par(&archive, 7).unwrap());
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "({mass_split:?}, threads={threads})"),
+            }
+        }
+    }
+}
+
+/// The partial-repair geodesic rides the same per-row streams, so the
+/// same invariance holds along λ.
+#[test]
+fn partial_repair_byte_identical_across_thread_counts() {
+    let (research, archive) = setup();
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 7] {
+        let mut cfg = RepairConfig::with_n_q(30);
+        cfg.threads = threads;
+        let plan = RepairPlanner::new(cfg).design(&research).unwrap();
+        let out = byte_image(&plan.repair_dataset_partial_par(&archive, 0.4, 13).unwrap());
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "threads={threads}"),
+        }
+    }
+}

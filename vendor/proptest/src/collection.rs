@@ -4,7 +4,7 @@ use crate::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Acceptable size arguments for [`vec`]: a fixed size or a range.
+/// Acceptable size arguments for [`vec()`](fn@vec): a fixed size or a range.
 pub trait IntoSizeRange {
     /// Draw a concrete length.
     fn pick(&self, rng: &mut StdRng) -> usize;
@@ -34,7 +34,7 @@ pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S,
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S, Z> {
     element: S,
     size: Z,
