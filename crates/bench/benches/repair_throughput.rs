@@ -14,11 +14,18 @@
 //! * default (`cargo bench --bench repair_throughput`) — criterion
 //!   groups: throughput vs `nQ`, plan-design cost vs `nQ`, and
 //!   sequential-vs-parallel dataset repair on a 100k-row archive;
-//! * `--quick` — the CI perf-smoke gate: one timed
-//!   sequential-vs-parallel comparison on a ≥100k-row synthetic archive
-//!   (bit-identity asserted), written to `BENCH_throughput.json`. If
-//!   `OTR_BENCH_BASELINE` names a committed baseline JSON, exits
-//!   non-zero when either throughput regresses more than 25%.
+//! * `--quick` — the CI perf-smoke gate, three legs written to JSON
+//!   and (when `OTR_BENCH_BASELINE` names the committed baseline)
+//!   gated at a 25% regression margin:
+//!   1. **archival throughput** (`BENCH_throughput.json`): sequential
+//!      vs parallel repair of a ≥100k-row synthetic archive,
+//!      bit-identity asserted;
+//!   2. **plan design** (`BENCH_plan_design.json`): Algorithm-1 design
+//!      rate at `nQ = 50`;
+//!   3. **joint repair** (`BENCH_joint.json`): `nQ = 24` joint
+//!      design + repair under `OTR_THREADS=1` vs `OTR_THREADS=4`,
+//!      byte-identity asserted — the in-kernel (Sinkhorn/barycentre)
+//!      parallelism leg.
 
 use std::time::Instant;
 
@@ -27,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use otr_core::{RepairConfig, RepairPlan, RepairPlanner};
+use otr_core::{JointRepairConfig, JointRepairPlan, RepairConfig, RepairPlan, RepairPlanner};
 use otr_data::{Dataset, SimulationSpec};
 
 fn bench_repair(c: &mut Criterion) {
@@ -95,8 +102,7 @@ criterion_group! {
     targets = bench_repair, bench_parallel
 }
 
-/// The machine-readable result of one `--quick` run; `ci/bench_baseline.json`
-/// is a (conservatively scaled) copy of this structure.
+/// The archival-throughput leg of one `--quick` run.
 #[derive(Debug, Serialize, Deserialize)]
 struct ThroughputReport {
     rows: usize,
@@ -109,6 +115,40 @@ struct ThroughputReport {
     speedup: f64,
 }
 
+/// The plan-design leg: Algorithm-1 strata design rate.
+#[derive(Debug, Serialize, Deserialize)]
+struct PlanDesignReport {
+    n_q: usize,
+    research_rows: usize,
+    design_secs: f64,
+    designs_per_sec: f64,
+}
+
+/// The joint-repair leg: `nQ⁴`-cell in-kernel parallelism,
+/// design + repair under `OTR_THREADS=1` vs `OTR_THREADS=4`.
+#[derive(Debug, Serialize, Deserialize)]
+struct JointRepairReport {
+    n_q: usize,
+    research_rows: usize,
+    archive_rows: usize,
+    epsilon: f64,
+    /// Worker threads the runner could actually use.
+    threads_available: usize,
+    t1_secs: f64,
+    t4_secs: f64,
+    /// `t1_secs / t4_secs` — > 1 once the in-kernel chunking wins.
+    speedup: f64,
+}
+
+/// The committed `ci/bench_baseline.json` schema: one (conservatively
+/// scaled) entry per `--quick` leg.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchBaseline {
+    throughput: ThroughputReport,
+    plan_design: PlanDesignReport,
+    joint_repair: JointRepairReport,
+}
+
 /// The workspace root (cargo runs bench binaries with the *package*
 /// directory as cwd; reports and baselines live at the repo root).
 fn workspace_root() -> std::path::PathBuf {
@@ -116,7 +156,7 @@ fn workspace_root() -> std::path::PathBuf {
 }
 
 /// Best-of-`reps` wall-clock time of `f`, in seconds.
-fn best_of(reps: usize, mut f: impl FnMut() -> Dataset) -> f64 {
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     (0..reps)
         .map(|_| {
             let start = Instant::now();
@@ -126,8 +166,17 @@ fn best_of(reps: usize, mut f: impl FnMut() -> Dataset) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// CI perf-smoke mode: measure, record, and (optionally) gate.
-fn quick_gate() {
+/// Exact byte image of a dataset's feature values (the determinism
+/// contract is at the f64 bit level, stronger than `==`).
+fn byte_image(data: &Dataset) -> Vec<u64> {
+    data.points()
+        .iter()
+        .flat_map(|p| p.x.iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// Leg 1 — archival repair throughput (Algorithm 2 row-parallelism).
+fn quick_throughput() -> ThroughputReport {
     // Default sized so one measurement takes ~0.1 s even sequentially:
     // long enough that the 25% gate margin dwarfs timer noise, short
     // enough for a smoke job.
@@ -136,7 +185,7 @@ fn quick_gate() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000);
     let threads = otr_par::thread_count(0);
-    eprintln!("perf-smoke: {rows} archive rows, {threads} worker threads");
+    eprintln!("perf-smoke[throughput]: {rows} archive rows, {threads} worker threads");
 
     let spec = SimulationSpec::paper_defaults();
     let mut rng = StdRng::seed_from_u64(1);
@@ -176,76 +225,212 @@ fn quick_gate() {
         report.speedup,
         report.threads
     );
+    report
+}
 
-    let json = serde_json::to_string_pretty(&report).unwrap();
-    let out_path = workspace_root().join("BENCH_throughput.json");
-    std::fs::write(&out_path, &json).expect("cannot write BENCH_throughput.json");
-    eprintln!("wrote {}", out_path.display());
+/// Leg 2 — plan-design rate (Algorithm 1: KDE + barycentre + 4 OT
+/// solves per design).
+fn quick_plan_design() -> PlanDesignReport {
+    let n_q = 50;
+    let research_rows = 500;
+    eprintln!("perf-smoke[plan-design]: nQ = {n_q}, {research_rows} research rows");
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(2);
+    let research = spec.sample_dataset(research_rows, &mut rng).unwrap();
+    let planner = RepairPlanner::new(RepairConfig::with_n_q(n_q));
+    let design_secs = best_of(5, || planner.design(&research).unwrap());
+    let report = PlanDesignReport {
+        n_q,
+        research_rows,
+        design_secs,
+        designs_per_sec: 1.0 / design_secs,
+    };
+    println!(
+        "plan design: {:.4} s ({:.1} designs/s)",
+        report.design_secs, report.designs_per_sec
+    );
+    report
+}
 
-    if let Ok(path) = std::env::var("OTR_BENCH_BASELINE") {
-        // Relative baseline paths are repo-root-relative, so the CI
-        // workflow and a manual run from anywhere agree.
-        let mut full = std::path::PathBuf::from(&path);
-        if full.is_relative() {
-            full = workspace_root().join(full);
+/// Leg 3 — joint design + repair at `nQ = 24` (the `nQ⁴`-cell
+/// Sinkhorn/barycentre kernels) under `OTR_THREADS=1` vs
+/// `OTR_THREADS=4`, with byte-identity asserted between the two.
+fn quick_joint() -> JointRepairReport {
+    let n_q: usize = std::env::var("OTR_BENCH_JOINT_NQ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let research_rows = 300;
+    let archive_rows = 2_000;
+    let cfg = JointRepairConfig {
+        n_q,
+        threads: 0, // auto: driven through OTR_THREADS below
+        ..JointRepairConfig::default()
+    };
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "perf-smoke[joint]: nQ = {n_q} ({} kernel cells), eps = {}, {threads_available} cores",
+        n_q.pow(4),
+        cfg.epsilon
+    );
+
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(3);
+    let split = spec
+        .generate(research_rows, archive_rows, &mut rng)
+        .unwrap();
+
+    let saved = std::env::var(otr_par::THREADS_ENV).ok();
+    let run = |threads: &str| {
+        std::env::set_var(otr_par::THREADS_ENV, threads);
+        let start = Instant::now();
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let out = plan.repair_dataset_par(&split.archive, 7).unwrap();
+        (start.elapsed().as_secs_f64(), byte_image(&out))
+    };
+    let (t1_secs, bytes1) = run("1");
+    let (t4_secs, bytes4) = run("4");
+    match saved {
+        Some(v) => std::env::set_var(otr_par::THREADS_ENV, v),
+        None => std::env::remove_var(otr_par::THREADS_ENV),
+    }
+    assert!(
+        bytes1 == bytes4,
+        "joint repair output depends on OTR_THREADS — determinism contract broken"
+    );
+
+    let report = JointRepairReport {
+        n_q,
+        research_rows,
+        archive_rows,
+        epsilon: cfg.epsilon,
+        threads_available,
+        t1_secs,
+        t4_secs,
+        speedup: t1_secs / t4_secs,
+    };
+    println!(
+        "joint OTR_THREADS=1: {:.3} s\njoint OTR_THREADS=4: {:.3} s\njoint speedup:       {:.2}x (byte-identical output)",
+        report.t1_secs, report.t4_secs, report.speedup
+    );
+    report
+}
+
+/// CI perf-smoke mode: measure the three legs, record them, and
+/// (optionally) gate against the committed baseline.
+fn quick_gate() {
+    let throughput = quick_throughput();
+    let plan_design = quick_plan_design();
+    let joint_repair = quick_joint();
+
+    for (name, json) in [
+        (
+            "BENCH_throughput.json",
+            serde_json::to_string_pretty(&throughput).unwrap(),
+        ),
+        (
+            "BENCH_plan_design.json",
+            serde_json::to_string_pretty(&plan_design).unwrap(),
+        ),
+        (
+            "BENCH_joint.json",
+            serde_json::to_string_pretty(&joint_repair).unwrap(),
+        ),
+    ] {
+        let out_path = workspace_root().join(name);
+        std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {name}: {e}"));
+        eprintln!("wrote {}", out_path.display());
+    }
+
+    let Ok(path) = std::env::var("OTR_BENCH_BASELINE") else {
+        return;
+    };
+    // Relative baseline paths are repo-root-relative, so the CI
+    // workflow and a manual run from anywhere agree.
+    let mut full = std::path::PathBuf::from(&path);
+    if full.is_relative() {
+        full = workspace_root().join(full);
+    }
+    let blob = std::fs::read_to_string(&full)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let baseline: BenchBaseline =
+        serde_json::from_str(&blob).unwrap_or_else(|e| panic!("malformed baseline {path}: {e}"));
+
+    // >25% regression against the committed baseline fails the job.
+    // Absolute rate floors (deliberately conservative, so
+    // runner-to-runner noise passes) catch structural slowdowns — an
+    // accidentally quadratic hot path, a per-row allocation storm —
+    // and, where the baseline records a real multi-thread speedup,
+    // the within-run ratios catch a silently serialized parallel path
+    // no matter how fast the runner is.
+    let mut failed = false;
+    let mut gate_rate = |name: &str, got: f64, base: f64, unit: &str| {
+        let floor = base * 0.75;
+        if got < floor {
+            eprintln!(
+                "perf regression: {name} {got:.2} {unit} is below 75% of baseline {base:.2} {unit}"
+            );
+            failed = true;
+        } else {
+            eprintln!("perf gate: {name} {got:.2} {unit} >= floor {floor:.2} {unit} — ok");
         }
-        let blob = std::fs::read_to_string(&full)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let baseline: ThroughputReport = serde_json::from_str(&blob)
-            .unwrap_or_else(|e| panic!("malformed baseline {path}: {e}"));
-        // >25% regression against the committed baseline fails the job.
-        // Absolute rows/sec floors (deliberately conservative, so
-        // runner-to-runner noise passes) catch structural slowdowns — an
-        // accidentally quadratic hot path, a per-row allocation storm —
-        // and, once the baseline records a real multi-thread speedup,
-        // the within-run seq/par ratio catches a silently serialized
-        // parallel path no matter how fast the runner is.
-        let mut failed = false;
-        for (name, got, base) in [
-            (
-                "sequential",
-                report.seq_rows_per_sec,
-                baseline.seq_rows_per_sec,
-            ),
-            (
-                "parallel",
-                report.par_rows_per_sec,
-                baseline.par_rows_per_sec,
-            ),
-        ] {
-            let floor = base * 0.75;
-            if got < floor {
-                eprintln!(
-                    "perf regression: {name} throughput {got:.0} rows/s is below \
-                     75% of baseline {base:.0} rows/s"
-                );
-                failed = true;
-            } else {
-                eprintln!("perf gate: {name} {got:.0} rows/s >= floor {floor:.0} rows/s — ok");
-            }
+    };
+    gate_rate(
+        "sequential repair",
+        throughput.seq_rows_per_sec,
+        baseline.throughput.seq_rows_per_sec,
+        "rows/s",
+    );
+    gate_rate(
+        "parallel repair",
+        throughput.par_rows_per_sec,
+        baseline.throughput.par_rows_per_sec,
+        "rows/s",
+    );
+    gate_rate(
+        "plan design",
+        plan_design.designs_per_sec,
+        baseline.plan_design.designs_per_sec,
+        "designs/s",
+    );
+    gate_rate(
+        "joint design+repair (1 thread)",
+        1.0 / joint_repair.t1_secs,
+        1.0 / baseline.joint_repair.t1_secs,
+        "runs/s",
+    );
+    // Speedup legs only arm when the baseline recorded a genuine
+    // parallel win AND this runner has the threads to reproduce one
+    // (a single-core runner can never show a speedup).
+    let mut gate_speedup = |name: &str, got: f64, base: f64, cores_ok: bool| {
+        if !(base > 1.0 && cores_ok) {
+            return;
         }
-        // The speedup leg only arms when the baseline recorded a genuine
-        // parallel win AND this runner has the threads to reproduce one
-        // (a single-core runner can never show a speedup).
-        if baseline.speedup > 1.0 && report.threads > 1 {
-            let floor = baseline.speedup * 0.75;
-            if report.speedup < floor {
-                eprintln!(
-                    "perf regression: parallel speedup {:.2}x is below 75% of \
-                     baseline {:.2}x — the parallel path may have serialized",
-                    report.speedup, baseline.speedup
-                );
-                failed = true;
-            } else {
-                eprintln!(
-                    "perf gate: speedup {:.2}x >= floor {floor:.2}x — ok",
-                    report.speedup
-                );
-            }
+        let floor = base * 0.75;
+        if got < floor {
+            eprintln!(
+                "perf regression: {name} speedup {got:.2}x is below 75% of baseline \
+                 {base:.2}x — the parallel path may have serialized"
+            );
+            failed = true;
+        } else {
+            eprintln!("perf gate: {name} speedup {got:.2}x >= floor {floor:.2}x — ok");
         }
-        if failed {
-            std::process::exit(1);
-        }
+    };
+    gate_speedup(
+        "archival repair",
+        throughput.speedup,
+        baseline.throughput.speedup,
+        throughput.threads > 1,
+    );
+    gate_speedup(
+        "joint repair",
+        joint_repair.speedup,
+        baseline.joint_repair.speedup,
+        joint_repair.threads_available > 1,
+    );
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -47,6 +47,7 @@ fn bench_solvers(c: &mut Criterion) {
                         epsilon: 0.1,
                         max_iters: 100_000,
                         tol: 1e-6,
+                        ..SinkhornConfig::default()
                     },
                 )
                 .unwrap()

@@ -21,6 +21,20 @@
 //! parallel Monte-Carlo runner (built on `otr-par`'s chunked executor)
 //! with per-run seeding, in-order Welford merging, and first-failure
 //! diagnostics, plus paper-style table formatting.
+//!
+//! ## Example
+//!
+//! Run a deterministic Monte-Carlo sweep: replicate `i` is always
+//! seeded `base_seed + i`, so the merged statistics are independent of
+//! the thread count:
+//!
+//! ```
+//! let (stats, failures) = otr_bench::run_mc(16, 42, |seed| {
+//!     Ok(vec![("seed_mod_3".to_string(), (seed % 3) as f64)])
+//! });
+//! assert_eq!(failures.count, 0);
+//! assert_eq!(stats["seed_mod_3"].count(), 16);
+//! ```
 
 use std::collections::BTreeMap;
 use std::io::Write as _;

@@ -14,7 +14,10 @@
 //! `B` is capped by the research budget (each bin needs both `s` groups
 //! populated), the same small-`nR` trade-off as Figure 3.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use otr_par::{splitmix_seed, try_par_map_indexed};
 
 use crate::config::RepairConfig;
 use crate::error::{RepairError, Result};
@@ -39,6 +42,10 @@ pub struct ContinuousURepairer {
     /// Plans indexed `[bin][feature]`.
     plans: Vec<Vec<FeaturePlan>>,
     dim: usize,
+    /// Worker threads for [`Self::repair_batch_par`], captured from the
+    /// design config (`0` = auto / `OTR_THREADS`); retune with
+    /// [`Self::set_threads`]. Runtime policy — never changes output.
+    threads: usize,
 }
 
 impl ContinuousURepairer {
@@ -129,7 +136,18 @@ impl ContinuousURepairer {
             }
             plans.push(feature_plans);
         }
-        Ok(Self { edges, plans, dim })
+        Ok(Self {
+            edges,
+            plans,
+            dim,
+            threads: config.threads,
+        })
+    }
+
+    /// Retune the worker-thread count used by [`Self::repair_batch_par`]
+    /// (`0` = auto). Wall-clock only; repaired bytes never change.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
     }
 
     /// Number of `u` bins.
@@ -192,6 +210,28 @@ impl ContinuousURepairer {
         rng: &mut R,
     ) -> Result<Vec<ContinuousUPoint>> {
         points.iter().map(|p| self.repair_point(p, rng)).collect()
+    }
+
+    /// Row-parallel batch repair with per-row SplitMix64 RNG streams
+    /// derived from `seed` — the continuous-`u` analogue of
+    /// [`crate::RepairPlan::repair_dataset_par`]. Row `i` draws from
+    /// `StdRng::seed_from_u64(splitmix_seed(seed, i))` whatever thread
+    /// executes it, so the output is **bit-identical for any thread
+    /// count** (set at design time from `config.threads`, retunable via
+    /// [`Self::set_threads`]).
+    ///
+    /// # Errors
+    /// Reports the lowest-index invalid point, as a sequential sweep
+    /// would.
+    pub fn repair_batch_par(
+        &self,
+        points: &[ContinuousUPoint],
+        seed: u64,
+    ) -> Result<Vec<ContinuousUPoint>> {
+        try_par_map_indexed(points.len(), self.threads, |i| {
+            let mut rng = StdRng::seed_from_u64(splitmix_seed(seed, i as u64));
+            self.repair_point(&points[i], &mut rng)
+        })
     }
 }
 
@@ -329,6 +369,33 @@ mod tests {
         assert!(
             ContinuousURepairer::design(&research[..40], 20, RepairConfig::with_n_q(20)).is_err()
         );
+    }
+
+    #[test]
+    fn parallel_batch_identical_across_thread_counts() {
+        let research = population(2_000, 11);
+        let mut repairer =
+            ContinuousURepairer::design(&research, 3, RepairConfig::with_n_q(25)).unwrap();
+        let batch = population(600, 12);
+        let mut reference: Option<Vec<ContinuousUPoint>> = None;
+        for threads in [1usize, 2, 7] {
+            repairer.set_threads(threads);
+            let out = repairer.repair_batch_par(&batch, 31).unwrap();
+            for (a, b) in out.iter().zip(&batch) {
+                assert_eq!(a.s, b.s);
+                assert_eq!(a.u, b.u);
+            }
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "threads = {threads}"),
+            }
+        }
+        // The lowest-index invalid point is reported, as sequentially.
+        let mut bad = batch.clone();
+        bad[5].s = 2;
+        bad[100].s = 3;
+        let err = repairer.repair_batch_par(&bad, 31).unwrap_err();
+        assert!(err.to_string().contains("s = 2"), "got: {err}");
     }
 
     #[test]

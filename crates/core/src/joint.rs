@@ -26,7 +26,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
-use otr_ot::{CostMatrix, OtPlan, Solver1d as _, SolverBackend};
+use otr_ot::{
+    entropic_barycentre_points2d, BarycentreConfig, CostMatrix, OtPlan, Solver1d as _,
+    SolverBackend,
+};
 use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
 use otr_stats::GaussianKde2d;
@@ -219,13 +222,25 @@ impl JointRepairPlan {
         }
 
         // Entropic W2 barycentre on the fixed product support (iterative
-        // Bregman projections with the 2-D Gibbs kernel).
-        let bary =
-            entropic_barycentre_2d(&pmfs[0], &pmfs[1], config.t, &points, config.epsilon, 5_000)?;
+        // Bregman projections with the 2-D Gibbs kernel, O(nQ⁴) matvecs
+        // chunked over config.threads — see otr_ot::barycentre).
+        let (bary, _diagnostics) = entropic_barycentre_points2d(
+            &[&pmfs[0], &pmfs[1]],
+            &[1.0 - config.t, config.t],
+            &points,
+            &BarycentreConfig {
+                eps: config.epsilon,
+                max_iters: 5_000,
+                tol: 1e-9,
+                threads: config.threads,
+                parallel_min_cells: None,
+            },
+        )?;
 
         // Plans µ_s -> ν under squared Euclidean cost on R², through the
         // configured backend (the seam rejects backends that need 1-D
-        // structure and owns the Sinkhorn fallback policy).
+        // structure and owns the Sinkhorn fallback policy); the solver's
+        // in-kernel scaling updates ride the same thread setting.
         let cost = CostMatrix::from_fn(&points, &points, |a, b| {
             let dx = a.0 - b.0;
             let dy = a.1 - b.1;
@@ -233,7 +248,12 @@ impl JointRepairPlan {
         })?;
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
         for pmf in &pmfs {
-            plans.push(config.plan_solver().solve_with_cost(pmf, &bary, &cost)?);
+            plans.push(config.plan_solver().solve_with_cost_threads(
+                pmf,
+                &bary,
+                &cost,
+                config.threads,
+            )?);
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
 
@@ -358,91 +378,6 @@ impl JointRepairPlan {
         })?;
         Ok(Dataset::from_points(points)?)
     }
-}
-
-/// Two-marginal entropic barycentre on an arbitrary fixed support in `ℝ²`
-/// (Benamou et al. iterative Bregman projections, weights `(1−t, t)`).
-fn entropic_barycentre_2d(
-    mu0: &[f64],
-    mu1: &[f64],
-    t: f64,
-    points: &[(f64, f64)],
-    eps: f64,
-    max_iters: usize,
-) -> Result<Vec<f64>> {
-    let n = points.len();
-    if mu0.len() != n || mu1.len() != n {
-        return Err(RepairError::PlanMismatch(
-            "barycentre marginals must live on the product support".into(),
-        ));
-    }
-    // Gibbs kernel on the 2-D support.
-    let mut kernel = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            let dx = points[i].0 - points[j].0;
-            let dy = points[i].1 - points[j].1;
-            kernel[i * n + j] = (-(dx * dx + dy * dy) / eps).exp();
-        }
-    }
-    let kmatvec = |v: &[f64], out: &mut [f64]| {
-        for i in 0..n {
-            let row = &kernel[i * n..(i + 1) * n];
-            let mut acc = 0.0;
-            for (k, x) in row.iter().zip(v) {
-                acc += k * x;
-            }
-            out[i] = acc;
-        }
-    };
-    let lambda = [1.0 - t, t];
-    let marginals = [mu0, mu1];
-    let mut u = [vec![1.0f64; n], vec![1.0f64; n]];
-    let mut v = [vec![1.0f64; n], vec![1.0f64; n]];
-    let mut bary = vec![1.0 / n as f64; n];
-    let mut tmp = vec![0.0f64; n];
-    const FLOOR: f64 = 1e-300;
-
-    for _ in 0..max_iters {
-        let prev = bary.clone();
-        for s in 0..2 {
-            kmatvec(&u[s], &mut tmp);
-            for i in 0..n {
-                v[s][i] = marginals[s][i] / tmp[i].max(FLOOR);
-            }
-        }
-        let mut log_b = vec![0.0f64; n];
-        for s in 0..2 {
-            kmatvec(&v[s], &mut tmp);
-            for i in 0..n {
-                log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * tmp[i].max(FLOOR)).ln();
-            }
-        }
-        let mx = log_b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut total = 0.0;
-        for i in 0..n {
-            bary[i] = (log_b[i] - mx).exp();
-            total += bary[i];
-        }
-        for b in &mut bary {
-            *b /= total;
-        }
-        for s in 0..2 {
-            kmatvec(&v[s], &mut tmp);
-            for i in 0..n {
-                u[s][i] = bary[i] / tmp[i].max(FLOOR);
-            }
-        }
-        let delta: f64 = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
-        if delta < 1e-9 {
-            return Ok(bary);
-        }
-    }
-    Err(RepairError::Ot(otr_ot::OtError::NoConvergence {
-        solver: "entropic barycentre 2d",
-        iterations: max_iters,
-        residual: f64::NAN,
-    }))
 }
 
 #[cfg(test)]

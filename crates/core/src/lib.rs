@@ -38,6 +38,32 @@
 //!   generalization").
 //! * [`joint`] — the 2-D joint repair for correlation-borne dependence
 //!   (Section VI's intra-feature-correlation caveat).
+//!
+//! Every dataset-scale entry point has a row-parallel variant with
+//! per-row SplitMix64 RNG streams, **bit-identical for any thread
+//! count** (see `docs/determinism.md` at the workspace root).
+//!
+//! ## Example
+//!
+//! The paper's deployment loop — design on the small research set,
+//! repair the archival torrent:
+//!
+//! ```
+//! use otr_core::{RepairConfig, RepairPlanner};
+//! use otr_data::SimulationSpec;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let split = SimulationSpec::paper_defaults()
+//!     .generate(300, 1_000, &mut rng)
+//!     .unwrap();
+//! let plan = RepairPlanner::new(RepairConfig::with_n_q(30))
+//!     .design(&split.research)
+//!     .unwrap();
+//! // Seeded + parallel: the same bytes at every thread count.
+//! let repaired = plan.repair_dataset_par(&split.archive, 7).unwrap();
+//! assert_eq!(repaired.len(), split.archive.len());
+//! ```
 
 pub mod blind;
 pub mod config;

@@ -578,9 +578,17 @@ impl RepairPlanner {
 
         // Line 11 / Equation 13: OT plans µ_s -> ν, through the unified
         // solver seam (which owns the Sinkhorn→simplex fallback policy).
+        // The thread setting reaches the backend's in-kernel scaling
+        // loops; small 1-D grids stay sequential under the kernel-cells
+        // threshold, so the per-stratum parallelism of `design` is not
+        // oversubscribed.
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
         for m in &marginals {
-            plans.push(self.config.solver.solve_1d(m, &barycentre)?);
+            plans.push(
+                self.config
+                    .solver
+                    .solve_1d_threads(m, &barycentre, self.config.threads)?,
+            );
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
 

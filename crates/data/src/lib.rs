@@ -15,6 +15,24 @@
 //! * [`csv`] — a dependency-free CSV reader/writer.
 //! * [`drift`] — distribution-shift injectors used to stress the paper's
 //!   stationarity assumption (Section V-A2a discussion).
+//!
+//! ## Example
+//!
+//! Simulate the paper's Section V-A population and split it into the
+//! small research set and the archival torrent:
+//!
+//! ```
+//! use otr_data::SimulationSpec;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let split = SimulationSpec::paper_defaults()
+//!     .generate(200, 500, &mut rng)
+//!     .unwrap();
+//! assert_eq!(split.research.len(), 200);
+//! assert_eq!(split.archive.len(), 500);
+//! assert_eq!(split.archive.dim(), 2);
+//! ```
 
 pub mod adult;
 pub mod csv;

@@ -11,6 +11,24 @@
 //! * [`logistic`] — a from-scratch logistic-regression classifier serving
 //!   as the decision rule `g(X)` (Figure 1) in the DI experiments and the
 //!   hiring-pipeline example.
+//!
+//! ## Example
+//!
+//! Measure the `s|u`-conditional dependence of a simulated population
+//! (non-zero by construction — this is what repair quenches):
+//!
+//! ```
+//! use otr_data::SimulationSpec;
+//! use otr_fairness::ConditionalDependence;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data = SimulationSpec::paper_defaults()
+//!     .sample_dataset(400, &mut rng)
+//!     .unwrap();
+//! let report = ConditionalDependence::default().evaluate(&data).unwrap();
+//! assert!(report.aggregate() > 0.0);
+//! ```
 
 pub mod di;
 pub mod e_metric;

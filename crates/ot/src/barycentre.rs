@@ -14,6 +14,8 @@
 //!    more than two marginals and in higher dimensions; property-tested to
 //!    agree with (1) at small `ε`.
 
+use otr_par::par_chunks_mut;
+
 use crate::discrete::DiscreteDistribution;
 use crate::error::{OtError, Result};
 
@@ -101,15 +103,76 @@ fn pmf_quantile(d: &DiscreteDistribution) -> impl Fn(f64) -> f64 {
     move |p: f64| interp.quantile(p)
 }
 
+/// Configuration of the iterative-Bregman entropic barycentre
+/// ([`entropic_barycentre_with`] / [`entropic_barycentre_points2d`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarycentreConfig {
+    /// Entropic regularization `ε > 0` of the Gibbs kernel (squared
+    /// ground-distance units). Smaller sharpens the barycentre at the
+    /// cost of more iterations.
+    pub eps: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Convergence threshold on the L1 change of the barycentre between
+    /// consecutive iterations.
+    pub tol: f64,
+    /// Worker threads for the kernel matvecs (`0` = auto: `OTR_THREADS`
+    /// env or available parallelism). Runtime policy; never affects the
+    /// returned masses' bytes.
+    pub threads: usize,
+    /// Minimum kernel size (cells) before the matvecs chunk across
+    /// threads; `None` = auto (`OTR_KERNEL_CELLS` env or
+    /// [`otr_par::KERNEL_CELLS_DEFAULT`]).
+    pub parallel_min_cells: Option<usize>,
+}
+
+impl Default for BarycentreConfig {
+    fn default() -> Self {
+        Self {
+            eps: 1e-2,
+            max_iters: 5_000,
+            tol: 1e-10,
+            threads: 0,
+            parallel_min_cells: None,
+        }
+    }
+}
+
+impl BarycentreConfig {
+    /// Config with the given regularization and budget, default
+    /// tolerance and auto parallelism.
+    pub fn new(eps: f64, max_iters: usize) -> Self {
+        Self {
+            eps,
+            max_iters,
+            ..Self::default()
+        }
+    }
+}
+
+/// Convergence record of a Bregman barycentre solve — the state that
+/// used to be swallowed when the iteration silently hit `max_iters`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarycentreDiagnostics {
+    /// Iterations actually run (`≤ max_iters`).
+    pub iterations: usize,
+    /// L1 change of the barycentre over the final iteration (the
+    /// converged value is `< tol`).
+    pub final_delta: f64,
+}
+
 /// Fixed-support entropic Wasserstein barycentre of `k ≥ 2` marginals with
 /// weights `lambda` (iterative Bregman projections, Benamou et al. 2015).
 ///
-/// All marginals and the output live on the same `support`. Smaller `eps`
-/// sharpens the barycentre at the cost of more iterations.
+/// All marginals and the output live on the same `support`.
+/// Convenience wrapper over [`entropic_barycentre_with`] that drops the
+/// diagnostics; prefer the full form when you need the iteration
+/// count or want a non-default tolerance / thread setting.
 ///
 /// # Errors
 /// Validation failures, or [`OtError::NoConvergence`] if the fixed-point
-/// iteration does not stabilize.
+/// iteration does not stabilize (the error's `residual` reports the
+/// final L1 delta, its `iterations` the exhausted budget).
 pub fn entropic_barycentre(
     marginals: &[&DiscreteDistribution],
     lambda: &[f64],
@@ -117,27 +180,33 @@ pub fn entropic_barycentre(
     eps: f64,
     max_iters: usize,
 ) -> Result<DiscreteDistribution> {
-    if marginals.len() < 2 {
-        return Err(OtError::EmptyInput("barycentre marginals (need >= 2)"));
-    }
-    if marginals.len() != lambda.len() {
-        return Err(OtError::LengthMismatch {
-            what: "marginals vs lambda",
-            left: marginals.len(),
-            right: lambda.len(),
-        });
-    }
-    if !(eps > 0.0) || !eps.is_finite() {
-        return Err(OtError::InvalidParameter {
-            name: "eps",
-            reason: format!("must be positive, got {eps}"),
-        });
-    }
-    let lam_total: f64 = lambda.iter().sum();
-    if lambda.iter().any(|&l| l < 0.0) || lam_total <= 0.0 {
-        return Err(OtError::InvalidMass("lambda weights".into()));
-    }
-    let lambda: Vec<f64> = lambda.iter().map(|l| l / lam_total).collect();
+    entropic_barycentre_with(
+        marginals,
+        lambda,
+        support,
+        &BarycentreConfig::new(eps, max_iters),
+    )
+    .map(|(bary, _)| bary)
+}
+
+/// [`entropic_barycentre`] with an explicit [`BarycentreConfig`],
+/// returning the barycentre **and** its [`BarycentreDiagnostics`].
+///
+/// The contract: on `Ok`, `diagnostics.final_delta < config.tol` and
+/// `diagnostics.iterations` is the number of Bregman iterations spent;
+/// a budget exhausted before stabilizing is an
+/// [`OtError::NoConvergence`] carrying the final delta — never a
+/// silently unconverged distribution. Output bytes are identical for
+/// every `config.threads` setting.
+///
+/// # Errors
+/// As [`entropic_barycentre`].
+pub fn entropic_barycentre_with(
+    marginals: &[&DiscreteDistribution],
+    lambda: &[f64],
+    support: &[f64],
+    config: &BarycentreConfig,
+) -> Result<(DiscreteDistribution, BarycentreDiagnostics)> {
     let n = support.len();
     if n == 0 {
         return Err(OtError::EmptyInput("barycentre support"));
@@ -150,49 +219,172 @@ pub fn entropic_barycentre(
             });
         }
     }
+    // Validate eps/lambda/marginal-count before the O(n²) kernel build.
+    let lambda = validated_lambda(marginals.len(), lambda, config)?;
+    let pmfs: Vec<&[f64]> = marginals.iter().map(|m| m.masses()).collect();
+    // Gibbs kernel K_ij = exp(-(q_i - q_j)²/eps) on the shared support.
+    let kernel = build_kernel(n, config, |i, j| {
+        let d = support[i] - support[j];
+        d * d
+    });
+    let (masses, diag) = bregman_barycentre(&pmfs, &lambda, &kernel, n, config)?;
+    Ok((DiscreteDistribution::new(support.to_vec(), masses)?, diag))
+}
 
-    // Gibbs kernel K_ij = exp(-C_ij/eps) on the shared support.
-    let mut kernel = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            let d = support[i] - support[j];
-            kernel[i * n + j] = (-(d * d) / eps).exp();
+/// Entropic barycentre of pmfs on an arbitrary fixed support in `ℝ²`
+/// (the joint-repair setting: `support` is the flattened product grid).
+/// Same iteration, contract, and determinism guarantee as
+/// [`entropic_barycentre_with`], with the squared-Euclidean ground
+/// distance taken in the plane.
+///
+/// # Errors
+/// As [`entropic_barycentre_with`]; every marginal must have one mass
+/// per support point.
+pub fn entropic_barycentre_points2d(
+    marginals: &[&[f64]],
+    lambda: &[f64],
+    points: &[(f64, f64)],
+    config: &BarycentreConfig,
+) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
+    let n = points.len();
+    if n == 0 {
+        return Err(OtError::EmptyInput("barycentre support"));
+    }
+    for m in marginals {
+        if m.len() != n {
+            return Err(OtError::LengthMismatch {
+                what: "marginal vs product support",
+                left: m.len(),
+                right: n,
+            });
         }
     }
-    let kmatvec = |v: &[f64], out: &mut [f64]| {
-        for i in 0..n {
-            let mut acc = 0.0;
-            let row = &kernel[i * n..(i + 1) * n];
-            for (kij, vj) in row.iter().zip(v) {
-                acc += kij * vj;
-            }
-            out[i] = acc;
+    // Validate eps/lambda/marginal-count before the O(n²) kernel build.
+    let lambda = validated_lambda(marginals.len(), lambda, config)?;
+    let kernel = build_kernel(n, config, |i, j| {
+        let dx = points[i].0 - points[j].0;
+        let dy = points[i].1 - points[j].1;
+        dx * dx + dy * dy
+    });
+    bregman_barycentre(marginals, &lambda, &kernel, n, config)
+}
+
+/// Build the `n × n` Gibbs kernel `exp(-d²(i,j)/eps)` row-parallel
+/// (cells are disjoint, so the bytes are thread-count-independent).
+fn build_kernel(
+    n: usize,
+    config: &BarycentreConfig,
+    sq_dist: impl Fn(usize, usize) -> f64 + Sync,
+) -> Vec<f64> {
+    let threads = kernel_threads(config, n * n);
+    let eps = config.eps;
+    let mut kernel = vec![0.0f64; n * n];
+    par_chunks_mut(&mut kernel, threads, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let idx = start + off;
+            *slot = (-sq_dist(idx / n, idx % n) / eps).exp();
         }
+    });
+    kernel
+}
+
+/// Effective matvec thread count: configured threads once the kernel
+/// crosses the size threshold, else 1 (sequential, no spawn overhead).
+fn kernel_threads(config: &BarycentreConfig, cells: usize) -> usize {
+    if cells >= otr_par::kernel_cells(config.parallel_min_cells) {
+        config.threads
+    } else {
+        1
+    }
+}
+
+/// Validate the barycentre inputs that gate the `O(n²)` kernel build —
+/// marginal count, `ε`, and the weight vector — and return the
+/// normalized weights. Shared by both public entry points so invalid
+/// calls are rejected before any expensive work.
+fn validated_lambda(k: usize, lambda: &[f64], config: &BarycentreConfig) -> Result<Vec<f64>> {
+    if k < 2 {
+        return Err(OtError::EmptyInput("barycentre marginals (need >= 2)"));
+    }
+    if k != lambda.len() {
+        return Err(OtError::LengthMismatch {
+            what: "marginals vs lambda",
+            left: k,
+            right: lambda.len(),
+        });
+    }
+    if !(config.eps > 0.0) || !config.eps.is_finite() {
+        return Err(OtError::InvalidParameter {
+            name: "eps",
+            reason: format!("must be positive, got {}", config.eps),
+        });
+    }
+    let lam_total: f64 = lambda.iter().sum();
+    if lambda.iter().any(|&l| l < 0.0) || lam_total <= 0.0 {
+        return Err(OtError::InvalidMass("lambda weights".into()));
+    }
+    Ok(lambda.iter().map(|l| l / lam_total).collect())
+}
+
+/// The shared iterative-Bregman core: `k ≥ 2` flat pmfs against a
+/// precomputed symmetric Gibbs kernel, with `lambda` already validated
+/// and normalized ([`validated_lambda`]). The `O(n²)` kernel matvecs
+/// are chunk-parallel over output rows; every `O(n)` reduction
+/// (barycentre normalization, convergence delta) is summed sequentially
+/// on the calling thread, keeping the output bit-identical for any
+/// thread count.
+fn bregman_barycentre(
+    marginals: &[&[f64]],
+    lambda: &[f64],
+    kernel: &[f64],
+    n: usize,
+    config: &BarycentreConfig,
+) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
+    let threads = kernel_threads(config, n * n);
+
+    // out_i = Σ_j K_ij v_j, rows chunked across threads (each row's
+    // accumulation order is fixed, so chunking never changes bytes).
+    let kmatvec = |v: &[f64], out: &mut [f64]| {
+        par_chunks_mut(out, threads, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let row = &kernel[(start + off) * n..(start + off + 1) * n];
+                let mut acc = 0.0;
+                for (kij, vj) in row.iter().zip(v) {
+                    acc += kij * vj;
+                }
+                *slot = acc;
+            }
+        });
     };
 
     let k = marginals.len();
     let mut u = vec![vec![1.0f64; n]; k];
     let mut v = vec![vec![1.0f64; n]; k];
+    // K v_s, cached across the two uses per iteration (the barycentre
+    // geometric mean and the u update) — one matvec saved per marginal.
+    let mut kv = vec![vec![0.0f64; n]; k];
     let mut bary = vec![1.0 / n as f64; n];
     let mut tmp = vec![0.0f64; n];
     const FLOOR: f64 = 1e-300;
 
-    let mut converged = false;
-    for _ in 0..max_iters {
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+    while iterations < config.max_iters {
+        iterations += 1;
         let prev = bary.clone();
-        // v_k <- a_k / K^T u_k  (kernel symmetric => K^T = K).
+        // v_s <- a_s / K^T u_s  (kernel symmetric => K^T = K).
         for s in 0..k {
             kmatvec(&u[s], &mut tmp);
             for i in 0..n {
-                v[s][i] = marginals[s].masses()[i] / tmp[i].max(FLOOR);
+                v[s][i] = marginals[s][i] / tmp[i].max(FLOOR);
             }
+            kmatvec(&v[s], &mut kv[s]);
         }
         // bary <- prod_s (u_s * K v_s)^{lambda_s}, computed in logs.
         let mut log_b = vec![0.0f64; n];
         for s in 0..k {
-            kmatvec(&v[s], &mut tmp);
             for i in 0..n {
-                log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * tmp[i].max(FLOOR)).ln();
+                log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * kv[s][i].max(FLOOR)).ln();
             }
         }
         let mx = log_b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -204,27 +396,28 @@ pub fn entropic_barycentre(
         for b in &mut bary {
             *b /= total;
         }
-        // u_k <- bary / K v_k.
+        // u_s <- bary / K v_s.
         for s in 0..k {
-            kmatvec(&v[s], &mut tmp);
             for i in 0..n {
-                u[s][i] = bary[i] / tmp[i].max(FLOOR);
+                u[s][i] = bary[i] / kv[s][i].max(FLOOR);
             }
         }
-        let delta: f64 = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
-        if delta < 1e-10 {
-            converged = true;
-            break;
+        delta = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
+        if delta < config.tol {
+            return Ok((
+                bary,
+                BarycentreDiagnostics {
+                    iterations,
+                    final_delta: delta,
+                },
+            ));
         }
     }
-    if !converged {
-        return Err(OtError::NoConvergence {
-            solver: "entropic barycentre",
-            iterations: max_iters,
-            residual: f64::NAN,
-        });
-    }
-    DiscreteDistribution::new(support.to_vec(), bary)
+    Err(OtError::NoConvergence {
+        solver: "entropic barycentre",
+        iterations,
+        residual: delta,
+    })
 }
 
 #[cfg(test)]
@@ -335,6 +528,89 @@ mod tests {
         assert!(entropic_barycentre(&[&a], &[1.0], &q1, 0.1, 100).is_err());
         assert!(entropic_barycentre(&[&a, &a], &[0.5], &q1, 0.1, 100).is_err());
         assert!(entropic_barycentre(&[&a, &a], &[0.5, 0.5], &q1, 0.0, 100).is_err());
+    }
+
+    #[test]
+    fn entropic_diagnostics_surface_convergence_state() {
+        let q = grid(-3.0, 3.0, 41);
+        let mu0 = gaussian_on(&q, -1.0, 0.6);
+        let mu1 = gaussian_on(&q, 1.0, 0.6);
+        let cfg = BarycentreConfig::new(0.1, 5_000);
+        let (bary, diag) = entropic_barycentre_with(&[&mu0, &mu1], &[0.5, 0.5], &q, &cfg).unwrap();
+        assert!(diag.iterations > 0 && diag.iterations <= cfg.max_iters);
+        assert!(
+            diag.final_delta < cfg.tol,
+            "converged delta {} vs tol {}",
+            diag.final_delta,
+            cfg.tol
+        );
+        assert_eq!(bary.len(), q.len());
+        // An exhausted budget is a NoConvergence carrying the real final
+        // delta — never NaN, never a silently unconverged distribution.
+        let starved = BarycentreConfig::new(0.1, 2);
+        match entropic_barycentre_with(&[&mu0, &mu1], &[0.5, 0.5], &q, &starved) {
+            Err(OtError::NoConvergence {
+                iterations,
+                residual,
+                ..
+            }) => {
+                assert_eq!(iterations, 2);
+                assert!(residual.is_finite() && residual >= starved.tol);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entropic_parallel_bit_identical_to_sequential() {
+        // In-kernel determinism: chunked matvecs return the exact bytes
+        // of the sequential solve (min_cells = 1 forces chunking here).
+        let q = grid(-2.0, 2.0, 35);
+        let mu0 = gaussian_on(&q, -0.8, 0.5);
+        let mu1 = gaussian_on(&q, 0.9, 0.4);
+        let seq_cfg = BarycentreConfig {
+            threads: 1,
+            ..BarycentreConfig::new(0.08, 5_000)
+        };
+        let (seq, seq_diag) =
+            entropic_barycentre_with(&[&mu0, &mu1], &[0.4, 0.6], &q, &seq_cfg).unwrap();
+        for threads in [2usize, 3, 7] {
+            let cfg = BarycentreConfig {
+                threads,
+                parallel_min_cells: Some(1),
+                ..seq_cfg
+            };
+            let (par, diag) =
+                entropic_barycentre_with(&[&mu0, &mu1], &[0.4, 0.6], &q, &cfg).unwrap();
+            assert_eq!(diag, seq_diag, "threads = {threads}");
+            for (a, b) in par.masses().iter().zip(seq.masses()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn points2d_matches_1d_on_a_line() {
+        // Embedding a 1-D support as (x, 0) points must reproduce the
+        // 1-D fixed-support barycentre exactly (same kernel, same
+        // iteration).
+        let q = grid(-1.5, 1.5, 25);
+        let mu0 = gaussian_on(&q, -0.5, 0.4);
+        let mu1 = gaussian_on(&q, 0.6, 0.5);
+        let cfg = BarycentreConfig::new(0.1, 5_000);
+        let (line, _) = entropic_barycentre_with(&[&mu0, &mu1], &[0.5, 0.5], &q, &cfg).unwrap();
+        let points: Vec<(f64, f64)> = q.iter().map(|&x| (x, 0.0)).collect();
+        let (plane, diag) =
+            entropic_barycentre_points2d(&[mu0.masses(), mu1.masses()], &[0.5, 0.5], &points, &cfg)
+                .unwrap();
+        assert!(diag.final_delta < cfg.tol);
+        // The 1-D wrapper re-normalizes through DiscreteDistribution;
+        // push the flat result through the same constructor before the
+        // bitwise comparison.
+        let plane = DiscreteDistribution::new(q.clone(), plane).unwrap();
+        for (a, b) in plane.masses().iter().zip(line.masses()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -29,6 +29,24 @@
 //! * [`wasserstein`] — `W_p` distances between discrete distributions on
 //!   ordered supports (closed-form 1-D CDF formula, cross-checked against
 //!   the solvers).
+//!
+//! The expensive kernels (Sinkhorn scaling updates, barycentre matvecs)
+//! are chunk-parallel with **bit-identical output for any thread
+//! count**; see `docs/determinism.md` at the workspace root.
+//!
+//! ## Example
+//!
+//! Solve a 1-D optimal-transport problem through the unified seam and
+//! check the plan is a valid coupling:
+//!
+//! ```
+//! use otr_ot::{DiscreteDistribution, Solver1d as _, SolverBackend};
+//!
+//! let mu = DiscreteDistribution::new(vec![0.0, 1.0, 2.0], vec![0.2, 0.5, 0.3]).unwrap();
+//! let nu = DiscreteDistribution::new(vec![0.5, 1.5], vec![0.6, 0.4]).unwrap();
+//! let plan = SolverBackend::ExactMonotone.solve_1d(&mu, &nu).unwrap();
+//! plan.validate_marginals(mu.masses(), nu.masses()).unwrap();
+//! ```
 
 pub mod barycentre;
 pub mod cost;
@@ -39,7 +57,10 @@ pub mod interp;
 pub mod solvers;
 pub mod wasserstein;
 
-pub use barycentre::{entropic_barycentre, quantile_barycentre};
+pub use barycentre::{
+    entropic_barycentre, entropic_barycentre_points2d, entropic_barycentre_with,
+    quantile_barycentre, BarycentreConfig, BarycentreDiagnostics,
+};
 pub use cost::CostMatrix;
 pub use coupling::OtPlan;
 pub use discrete::DiscreteDistribution;

@@ -109,6 +109,41 @@ pub trait Solver1d {
     /// structure ([`SolverBackend::ExactMonotone`]); otherwise as
     /// [`Solver1d::solve_1d`].
     fn solve_with_cost(&self, mu: &[f64], nu: &[f64], cost: &CostMatrix) -> Result<OtPlan>;
+
+    /// [`Solver1d::solve_1d`] with an explicit worker-thread request for
+    /// the backend's in-kernel parallelism (`0` = auto). The plan's
+    /// bytes never depend on `threads` — only wall-clock time does —
+    /// and backends without parallel kernels ignore it, which is the
+    /// default implementation.
+    ///
+    /// # Errors
+    /// As [`Solver1d::solve_1d`].
+    fn solve_1d_threads(
+        &self,
+        mu: &DiscreteDistribution,
+        nu: &DiscreteDistribution,
+        threads: usize,
+    ) -> Result<OtPlan> {
+        let _ = threads;
+        self.solve_1d(mu, nu)
+    }
+
+    /// [`Solver1d::solve_with_cost`] with an explicit worker-thread
+    /// request (`0` = auto); same bytes-invariance contract as
+    /// [`Solver1d::solve_1d_threads`].
+    ///
+    /// # Errors
+    /// As [`Solver1d::solve_with_cost`].
+    fn solve_with_cost_threads(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        cost: &CostMatrix,
+        threads: usize,
+    ) -> Result<OtPlan> {
+        let _ = threads;
+        self.solve_with_cost(mu, nu, cost)
+    }
 }
 
 impl Solver1d for SolverBackend {
@@ -121,17 +156,36 @@ impl Solver1d for SolverBackend {
     }
 
     fn solve_1d(&self, mu: &DiscreteDistribution, nu: &DiscreteDistribution) -> Result<OtPlan> {
+        self.solve_1d_threads(mu, nu, 0)
+    }
+
+    fn solve_with_cost(&self, mu: &[f64], nu: &[f64], cost: &CostMatrix) -> Result<OtPlan> {
+        self.solve_with_cost_threads(mu, nu, cost, 0)
+    }
+
+    fn solve_1d_threads(
+        &self,
+        mu: &DiscreteDistribution,
+        nu: &DiscreteDistribution,
+        threads: usize,
+    ) -> Result<OtPlan> {
         self.validate()?;
         match self {
             SolverBackend::ExactMonotone => solve_monotone_1d(mu, nu),
             SolverBackend::Simplex | SolverBackend::Sinkhorn { .. } => {
                 let cost = CostMatrix::squared_euclidean(mu.support(), nu.support())?;
-                self.solve_with_cost(mu.masses(), nu.masses(), &cost)
+                self.solve_with_cost_threads(mu.masses(), nu.masses(), &cost, threads)
             }
         }
     }
 
-    fn solve_with_cost(&self, mu: &[f64], nu: &[f64], cost: &CostMatrix) -> Result<OtPlan> {
+    fn solve_with_cost_threads(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        cost: &CostMatrix,
+        threads: usize,
+    ) -> Result<OtPlan> {
         self.validate()?;
         match self {
             SolverBackend::ExactMonotone => Err(OtError::InvalidParameter {
@@ -142,7 +196,11 @@ impl Solver1d for SolverBackend {
             }),
             SolverBackend::Simplex => solve_transportation_simplex(mu, nu, cost),
             SolverBackend::Sinkhorn { epsilon } => {
-                match sinkhorn(mu, nu, cost, SinkhornConfig::with_epsilon(*epsilon)) {
+                let config = SinkhornConfig {
+                    threads,
+                    ..SinkhornConfig::with_epsilon(*epsilon)
+                };
+                match sinkhorn(mu, nu, cost, config) {
                     Ok(plan) => Ok(plan),
                     // The single home of the Sinkhorn-failure policy: fall
                     // back to the exact simplex rather than surfacing a

@@ -80,7 +80,7 @@ proptest! {
             mu.masses(),
             nu.masses(),
             &cost,
-            SinkhornConfig { epsilon: 0.5, max_iters: 50_000, tol: 1e-7 },
+            SinkhornConfig { epsilon: 0.5, max_iters: 50_000, tol: 1e-7, ..SinkhornConfig::default() },
         )
         .unwrap()
         .transport_cost(&cost)
@@ -102,7 +102,7 @@ proptest! {
                 mu.masses(),
                 nu.masses(),
                 &cost,
-                SinkhornConfig { epsilon: 1.0, max_iters: 50_000, tol: 1e-9 },
+                SinkhornConfig { epsilon: 1.0, max_iters: 50_000, tol: 1e-9, ..SinkhornConfig::default() },
             )
             .unwrap(),
         ] {

@@ -22,11 +22,40 @@
 //! Thread count resolution (everywhere in the workspace): an explicit
 //! request wins; `0` means "auto" — the `OTR_THREADS` environment
 //! variable if set and positive, else [`std::thread::available_parallelism`].
+//!
+//! In-kernel parallelism (the Sinkhorn scaling updates and the
+//! barycentre matvecs in `otr-ot`) additionally respects a **size
+//! threshold**: a kernel engages its chunked path only when it touches
+//! at least [`kernel_cells`] matrix cells, so the many tiny solves of a
+//! 1-D plan design stay free of spawn overhead while the `nQ⁴`-cell
+//! joint kernels scale with cores.
+//!
+//! ```
+//! // out[i] = 2 * i, computed on up to 3 scoped threads — the result is
+//! // identical for every thread count because chunks are disjoint.
+//! let mut out = vec![0usize; 10];
+//! otr_par::par_chunks_mut(&mut out, 3, |start, chunk| {
+//!     for (off, slot) in chunk.iter_mut().enumerate() {
+//!         *slot = 2 * (start + off);
+//!     }
+//! });
+//! assert_eq!(out, (0..10).map(|i| 2 * i).collect::<Vec<_>>());
+//! ```
 
 use std::ops::Range;
 
 /// Environment variable overriding the auto thread count.
 pub const THREADS_ENV: &str = "OTR_THREADS";
+
+/// Environment variable overriding the in-kernel parallelism threshold
+/// (minimum matrix cells before an OT kernel chunks its hot loops).
+pub const KERNEL_CELLS_ENV: &str = "OTR_KERNEL_CELLS";
+
+/// Default in-kernel parallelism threshold, in matrix cells. Sized so a
+/// 1-D `nQ ≤ 180` solve (≤ 32 400 cells) stays sequential — its scaling
+/// loops finish faster than threads spawn — while a joint `nQ ≥ 14`
+/// product-support kernel (`nQ⁴ ≥ 38 416` cells) goes parallel.
+pub const KERNEL_CELLS_DEFAULT: usize = 32_768;
 
 /// Resolve a requested thread count: `requested > 0` is taken verbatim;
 /// `0` means auto (`OTR_THREADS` env if set and positive, else
@@ -45,6 +74,25 @@ pub fn thread_count(requested: usize) -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Resolve the in-kernel parallelism threshold: an explicit
+/// `Some(cells)` wins (the per-solve config knob); `None` means auto —
+/// the `OTR_KERNEL_CELLS` environment variable if set and positive,
+/// else [`KERNEL_CELLS_DEFAULT`]. A kernel touching fewer cells than
+/// the threshold runs sequentially regardless of the thread setting.
+pub fn kernel_cells(requested: Option<usize>) -> usize {
+    if let Some(cells) = requested {
+        return cells.max(1);
+    }
+    if let Ok(v) = std::env::var(KERNEL_CELLS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    KERNEL_CELLS_DEFAULT
 }
 
 /// The `stream`-th output of a SplitMix64 sequence seeded at `base` —
@@ -166,6 +214,86 @@ where
     run_chunked(items.len(), threads, |range| f(range.start, &items[range]))
 }
 
+/// Parallel in-place map over disjoint contiguous chunks of `out`:
+/// split `out` into at most `threads` near-equal chunks and apply
+/// `f(chunk_start, chunk)` to each on its own scoped thread. This is
+/// the primitive behind the in-kernel (Sinkhorn / barycentre-matvec)
+/// parallelism: each output element is written by exactly one thread
+/// and computed by a loop whose iteration order is independent of the
+/// chunking, so the result is bit-identical for every thread count.
+/// The single-chunk case runs inline on the caller.
+pub fn par_chunks_mut<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let bounds = chunk_bounds(out.len(), thread_count(threads));
+    if bounds.len() <= 1 {
+        if let Some(range) = bounds.into_iter().next() {
+            f(range.start, &mut out[range]);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut handles = Vec::with_capacity(bounds.len());
+        for range in bounds {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            handles.push(scope.spawn(move || f(range.start, chunk)));
+        }
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+}
+
+/// Parallel in-place map over the **rows** of a row-major `rows × cols`
+/// matrix stored flat in `matrix`: apply `f(row_index, row)` to every
+/// row, chunking whole rows across at most `threads` scoped threads
+/// (chunk borders never split a row). Rows are disjoint and each is
+/// processed by exactly one thread in a fixed order, so the result is
+/// bit-identical for every thread count.
+///
+/// # Panics
+/// `matrix.len()` must be a multiple of `cols` (for `cols > 0`).
+pub fn par_rows_mut<T, F>(matrix: &mut [T], cols: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if cols == 0 || matrix.is_empty() {
+        return;
+    }
+    assert_eq!(matrix.len() % cols, 0, "flat matrix length vs cols");
+    let rows = matrix.len() / cols;
+    let bounds = chunk_bounds(rows, thread_count(threads));
+    if bounds.len() <= 1 {
+        for (i, row) in matrix.chunks_mut(cols).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = matrix;
+        let mut handles = Vec::with_capacity(bounds.len());
+        for range in bounds {
+            let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                for (off, row) in chunk.chunks_mut(cols).enumerate() {
+                    f(range.start + off, row);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +377,48 @@ mod tests {
         // Adjacent streams should differ in roughly half their bits.
         let diff = (splitmix_seed(7, 1) ^ splitmix_seed(7, 2)).count_ones();
         assert!((16..=48).contains(&diff), "weak mixing: {diff} bits");
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_slot_once() {
+        for n in [0usize, 1, 5, 257] {
+            for threads in [1usize, 2, 7, 64] {
+                let mut out = vec![0usize; n];
+                par_chunks_mut(&mut out, threads, |start, chunk| {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = 3 * (start + off) + 1;
+                    }
+                });
+                let want: Vec<usize> = (0..n).map(|i| 3 * i + 1).collect();
+                assert_eq!(out, want, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_rows_mut_never_splits_a_row() {
+        let (rows, cols) = (37usize, 5usize);
+        for threads in [1usize, 2, 7, 64] {
+            let mut m = vec![0usize; rows * cols];
+            par_rows_mut(&mut m, cols, threads, |i, row| {
+                assert_eq!(row.len(), cols);
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = i * cols + j;
+                }
+            });
+            let want: Vec<usize> = (0..rows * cols).collect();
+            assert_eq!(m, want, "threads = {threads}");
+        }
+        // Degenerate shapes are no-ops, not panics.
+        par_rows_mut(&mut [] as &mut [usize], 4, 2, |_, _| unreachable!());
+        par_rows_mut(&mut [1usize, 2], 0, 2, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn kernel_cells_resolution() {
+        assert_eq!(kernel_cells(Some(7)), 7);
+        assert_eq!(kernel_cells(Some(0)), 1); // explicit 0 clamps, not auto
+        assert!(kernel_cells(None) >= 1);
     }
 
     #[test]

@@ -26,6 +26,22 @@
 //!
 //! All sampling is generic over [`rand::Rng`] so that every experiment in
 //! the workspace is reproducible from an explicit seed.
+//!
+//! ## Example
+//!
+//! KDE-interpolate a sample onto a grid pmf (the Equation 11 operation
+//! behind every repair-plan marginal):
+//!
+//! ```
+//! use otr_stats::{Bandwidth, GaussianKde};
+//!
+//! let sample = [0.1, 0.4, 0.5, 0.9, 1.2, 1.4];
+//! let kde = GaussianKde::fit(&sample, Bandwidth::Silverman).unwrap();
+//! let grid: Vec<f64> = (0..50).map(|i| i as f64 * 0.04).collect();
+//! let pmf = kde.pmf_on_grid(&grid).unwrap();
+//! let total: f64 = pmf.iter().sum();
+//! assert!((total - 1.0).abs() < 1e-9, "pmf normalizes on the grid");
+//! ```
 
 pub mod describe;
 pub mod dist;

@@ -57,8 +57,14 @@ fn print_usage() {
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
          \n\
          CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features.\n\
-         --threads 0 (default) = auto: OTR_THREADS env or available cores.\n\
-         Repair output is bit-identical for any thread count at a given --seed."
+         \n\
+         PARALLELISM:\n\
+           --threads 0 (default) = auto: the OTR_THREADS environment variable if\n\
+           set, else all available cores. Large OT kernels (Sinkhorn scaling,\n\
+           barycentre matvecs) additionally chunk internally once they exceed\n\
+           OTR_KERNEL_CELLS matrix cells (default 32768); smaller solves stay\n\
+           sequential. Repair output is bit-identical for any thread count and\n\
+           any threshold at a given --seed — see docs/determinism.md."
     );
 }
 

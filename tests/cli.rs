@@ -210,7 +210,16 @@ fn help_prints_usage() {
     let out = Command::new(bin()).args(["--help"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for word in ["design", "apply", "evaluate", "--plan", "--monge"] {
+    for word in [
+        "design",
+        "apply",
+        "evaluate",
+        "--plan",
+        "--monge",
+        "--threads",
+        "OTR_THREADS",
+        "OTR_KERNEL_CELLS",
+    ] {
         assert!(text.contains(word), "usage missing {word}");
     }
 }

@@ -4,9 +4,18 @@
 //! sequential path, for both the randomized and the deterministic
 //! mass-split configurations.
 
+use std::sync::Mutex;
+
 use ot_fair_repair::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Serializes the tests that mutate the shared `OTR_THREADS` process
+/// environment, so each one observes exactly the thread counts it set
+/// (a concurrent writer pinning one value would make the cross-leg
+/// comparisons vacuous). Poisoning is ignored: a panicked holder has
+/// already failed its own assertions.
+static OTR_THREADS_ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn setup() -> (Dataset, Dataset) {
     let spec = SimulationSpec::paper_defaults();
@@ -26,10 +35,13 @@ fn byte_image(data: &Dataset) -> Vec<u64> {
 
 /// The satellite contract, verbatim: vary the `OTR_THREADS` environment
 /// variable (auto mode), byte-compare against the sequential reference.
-/// All env mutation lives in this single test; the sibling test uses
-/// explicit thread counts, so the two cannot race.
+/// Env-mutating tests serialize on [`OTR_THREADS_ENV_LOCK`]; the other
+/// siblings use explicit thread counts, so they cannot race.
 #[test]
 fn byte_identical_across_otr_threads_env_for_both_mass_splits() {
+    let _env = OTR_THREADS_ENV_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     let (research, archive) = setup();
     for mass_split in [MassSplit::Randomized, MassSplit::Deterministic] {
         let mut cfg = RepairConfig::with_n_q(40);
@@ -78,6 +90,47 @@ fn byte_identical_across_explicit_thread_counts() {
             }
         }
     }
+}
+
+/// In-kernel determinism at joint scale: an `nQ = 24` joint design
+/// crosses the `OTR_KERNEL_CELLS` threshold (`24⁴ = 331 776` kernel
+/// cells), so the entropic-barycentre matvecs and the Sinkhorn scaling
+/// updates run chunked — and the designed plan plus the repaired
+/// archive must still be **byte-identical** across
+/// `OTR_THREADS ∈ {1, 2, 7}`.
+///
+/// Serialized on [`OTR_THREADS_ENV_LOCK`] with the other env-mutating
+/// test: `OTR_THREADS` cannot change output bytes, but a concurrent
+/// writer pinning one value would make this test's cross-leg
+/// comparison vacuous.
+#[test]
+fn joint_repair_byte_identical_across_otr_threads_env() {
+    let _env = OTR_THREADS_ENV_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(17);
+    let split = spec.generate(300, 400, &mut rng).unwrap();
+    let cfg = JointRepairConfig {
+        n_q: 24,
+        // Keeps max-cost/eps under the standard-domain cap, so the test
+        // exercises the fast scaling path at a debug-build-friendly
+        // iteration count (byte identity is eps-independent).
+        epsilon: 0.25,
+        threads: 0, // auto: defer to OTR_THREADS
+        ..JointRepairConfig::default()
+    };
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in ["1", "2", "7"] {
+        std::env::set_var("OTR_THREADS", threads);
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let out = byte_image(&plan.repair_dataset_par(&split.archive, 29).unwrap());
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "OTR_THREADS = {threads}"),
+        }
+    }
+    std::env::remove_var("OTR_THREADS");
 }
 
 /// The partial-repair geodesic rides the same per-row streams, so the
