@@ -23,9 +23,13 @@
 //!   2. **plan design** (`BENCH_plan_design.json`): Algorithm-1 design
 //!      rate at `nQ = 50`;
 //!   3. **joint repair** (`BENCH_joint.json`): `nQ = 24` joint
-//!      design + repair under `OTR_THREADS=1` vs `OTR_THREADS=4`,
-//!      byte-identity asserted — the in-kernel (Sinkhorn/barycentre)
-//!      parallelism leg.
+//!      design + repair (ε-scaling schedule on, the default) under
+//!      `OTR_THREADS=1` vs `OTR_THREADS=4`, byte-identity asserted —
+//!      the in-kernel (Sinkhorn/barycentre) parallelism leg. On a
+//!      single-core runner the 1-vs-4 *timing* is skipped with an
+//!      explanatory note (identity still asserted). Also writes the
+//!      joint design report (`BENCH_joint_report.json`): barycentre
+//!      convergence + per-stage ε-schedule stats per stratum.
 
 use std::time::Instant;
 
@@ -132,12 +136,25 @@ struct JointRepairReport {
     research_rows: usize,
     archive_rows: usize,
     epsilon: f64,
+    /// Whether the design ran the ε-scaling schedule (the default).
+    #[serde(default)]
+    eps_scaled: bool,
     /// Worker threads the runner could actually use.
     threads_available: usize,
     t1_secs: f64,
-    t4_secs: f64,
-    /// `t1_secs / t4_secs` — > 1 once the in-kernel chunking wins.
-    speedup: f64,
+    /// `OTR_THREADS=4` wall time — `None` on a single-core runner,
+    /// where 4 threads is pure oversubscription and the timing would
+    /// only record scheduler noise (the byte-identity check still
+    /// runs).
+    #[serde(default)]
+    t4_secs: Option<f64>,
+    /// `t1_secs / t4_secs` — > 1 once the in-kernel chunking wins;
+    /// `None` whenever `t4_secs` is (see there).
+    #[serde(default)]
+    speedup: Option<f64>,
+    /// Why the 1-vs-4 comparison was skipped, when it was.
+    #[serde(default)]
+    note: Option<String>,
 }
 
 /// The committed `ci/bench_baseline.json` schema: one (conservatively
@@ -253,8 +270,14 @@ fn quick_plan_design() -> PlanDesignReport {
 }
 
 /// Leg 3 — joint design + repair at `nQ = 24` (the `nQ⁴`-cell
-/// Sinkhorn/barycentre kernels) under `OTR_THREADS=1` vs
-/// `OTR_THREADS=4`, with byte-identity asserted between the two.
+/// Sinkhorn/barycentre kernels, ε-scaled by default) under
+/// `OTR_THREADS=1` vs `OTR_THREADS=4`, with byte-identity asserted
+/// between the two. On a single-core runner the 4-thread run still
+/// proves byte-identity, but its *timing* is not reported — 4 threads
+/// on 1 core is pure oversubscription, and recording that ratio as a
+/// "speedup" is how the baseline once grew a bogus 0.91 entry.
+/// Also writes the joint design report (`BENCH_joint_report.json`):
+/// barycentre convergence per stratum plus per-stage ε-schedule stats.
 fn quick_joint() -> JointRepairReport {
     let n_q: usize = std::env::var("OTR_BENCH_JOINT_NQ")
         .ok()
@@ -269,9 +292,10 @@ fn quick_joint() -> JointRepairReport {
     };
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "perf-smoke[joint]: nQ = {n_q} ({} kernel cells), eps = {}, {threads_available} cores",
+        "perf-smoke[joint]: nQ = {n_q} ({} kernel cells), eps = {}, eps-scaled = {}, {threads_available} cores",
         n_q.pow(4),
-        cfg.epsilon
+        cfg.epsilon,
+        cfg.eps_scaling.is_some(),
     );
 
     let spec = SimulationSpec::paper_defaults();
@@ -284,12 +308,12 @@ fn quick_joint() -> JointRepairReport {
     let run = |threads: &str| {
         std::env::set_var(otr_par::THREADS_ENV, threads);
         let start = Instant::now();
-        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let (plan, report) = JointRepairPlan::design_with_report(&split.research, cfg).unwrap();
         let out = plan.repair_dataset_par(&split.archive, 7).unwrap();
-        (start.elapsed().as_secs_f64(), byte_image(&out))
+        (start.elapsed().as_secs_f64(), byte_image(&out), report)
     };
-    let (t1_secs, bytes1) = run("1");
-    let (t4_secs, bytes4) = run("4");
+    let (t1_secs, bytes1, design_report) = run("1");
+    let (t4_raw, bytes4, _) = run("4");
     match saved {
         Some(v) => std::env::set_var(otr_par::THREADS_ENV, v),
         None => std::env::remove_var(otr_par::THREADS_ENV),
@@ -299,20 +323,45 @@ fn quick_joint() -> JointRepairReport {
         "joint repair output depends on OTR_THREADS — determinism contract broken"
     );
 
+    // Archive the design diagnostics next to the timing legs (uploaded
+    // as a workflow artifact): operators read convergence headroom from
+    // here instead of guessing max_iters.
+    let report_json = serde_json::to_string_pretty(&design_report).unwrap();
+    let report_path = workspace_root().join("BENCH_joint_report.json");
+    std::fs::write(&report_path, report_json)
+        .unwrap_or_else(|e| panic!("cannot write BENCH_joint_report.json: {e}"));
+    eprintln!("wrote {}", report_path.display());
+
+    let multicore = threads_available > 1;
     let report = JointRepairReport {
         n_q,
         research_rows,
         archive_rows,
         epsilon: cfg.epsilon,
+        eps_scaled: cfg.eps_scaling.is_some(),
         threads_available,
         t1_secs,
-        t4_secs,
-        speedup: t1_secs / t4_secs,
+        t4_secs: multicore.then_some(t4_raw),
+        speedup: multicore.then(|| t1_secs / t4_raw),
+        note: (!multicore).then(|| {
+            format!(
+                "single-core runner ({threads_available} thread available): the 1-vs-4 \
+                 timing comparison is skipped (4 threads on 1 core is pure \
+                 oversubscription); byte-identity across OTR_THREADS was still asserted"
+            )
+        }),
     };
-    println!(
-        "joint OTR_THREADS=1: {:.3} s\njoint OTR_THREADS=4: {:.3} s\njoint speedup:       {:.2}x (byte-identical output)",
-        report.t1_secs, report.t4_secs, report.speedup
-    );
+    match (report.t4_secs, report.speedup) {
+        (Some(t4), Some(speedup)) => println!(
+            "joint OTR_THREADS=1: {:.3} s\njoint OTR_THREADS=4: {t4:.3} s\njoint speedup:       {speedup:.2}x (byte-identical output)",
+            report.t1_secs,
+        ),
+        _ => println!(
+            "joint OTR_THREADS=1: {:.3} s\njoint OTR_THREADS=4: skipped timing — {}",
+            report.t1_secs,
+            report.note.as_deref().unwrap_or("single-core runner"),
+        ),
+    }
     report
 }
 
@@ -423,12 +472,17 @@ fn quick_gate() {
         baseline.throughput.speedup,
         throughput.threads > 1,
     );
-    gate_speedup(
-        "joint repair",
-        joint_repair.speedup,
-        baseline.joint_repair.speedup,
-        joint_repair.threads_available > 1,
-    );
+    // The joint leg's speedup is absent on single-core runners (see
+    // `quick_joint`); the gate arms only when both this run and the
+    // baseline actually measured one.
+    if let (Some(got), Some(base)) = (joint_repair.speedup, baseline.joint_repair.speedup) {
+        gate_speedup(
+            "joint repair",
+            got,
+            base,
+            joint_repair.threads_available > 1,
+        );
+    }
     if failed {
         std::process::exit(1);
     }

@@ -41,7 +41,7 @@ fn main() {
         // blurred rows, where the deterministic point-collapse hurts.
         for (backend_name, solver) in [
             ("exact", SolverBackend::ExactMonotone),
-            ("sinkhorn eps=0.5", SolverBackend::Sinkhorn { epsilon: 0.5 }),
+            ("sinkhorn eps=0.5", SolverBackend::sinkhorn(0.5)),
         ] {
             let mut cfg = RepairConfig::with_n_q(N_Q);
             cfg.solver = solver;

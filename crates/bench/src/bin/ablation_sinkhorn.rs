@@ -57,11 +57,7 @@ fn main() {
         eval("exact".into(), SolverBackend::ExactMonotone, &mut rng)?;
         eval("simplex".into(), SolverBackend::Simplex, &mut rng)?;
         for &eps in EPSILONS {
-            eval(
-                format!("eps={eps}"),
-                SolverBackend::Sinkhorn { epsilon: eps },
-                &mut rng,
-            )?;
+            eval(format!("eps={eps}"), SolverBackend::sinkhorn(eps), &mut rng)?;
         }
         Ok(metrics)
     });

@@ -156,7 +156,7 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = RepairConfig::default();
-        c.solver = SolverBackend::Sinkhorn { epsilon: 0.0 };
+        c.solver = SolverBackend::sinkhorn(0.0);
         assert!(c.validate().is_err());
 
         let mut c = RepairConfig::default();
@@ -178,7 +178,7 @@ mod tests {
             n_q: 250,
             t: 0.3,
             bandwidth: Bandwidth::Fixed(0.5),
-            solver: SolverBackend::Sinkhorn { epsilon: 0.01 },
+            solver: SolverBackend::sinkhorn(0.01),
             min_group_size: 5,
             barycentre_resolution: Some(4096),
             threads: 3,

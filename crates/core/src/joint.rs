@@ -22,13 +22,16 @@
 //! trade-off the paper cites for its per-feature design. The
 //! `ablation_joint` experiment measures both sides.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
 use otr_ot::{
-    entropic_barycentre_points2d, BarycentreConfig, CostMatrix, OtPlan, Solver1d as _,
-    SolverBackend,
+    entropic_barycentre_points2d, BarycentreConfig, BarycentreDiagnostics, CostMatrix, EpsSchedule,
+    OtPlan, Solver1d as _, SolverBackend,
 };
 use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
@@ -37,7 +40,7 @@ use otr_stats::GaussianKde2d;
 use crate::error::{RepairError, Result};
 
 /// Configuration of the joint repair.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JointRepairConfig {
     /// Grid points **per dimension** (total support = `n_q²` states).
     pub n_q: usize,
@@ -51,13 +54,25 @@ pub struct JointRepairConfig {
     pub min_group_size: usize,
     /// OT solver backend for the plans `π*_{u,s} : µ_{u,s} → ν`.
     /// `None` (the default) means entropic Sinkhorn at this config's
-    /// [`epsilon`](Self::epsilon), so tuning `epsilon` alone keeps
-    /// governing both barycentre and plans as it always did.
+    /// [`epsilon`](Self::epsilon) (annealed along
+    /// [`eps_scaling`](Self::eps_scaling)), so tuning `epsilon` alone
+    /// keeps governing both barycentre and plans as it always did.
     /// [`SolverBackend::ExactMonotone`] is rejected at design time: the
     /// product support has no 1-D order.
+    #[serde(default)]
     pub solver: Option<SolverBackend>,
+    /// ε-annealing schedule for the design's `nQ⁴`-cell kernels: drives
+    /// the entropic barycentre *and* (when [`solver`](Self::solver) is
+    /// `None`) the Sinkhorn plans, warm-starting duals across stages.
+    /// **On by default** — at the paper's `ε = 0.05` it cuts joint
+    /// design time severalfold; set `None` for the cold single-ε solve.
+    /// The schedule is a pure function of this config, so it never
+    /// affects the thread-count byte-identity of the design.
+    #[serde(default)]
+    pub eps_scaling: Option<EpsSchedule>,
     /// Worker threads for stratum design and parallel dataset repair
     /// (`0` = auto: `OTR_THREADS` env or available parallelism).
+    #[serde(skip)]
     pub threads: usize,
 }
 
@@ -69,6 +84,7 @@ impl Default for JointRepairConfig {
             t: 0.5,
             min_group_size: 10,
             solver: None,
+            eps_scaling: Some(EpsSchedule::default()),
             threads: 0,
         }
     }
@@ -76,30 +92,134 @@ impl Default for JointRepairConfig {
 
 impl JointRepairConfig {
     /// The backend that will design the plans: the explicit override, or
-    /// Sinkhorn at [`epsilon`](Self::epsilon).
+    /// Sinkhorn at [`epsilon`](Self::epsilon) annealed along
+    /// [`eps_scaling`](Self::eps_scaling).
     pub fn plan_solver(&self) -> SolverBackend {
         self.solver.unwrap_or(SolverBackend::Sinkhorn {
             epsilon: self.epsilon,
+            eps_scaling: self.eps_scaling,
         })
     }
 }
 
 /// One `u`-stratum of the joint plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct JointStratum {
     /// Axis grids.
     gx: Vec<f64>,
     gy: Vec<f64>,
-    /// Flattened grid points `(x_i, y_j)` in row-major order.
+    /// Flattened grid points `(x_i, y_j)` in row-major order (derived
+    /// from the axis grids; rebuilt by [`JointStratum::compile`]).
+    #[serde(skip)]
     points: Vec<(f64, f64)>,
     /// Per-`s` plans onto the barycentre.
     plans: [OtPlan; 2],
-    /// Per-row alias samplers.
+    /// Per-row alias samplers (derived; rebuilt by
+    /// [`JointStratum::compile`]).
+    #[serde(skip)]
     samplers: [Vec<Categorical>; 2],
 }
 
-/// A designed joint repair for 2-feature data.
-#[derive(Debug, Clone)]
+impl JointStratum {
+    /// (Re)build the derived state — the flattened product support and
+    /// the per-row alias samplers — from the designed plan, validating
+    /// the stratum's shape first (deserialized plans are user-supplied
+    /// files: a grid/plan mismatch must be a clean error here, never an
+    /// out-of-bounds panic at repair time). Must run after
+    /// deserialization; `JointRepairPlan::design` and
+    /// [`JointRepairPlan::from_json`] do it automatically.
+    fn compile(&mut self, u: u8) -> Result<()> {
+        if self.gx.len() < 2 || self.gy.len() < 2 {
+            return Err(RepairError::PlanMismatch(format!(
+                "joint stratum u={u}: axis grids need at least 2 states, got {}×{}",
+                self.gx.len(),
+                self.gy.len()
+            )));
+        }
+        let n = self.gx.len() * self.gy.len();
+        for (s, plan) in self.plans.iter().enumerate() {
+            if plan.rows() != n || plan.cols() != n {
+                return Err(RepairError::PlanMismatch(format!(
+                    "joint stratum u={u}, s={s}: plan is {}×{} but the product grid has {n} states",
+                    plan.rows(),
+                    plan.cols()
+                )));
+            }
+        }
+        self.points = self
+            .gx
+            .iter()
+            .flat_map(|&x| self.gy.iter().map(move |&y| (x, y)))
+            .collect();
+        for s in 0..2usize {
+            let mut rows = Vec::with_capacity(self.plans[s].rows());
+            for i in 0..self.plans[s].rows() {
+                rows.push(Categorical::new(self.plans[s].row(i)).map_err(|e| {
+                    RepairError::InvalidParameter {
+                        name: "joint plan row",
+                        reason: format!("(u={u}, s={s}) row {i}: {e}"),
+                    }
+                })?);
+            }
+            self.samplers[s] = rows;
+        }
+        Ok(())
+    }
+}
+
+/// Convergence record of one stage of the entropic-barycentre
+/// ε-schedule, as surfaced in a [`JointDesignReport`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BarycentreStageStat {
+    /// Regularization of this annealing stage.
+    pub eps: f64,
+    /// Bregman iterations the stage ran.
+    pub iterations: usize,
+}
+
+/// Design-time diagnostics of one `u`-stratum of a joint plan.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JointStratumReport {
+    /// The stratum's unprotected-group label.
+    pub u: u8,
+    /// Total Bregman iterations the entropic barycentre ran (across all
+    /// ε-schedule stages).
+    pub barycentre_iterations: usize,
+    /// L1 change of the barycentre over its final iteration.
+    pub barycentre_final_delta: f64,
+    /// Per-stage convergence of the barycentre's ε-schedule (a single
+    /// entry when no schedule is configured).
+    pub barycentre_stages: Vec<BarycentreStageStat>,
+    /// Expected squared-Euclidean transport cost of the `s = 0` / `s = 1`
+    /// plans — how far each subgroup's mass moves.
+    pub plan_transport_cost: [f64; 2],
+}
+
+/// What `JointRepairPlan::design` measured while designing — the
+/// convergence headroom that used to be swallowed (ROADMAP: "surface
+/// `BarycentreDiagnostics` end-to-end"). Printed by
+/// `otrepair design --joint --verbose` and archived by the perf-smoke
+/// job as a workflow artifact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JointDesignReport {
+    /// Grid points per dimension (`n_q²` product states).
+    pub n_q: usize,
+    /// The design's entropic regularization.
+    pub epsilon: f64,
+    /// The ε-annealing schedule in effect (barycentre + default solver).
+    pub eps_scaling: Option<EpsSchedule>,
+    /// CLI spelling of the backend that designed the plans.
+    pub solver: String,
+    /// Wall-clock seconds the design took (KDE + barycentres + plans).
+    pub design_secs: f64,
+    /// Per-`u`-stratum convergence diagnostics.
+    pub strata: Vec<JointStratumReport>,
+}
+
+/// A designed joint repair for 2-feature data. Serializable like the
+/// per-feature [`crate::RepairPlan`] (`to_json` / `from_json`), so a
+/// joint design is a deployable artifact too.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JointRepairPlan {
     config: JointRepairConfig,
     strata: Vec<JointStratum>, // indexed by u
@@ -112,6 +232,19 @@ impl JointRepairPlan {
     /// Requires `dim == 2`, valid config, adequately sized groups, and
     /// non-degenerate feature spreads.
     pub fn design(research: &Dataset, config: JointRepairConfig) -> Result<Self> {
+        Self::design_with_report(research, config).map(|(plan, _)| plan)
+    }
+
+    /// [`JointRepairPlan::design`] returning the designed plan **and**
+    /// its [`JointDesignReport`] (barycentre convergence per stratum,
+    /// ε-schedule stage stats, plan transport costs, wall time).
+    ///
+    /// # Errors
+    /// As [`JointRepairPlan::design`].
+    pub fn design_with_report(
+        research: &Dataset,
+        config: JointRepairConfig,
+    ) -> Result<(Self, JointDesignReport)> {
         if research.dim() != 2 {
             return Err(RepairError::PlanMismatch(format!(
                 "joint repair needs d = 2, got d = {}",
@@ -152,17 +285,33 @@ impl JointRepairPlan {
         // The two u-strata are independent (separate KDEs, barycentres,
         // and Sinkhorn solves — the expensive part of joint design);
         // design them concurrently with a deterministic error order.
-        let strata = try_par_map_indexed(2, config.threads, |u| {
+        let start = Instant::now();
+        let designed = try_par_map_indexed(2, config.threads, |u| {
             Self::design_stratum(research, u as u8, &config)
         })?;
-        Ok(Self { config, strata })
+        let design_secs = start.elapsed().as_secs_f64();
+        let mut strata = Vec::with_capacity(2);
+        let mut stratum_reports = Vec::with_capacity(2);
+        for (stratum, report) in designed {
+            strata.push(stratum);
+            stratum_reports.push(report);
+        }
+        let report = JointDesignReport {
+            n_q: config.n_q,
+            epsilon: config.epsilon,
+            eps_scaling: config.eps_scaling,
+            solver: config.plan_solver().to_string(),
+            design_secs,
+            strata: stratum_reports,
+        };
+        Ok((Self { config, strata }, report))
     }
 
     fn design_stratum(
         research: &Dataset,
         u: u8,
         config: &JointRepairConfig,
-    ) -> Result<JointStratum> {
+    ) -> Result<(JointStratum, JointStratumReport)> {
         let mut cols: [[Vec<f64>; 2]; 2] = Default::default();
         for s in 0..2u8 {
             for k in 0..2usize {
@@ -223,8 +372,9 @@ impl JointRepairPlan {
 
         // Entropic W2 barycentre on the fixed product support (iterative
         // Bregman projections with the 2-D Gibbs kernel, O(nQ⁴) matvecs
-        // chunked over config.threads — see otr_ot::barycentre).
-        let (bary, _diagnostics) = entropic_barycentre_points2d(
+        // chunked over config.threads, annealed along the configured
+        // ε-schedule — see otr_ot::barycentre).
+        let (bary, diagnostics) = entropic_barycentre_points2d(
             &[&pmfs[0], &pmfs[1]],
             &[1.0 - config.t, config.t],
             &points,
@@ -232,6 +382,7 @@ impl JointRepairPlan {
                 eps: config.epsilon,
                 max_iters: 5_000,
                 tol: 1e-9,
+                eps_scaling: config.eps_scaling,
                 threads: config.threads,
                 parallel_min_cells: None,
             },
@@ -247,40 +398,85 @@ impl JointRepairPlan {
             dx * dx + dy * dy
         })?;
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
-        for pmf in &pmfs {
-            plans.push(config.plan_solver().solve_with_cost_threads(
-                pmf,
-                &bary,
-                &cost,
-                config.threads,
-            )?);
+        let mut plan_transport_cost = [0.0f64; 2];
+        for (s, pmf) in pmfs.iter().enumerate() {
+            let plan =
+                config
+                    .plan_solver()
+                    .solve_with_cost_threads(pmf, &bary, &cost, config.threads)?;
+            plan_transport_cost[s] = plan.transport_cost(&cost)?;
+            plans.push(plan);
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
 
-        let mut samplers: [Vec<Categorical>; 2] = [Vec::new(), Vec::new()];
-        for s in 0..2usize {
-            for i in 0..plans[s].rows() {
-                samplers[s].push(Categorical::new(plans[s].row(i)).map_err(|e| {
-                    RepairError::InvalidParameter {
-                        name: "joint plan row",
-                        reason: format!("(u={u}, s={s}) row {i}: {e}"),
-                    }
-                })?);
-            }
-        }
-
-        Ok(JointStratum {
+        let mut stratum = JointStratum {
             gx,
             gy,
             points,
             plans,
-            samplers,
-        })
+            samplers: [Vec::new(), Vec::new()],
+        };
+        stratum.compile(u)?;
+        let report = Self::stratum_report(u, &diagnostics, plan_transport_cost);
+        Ok((stratum, report))
+    }
+
+    /// Fold a stratum's barycentre diagnostics and plan costs into its
+    /// design-report entry.
+    fn stratum_report(
+        u: u8,
+        diagnostics: &BarycentreDiagnostics,
+        plan_transport_cost: [f64; 2],
+    ) -> JointStratumReport {
+        JointStratumReport {
+            u,
+            barycentre_iterations: diagnostics.iterations,
+            barycentre_final_delta: diagnostics.final_delta,
+            barycentre_stages: diagnostics
+                .stages
+                .iter()
+                .map(|&(eps, iterations)| BarycentreStageStat { eps, iterations })
+                .collect(),
+            plan_transport_cost,
+        }
     }
 
     /// The per-dimension grid size.
     pub fn n_q(&self) -> usize {
         self.config.n_q
+    }
+
+    /// The configuration the plan was designed under.
+    pub fn config(&self) -> &JointRepairConfig {
+        &self.config
+    }
+
+    /// Serialize the joint plan to JSON (the deployable artifact; the
+    /// derived alias samplers and product support are rebuilt on load).
+    ///
+    /// # Errors
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| RepairError::Persistence(e.to_string()))
+    }
+
+    /// Load a joint plan from JSON and recompile its derived state.
+    ///
+    /// # Errors
+    /// Propagates deserialization and recompilation failures.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let mut plan: JointRepairPlan =
+            serde_json::from_str(json).map_err(|e| RepairError::Persistence(e.to_string()))?;
+        if plan.strata.len() != 2 {
+            return Err(RepairError::Persistence(format!(
+                "joint plan must carry exactly 2 u-strata, got {}",
+                plan.strata.len()
+            )));
+        }
+        for (u, stratum) in plan.strata.iter_mut().enumerate() {
+            stratum.compile(u as u8)?;
+        }
+        Ok(plan)
     }
 
     /// Retune the worker-thread count of a designed plan (deployment
@@ -324,6 +520,12 @@ impl JointRepairPlan {
             return Err(RepairError::PlanMismatch(format!(
                 "joint repair needs d = 2, got d = {}",
                 point.x.len()
+            )));
+        }
+        if point.u > 1 || point.s > 1 {
+            return Err(RepairError::PlanMismatch(format!(
+                "labels (s={}, u={}) outside {{0,1}}",
+                point.s, point.u
             )));
         }
         let stratum = &self.strata[point.u as usize];
@@ -480,12 +682,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let research = spec.sample_dataset(600, &mut rng).unwrap();
 
-        // Without an override, the plans follow the config's epsilon.
+        // Without an override, the plans follow the config's epsilon
+        // and its ε-schedule (on by default for joint design).
         let cfg = JointRepairConfig::default();
+        assert!(cfg.eps_scaling.is_some());
         assert_eq!(
             cfg.plan_solver(),
             SolverBackend::Sinkhorn {
-                epsilon: cfg.epsilon
+                epsilon: cfg.epsilon,
+                eps_scaling: cfg.eps_scaling,
             }
         );
 
@@ -505,8 +710,125 @@ mod tests {
 
         // Invalid Sinkhorn epsilon is caught by the seam's validation.
         let mut cfg = JointRepairConfig::default();
-        cfg.solver = Some(SolverBackend::Sinkhorn { epsilon: -0.5 });
+        cfg.solver = Some(SolverBackend::sinkhorn(-0.5));
         assert!(JointRepairPlan::design(&research, cfg).is_err());
+    }
+
+    #[test]
+    fn design_report_surfaces_barycentre_convergence() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(9);
+        let research = spec.sample_dataset(700, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 8;
+        let (_plan, report) = JointRepairPlan::design_with_report(&research, cfg).unwrap();
+        assert_eq!(report.n_q, 8);
+        assert_eq!(report.epsilon, cfg.epsilon);
+        assert_eq!(report.eps_scaling, cfg.eps_scaling);
+        assert_eq!(report.solver, cfg.plan_solver().to_string());
+        assert!(report.design_secs > 0.0);
+        assert_eq!(report.strata.len(), 2);
+        let expected_stages = cfg.eps_scaling.unwrap().stages(cfg.epsilon).len();
+        for (u, stratum) in report.strata.iter().enumerate() {
+            assert_eq!(stratum.u, u as u8);
+            assert!(stratum.barycentre_iterations > 0);
+            assert!(stratum.barycentre_final_delta.is_finite());
+            assert_eq!(stratum.barycentre_stages.len(), expected_stages);
+            assert_eq!(
+                stratum.barycentre_iterations,
+                stratum
+                    .barycentre_stages
+                    .iter()
+                    .map(|s| s.iterations)
+                    .sum::<usize>()
+            );
+            for cost in stratum.plan_transport_cost {
+                assert!(cost > 0.0 && cost.is_finite());
+            }
+        }
+        // The report is the perf-smoke artifact: it must serialize.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("barycentre_stages"));
+    }
+
+    #[test]
+    fn malformed_joint_plan_json_is_an_error_not_a_panic() {
+        // A joint plan JSON is a user-supplied file: missing strata,
+        // degenerate grids, and grid/plan shape mismatches must all be
+        // clean errors from from_json, never index panics at repair
+        // time.
+        let no_strata = r#"{"config":{"n_q":8,"epsilon":0.05,"t":0.5,"min_group_size":10,
+            "solver":null,"eps_scaling":null},"strata":[]}"#;
+        assert!(JointRepairPlan::from_json(no_strata).is_err());
+
+        // Shape mismatch straight at the compile layer: a 2×2 product
+        // grid (4 states) fed plans of the wrong dimension.
+        let plan3 = OtPlan::from_dense(3, 3, vec![1.0 / 9.0; 9]).unwrap();
+        let mut stratum = JointStratum {
+            gx: vec![0.0, 1.0],
+            gy: vec![0.0, 1.0],
+            points: Vec::new(),
+            plans: [plan3.clone(), plan3],
+            samplers: [Vec::new(), Vec::new()],
+        };
+        assert!(matches!(
+            stratum.compile(0),
+            Err(RepairError::PlanMismatch(_))
+        ));
+        // Degenerate single-state axis grid.
+        let plan2 = OtPlan::from_dense(2, 2, vec![0.25; 4]).unwrap();
+        let mut stratum = JointStratum {
+            gx: vec![0.0],
+            gy: vec![0.0, 1.0],
+            points: Vec::new(),
+            plans: [plan2.clone(), plan2],
+            samplers: [Vec::new(), Vec::new()],
+        };
+        assert!(matches!(
+            stratum.compile(1),
+            Err(RepairError::PlanMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn repair_point_rejects_out_of_range_labels() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(12);
+        let research = spec.sample_dataset(500, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 6;
+        let plan = JointRepairPlan::design(&research, cfg).unwrap();
+        let bad = LabelledPoint {
+            x: vec![0.0, 0.0],
+            s: 0,
+            u: 7,
+        };
+        assert!(plan.repair_point(&bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn joint_plan_json_round_trip_preserves_repair() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(10);
+        let split = spec.generate(500, 300, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 8; // keep the n_q² solves cheap
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let json = plan.to_json().unwrap();
+        let back = JointRepairPlan::from_json(&json).unwrap();
+        assert_eq!(back.n_q(), plan.n_q());
+        assert_eq!(back.config().epsilon, plan.config().epsilon);
+        // Threads are machine-local runtime policy: never persisted.
+        assert_eq!(back.config().threads, 0);
+        // Identical repairs under the same seed (JSON costs one f64
+        // round trip, so compare repaired values, not raw plan bits).
+        let a = plan.repair_dataset_par(&split.archive, 33).unwrap();
+        let b = back.repair_dataset_par(&split.archive, 33).unwrap();
+        for (x, y) in a.points().iter().zip(b.points()) {
+            for (xa, xb) in x.x.iter().zip(&y.x) {
+                assert!((xa - xb).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

@@ -82,7 +82,9 @@ pub use continuous_u::{ContinuousUPoint, ContinuousURepairer};
 pub use damage::{dataset_damage, DamageReport};
 pub use error::RepairError;
 pub use geometric::GeometricRepair;
-pub use joint::{JointRepairConfig, JointRepairPlan};
+pub use joint::{
+    BarycentreStageStat, JointDesignReport, JointRepairConfig, JointRepairPlan, JointStratumReport,
+};
 pub use monge::MongeRepair;
 pub use plan::{FeaturePlan, RepairPlan, RepairPlanner};
 pub use repair::StreamingRepairer;

@@ -896,7 +896,7 @@ mod tests {
     #[test]
     fn sinkhorn_backend_designs_valid_plans() {
         let mut cfg = RepairConfig::with_n_q(25);
-        cfg.solver = SolverBackend::Sinkhorn { epsilon: 0.05 };
+        cfg.solver = SolverBackend::sinkhorn(0.05);
         let plan = RepairPlanner::new(cfg).design(&research(14, 400)).unwrap();
         for fp in plan.feature_plans() {
             for s in 0..2usize {

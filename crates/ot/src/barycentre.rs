@@ -18,6 +18,7 @@ use otr_par::par_chunks_mut;
 
 use crate::discrete::DiscreteDistribution;
 use crate::error::{OtError, Result};
+use crate::solvers::sinkhorn::EpsSchedule;
 
 /// Exact 1-D `W₂` barycentre `ν_t` of `(1−t)·µ₀ ⊕ t·µ₁` projected onto
 /// `support` (strictly increasing, typically the shared grid `Q`).
@@ -116,6 +117,13 @@ pub struct BarycentreConfig {
     /// Convergence threshold on the L1 change of the barycentre between
     /// consecutive iterations.
     pub tol: f64,
+    /// Optional ε-annealing schedule ending at [`eps`](Self::eps): each
+    /// stage rebuilds the Gibbs kernel at its own ε and warm-starts the
+    /// Bregman scaling vectors from the previous stage (rescaled by the
+    /// ε-ratio in log space, since `u = exp(φ/ε)` for ε-free potentials
+    /// `φ`). The stage list is a pure function of this config, so
+    /// scheduling preserves the bit-identical-across-threads contract.
+    pub eps_scaling: Option<EpsSchedule>,
     /// Worker threads for the kernel matvecs (`0` = auto: `OTR_THREADS`
     /// env or available parallelism). Runtime policy; never affects the
     /// returned masses' bytes.
@@ -132,6 +140,7 @@ impl Default for BarycentreConfig {
             eps: 1e-2,
             max_iters: 5_000,
             tol: 1e-10,
+            eps_scaling: None,
             threads: 0,
             parallel_min_cells: None,
         }
@@ -152,13 +161,17 @@ impl BarycentreConfig {
 
 /// Convergence record of a Bregman barycentre solve — the state that
 /// used to be swallowed when the iteration silently hit `max_iters`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BarycentreDiagnostics {
-    /// Iterations actually run (`≤ max_iters`).
+    /// Iterations actually run, summed across all ε-schedule stages
+    /// (`≤ max_iters` when no schedule is configured).
     pub iterations: usize,
     /// L1 change of the barycentre over the final iteration (the
     /// converged value is `< tol`).
     pub final_delta: f64,
+    /// `(ε, iterations)` per annealing stage, in solve order; a single
+    /// entry when no [`BarycentreConfig::eps_scaling`] is configured.
+    pub stages: Vec<(f64, usize)>,
 }
 
 /// Fixed-support entropic Wasserstein barycentre of `k ≥ 2` marginals with
@@ -222,12 +235,12 @@ pub fn entropic_barycentre_with(
     // Validate eps/lambda/marginal-count before the O(n²) kernel build.
     let lambda = validated_lambda(marginals.len(), lambda, config)?;
     let pmfs: Vec<&[f64]> = marginals.iter().map(|m| m.masses()).collect();
-    // Gibbs kernel K_ij = exp(-(q_i - q_j)²/eps) on the shared support.
-    let kernel = build_kernel(n, config, |i, j| {
+    // Ground metric (q_i - q_j)² on the shared support; the staged core
+    // builds the Gibbs kernel exp(-d²/ε) per schedule stage.
+    let (masses, diag) = bregman_barycentre(&pmfs, &lambda, n, config, |i, j| {
         let d = support[i] - support[j];
         d * d
-    });
-    let (masses, diag) = bregman_barycentre(&pmfs, &lambda, &kernel, n, config)?;
+    })?;
     Ok((DiscreteDistribution::new(support.to_vec(), masses)?, diag))
 }
 
@@ -261,23 +274,21 @@ pub fn entropic_barycentre_points2d(
     }
     // Validate eps/lambda/marginal-count before the O(n²) kernel build.
     let lambda = validated_lambda(marginals.len(), lambda, config)?;
-    let kernel = build_kernel(n, config, |i, j| {
+    bregman_barycentre(marginals, &lambda, n, config, |i, j| {
         let dx = points[i].0 - points[j].0;
         let dy = points[i].1 - points[j].1;
         dx * dx + dy * dy
-    });
-    bregman_barycentre(marginals, &lambda, &kernel, n, config)
+    })
 }
 
 /// Build the `n × n` Gibbs kernel `exp(-d²(i,j)/eps)` row-parallel
 /// (cells are disjoint, so the bytes are thread-count-independent).
 fn build_kernel(
     n: usize,
-    config: &BarycentreConfig,
+    eps: f64,
+    threads: usize,
     sq_dist: impl Fn(usize, usize) -> f64 + Sync,
 ) -> Vec<f64> {
-    let threads = kernel_threads(config, n * n);
-    let eps = config.eps;
     let mut kernel = vec![0.0f64; n * n];
     par_chunks_mut(&mut kernel, threads, |start, chunk| {
         for (off, slot) in chunk.iter_mut().enumerate() {
@@ -319,6 +330,9 @@ fn validated_lambda(k: usize, lambda: &[f64], config: &BarycentreConfig) -> Resu
             reason: format!("must be positive, got {}", config.eps),
         });
     }
+    if let Some(schedule) = &config.eps_scaling {
+        schedule.validate()?;
+    }
     let lam_total: f64 = lambda.iter().sum();
     if lambda.iter().any(|&l| l < 0.0) || lam_total <= 0.0 {
         return Err(OtError::InvalidMass("lambda weights".into()));
@@ -326,37 +340,28 @@ fn validated_lambda(k: usize, lambda: &[f64], config: &BarycentreConfig) -> Resu
     Ok(lambda.iter().map(|l| l / lam_total).collect())
 }
 
-/// The shared iterative-Bregman core: `k ≥ 2` flat pmfs against a
-/// precomputed symmetric Gibbs kernel, with `lambda` already validated
-/// and normalized ([`validated_lambda`]). The `O(n²)` kernel matvecs
-/// are chunk-parallel over output rows; every `O(n)` reduction
-/// (barycentre normalization, convergence delta) is summed sequentially
-/// on the calling thread, keeping the output bit-identical for any
-/// thread count.
+/// The shared iterative-Bregman core: `k ≥ 2` flat pmfs against the
+/// symmetric Gibbs kernel of the given ground metric, with `lambda`
+/// already validated and normalized ([`validated_lambda`]). When the
+/// config carries an [`EpsSchedule`], the fixed point is approached
+/// through a decreasing ε sequence, each stage rebuilding the kernel
+/// and warm-starting the scaling vectors from the previous stage
+/// (`u ← u^(ε_prev/ε)`, the log-space rescaling of ε-free potentials);
+/// intermediate stages run under the schedule's loose budget and only
+/// the final stage enforces `config.tol` / `config.max_iters`.
+///
+/// The `O(n²)` kernel matvecs are chunk-parallel over output rows;
+/// every `O(n)` reduction (barycentre normalization, convergence
+/// delta) is summed sequentially on the calling thread, keeping the
+/// output bit-identical for any thread count.
 fn bregman_barycentre(
     marginals: &[&[f64]],
     lambda: &[f64],
-    kernel: &[f64],
     n: usize,
     config: &BarycentreConfig,
+    sq_dist: impl Fn(usize, usize) -> f64 + Sync,
 ) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
     let threads = kernel_threads(config, n * n);
-
-    // out_i = Σ_j K_ij v_j, rows chunked across threads (each row's
-    // accumulation order is fixed, so chunking never changes bytes).
-    let kmatvec = |v: &[f64], out: &mut [f64]| {
-        par_chunks_mut(out, threads, |start, chunk| {
-            for (off, slot) in chunk.iter_mut().enumerate() {
-                let row = &kernel[(start + off) * n..(start + off + 1) * n];
-                let mut acc = 0.0;
-                for (kij, vj) in row.iter().zip(v) {
-                    acc += kij * vj;
-                }
-                *slot = acc;
-            }
-        });
-    };
-
     let k = marginals.len();
     let mut u = vec![vec![1.0f64; n]; k];
     let mut v = vec![vec![1.0f64; n]; k];
@@ -367,57 +372,109 @@ fn bregman_barycentre(
     let mut tmp = vec![0.0f64; n];
     const FLOOR: f64 = 1e-300;
 
-    let mut iterations = 0;
+    let stages = match &config.eps_scaling {
+        Some(schedule) => schedule.stages(config.eps),
+        None => vec![config.eps],
+    };
+    let mut stage_log: Vec<(f64, usize)> = Vec::with_capacity(stages.len());
+    let mut total_iterations = 0;
     let mut delta = f64::INFINITY;
-    while iterations < config.max_iters {
-        iterations += 1;
-        let prev = bary.clone();
-        // v_s <- a_s / K^T u_s  (kernel symmetric => K^T = K).
-        for s in 0..k {
-            kmatvec(&u[s], &mut tmp);
-            for i in 0..n {
-                v[s][i] = marginals[s][i] / tmp[i].max(FLOOR);
-            }
-            kmatvec(&v[s], &mut kv[s]);
-        }
-        // bary <- prod_s (u_s * K v_s)^{lambda_s}, computed in logs.
-        let mut log_b = vec![0.0f64; n];
-        for s in 0..k {
-            for i in 0..n {
-                log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * kv[s][i].max(FLOOR)).ln();
-            }
-        }
-        let mx = log_b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut total = 0.0;
-        for i in 0..n {
-            bary[i] = (log_b[i] - mx).exp();
-            total += bary[i];
-        }
-        for b in &mut bary {
-            *b /= total;
-        }
-        // u_s <- bary / K v_s.
-        for s in 0..k {
-            for i in 0..n {
-                u[s][i] = bary[i] / kv[s][i].max(FLOOR);
+    let mut prev_eps: Option<f64> = None;
+    for (si, &eps) in stages.iter().enumerate() {
+        let last = si + 1 == stages.len();
+        let (max_iters, tol) = match (&config.eps_scaling, last) {
+            (Some(s), false) => (s.effective_stage_iters(), s.effective_stage_tol()),
+            _ => (config.max_iters, config.tol),
+        };
+        // Warm-start across the ε change: u = exp(φ/ε) for ε-free
+        // potentials φ, so the previous stage's vectors carry over as
+        // u^(ε_prev/ε) (floored against underflow of the power).
+        if let Some(pe) = prev_eps {
+            let ratio = pe / eps;
+            for us in u.iter_mut() {
+                for x in us.iter_mut() {
+                    *x = x.powf(ratio).max(FLOOR);
+                }
             }
         }
-        delta = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
-        if delta < config.tol {
-            return Ok((
-                bary,
-                BarycentreDiagnostics {
-                    iterations,
-                    final_delta: delta,
-                },
-            ));
+        prev_eps = Some(eps);
+        let kernel = build_kernel(n, eps, threads, &sq_dist);
+
+        // out_i = Σ_j K_ij v_j, rows chunked across threads (each row's
+        // accumulation order is fixed, so chunking never changes bytes).
+        let kmatvec = |v: &[f64], out: &mut [f64]| {
+            par_chunks_mut(out, threads, |start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let row = &kernel[(start + off) * n..(start + off + 1) * n];
+                    let mut acc = 0.0;
+                    for (kij, vj) in row.iter().zip(v) {
+                        acc += kij * vj;
+                    }
+                    *slot = acc;
+                }
+            });
+        };
+
+        let mut iterations = 0;
+        delta = f64::INFINITY;
+        while iterations < max_iters {
+            iterations += 1;
+            let prev = bary.clone();
+            // v_s <- a_s / K^T u_s  (kernel symmetric => K^T = K).
+            for s in 0..k {
+                kmatvec(&u[s], &mut tmp);
+                for i in 0..n {
+                    v[s][i] = marginals[s][i] / tmp[i].max(FLOOR);
+                }
+                kmatvec(&v[s], &mut kv[s]);
+            }
+            // bary <- prod_s (u_s * K v_s)^{lambda_s}, computed in logs.
+            let mut log_b = vec![0.0f64; n];
+            for s in 0..k {
+                for i in 0..n {
+                    log_b[i] += lambda[s] * (u[s][i].max(FLOOR) * kv[s][i].max(FLOOR)).ln();
+                }
+            }
+            let mx = log_b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut total = 0.0;
+            for i in 0..n {
+                bary[i] = (log_b[i] - mx).exp();
+                total += bary[i];
+            }
+            for b in &mut bary {
+                *b /= total;
+            }
+            // u_s <- bary / K v_s.
+            for s in 0..k {
+                for i in 0..n {
+                    u[s][i] = bary[i] / kv[s][i].max(FLOOR);
+                }
+            }
+            delta = bary.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
+            if delta < tol {
+                break;
+            }
+        }
+        total_iterations += iterations;
+        stage_log.push((eps, iterations));
+        // Only the final stage must actually converge; intermediate
+        // stages exist to warm the scaling vectors.
+        if last && delta >= tol {
+            return Err(OtError::NoConvergence {
+                solver: "entropic barycentre",
+                iterations: total_iterations,
+                residual: delta,
+            });
         }
     }
-    Err(OtError::NoConvergence {
-        solver: "entropic barycentre",
-        iterations,
-        residual: delta,
-    })
+    Ok((
+        bary,
+        BarycentreDiagnostics {
+            iterations: total_iterations,
+            final_delta: delta,
+            stages: stage_log,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -580,6 +637,64 @@ mod tests {
                 parallel_min_cells: Some(1),
                 ..seq_cfg
             };
+            let (par, diag) =
+                entropic_barycentre_with(&[&mu0, &mu1], &[0.4, 0.6], &q, &cfg).unwrap();
+            assert_eq!(diag, seq_diag, "threads = {threads}");
+            for (a, b) in par.masses().iter().zip(seq.masses()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn eps_scheduled_barycentre_agrees_with_cold_start() {
+        // The annealed solve converges to the same fixed point as the
+        // cold start at the final ε — and its diagnostics expose one
+        // (ε, iterations) entry per stage, with the warm-started final
+        // stage needing far fewer iterations than the cold solve.
+        let q = grid(-3.0, 3.0, 41);
+        let mu0 = gaussian_on(&q, -1.0, 0.6);
+        let mu1 = gaussian_on(&q, 1.0, 0.6);
+        let cold_cfg = BarycentreConfig::new(0.05, 20_000);
+        let (cold, cold_diag) =
+            entropic_barycentre_with(&[&mu0, &mu1], &[0.5, 0.5], &q, &cold_cfg).unwrap();
+        assert_eq!(cold_diag.stages.len(), 1);
+        let sched_cfg = BarycentreConfig {
+            eps_scaling: Some(EpsSchedule::geometric(0.8, 0.25)),
+            ..cold_cfg
+        };
+        let (sched, diag) =
+            entropic_barycentre_with(&[&mu0, &mu1], &[0.5, 0.5], &q, &sched_cfg).unwrap();
+        assert_eq!(
+            diag.stages.len(),
+            EpsSchedule::geometric(0.8, 0.25).stages(0.05).len()
+        );
+        assert_eq!(
+            diag.iterations,
+            diag.stages.iter().map(|&(_, i)| i).sum::<usize>()
+        );
+        assert!((diag.stages.last().unwrap().0 - 0.05).abs() < 1e-15);
+        assert!(diag.final_delta < sched_cfg.tol);
+        for (a, b) in sched.masses().iter().zip(cold.masses()) {
+            assert!((a - b).abs() < 1e-6, "scheduled {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn eps_scheduled_barycentre_parallel_bit_identical() {
+        let q = grid(-2.0, 2.0, 35);
+        let mu0 = gaussian_on(&q, -0.8, 0.5);
+        let mu1 = gaussian_on(&q, 0.9, 0.4);
+        let seq_cfg = BarycentreConfig {
+            eps_scaling: Some(EpsSchedule::geometric(0.8, 0.3)),
+            threads: 1,
+            parallel_min_cells: Some(1),
+            ..BarycentreConfig::new(0.08, 5_000)
+        };
+        let (seq, seq_diag) =
+            entropic_barycentre_with(&[&mu0, &mu1], &[0.4, 0.6], &q, &seq_cfg).unwrap();
+        for threads in [2usize, 3, 7] {
+            let cfg = BarycentreConfig { threads, ..seq_cfg };
             let (par, diag) =
                 entropic_barycentre_with(&[&mu0, &mu1], &[0.4, 0.6], &q, &cfg).unwrap();
             assert_eq!(diag, seq_diag, "threads = {threads}");

@@ -16,8 +16,9 @@
 //!   solver for arbitrary cost matrices, used as ground truth in tests and
 //!   for non-1-D problems.
 //! * [`solvers::sinkhorn`] — the **Sinkhorn–Knopp** entropic solver
-//!   (log-domain stabilized), the `O(nQ²/ε²)` alternative discussed in
-//!   Section IV-A1.
+//!   (absorption-stabilized fast path with a log-domain fallback, plus
+//!   an optional warm-started ε-scaling schedule, [`EpsSchedule`]), the
+//!   `O(nQ²/ε²)` alternative discussed in Section IV-A1.
 //! * [`solvers::backend`] — the **unified solver seam**: [`SolverBackend`]
 //!   and the [`Solver1d`] interface own backend selection, epsilon
 //!   validation, and the Sinkhorn→simplex fallback policy; every
@@ -69,5 +70,5 @@ pub use interp::MidpointCdf;
 pub use solvers::backend::{Solver1d, SolverBackend};
 pub use solvers::monotone::solve_monotone_1d;
 pub use solvers::simplex::solve_transportation_simplex;
-pub use solvers::sinkhorn::{sinkhorn, SinkhornConfig};
+pub use solvers::sinkhorn::{sinkhorn, sinkhorn_warm, EpsSchedule, SinkhornConfig, SinkhornDuals};
 pub use wasserstein::{wasserstein_1d, wasserstein_from_plan};

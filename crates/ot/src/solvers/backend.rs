@@ -30,7 +30,7 @@ use crate::discrete::DiscreteDistribution;
 use crate::error::{OtError, Result};
 use crate::solvers::monotone::solve_monotone_1d;
 use crate::solvers::simplex::solve_transportation_simplex;
-use crate::solvers::sinkhorn::{sinkhorn, SinkhornConfig};
+use crate::solvers::sinkhorn::{sinkhorn, EpsSchedule, SinkhornConfig};
 
 /// Which OT solver designs coupling plans.
 ///
@@ -55,22 +55,55 @@ pub enum SolverBackend {
     Sinkhorn {
         /// Regularization strength (in squared-feature units).
         epsilon: f64,
+        /// Optional ε-annealing schedule with warm-started duals,
+        /// ending at `epsilon` (see [`EpsSchedule`]). Absent in plan
+        /// JSON written before the schedule existed, so it defaults to
+        /// `None` on deserialization.
+        #[serde(default)]
+        eps_scaling: Option<EpsSchedule>,
     },
 }
 
 impl SolverBackend {
+    /// Entropic Sinkhorn backend at the given `ε`, no annealing — the
+    /// common spelling (the struct variant exists for serde and for the
+    /// scheduled form).
+    pub fn sinkhorn(epsilon: f64) -> Self {
+        SolverBackend::Sinkhorn {
+            epsilon,
+            eps_scaling: None,
+        }
+    }
+
+    /// Entropic Sinkhorn backend annealed along `schedule` down to
+    /// `epsilon` ([`SolverBackend::sinkhorn`] with warm-started
+    /// ε-scaling).
+    pub fn sinkhorn_scaled(epsilon: f64, schedule: EpsSchedule) -> Self {
+        SolverBackend::Sinkhorn {
+            epsilon,
+            eps_scaling: Some(schedule),
+        }
+    }
+
     /// Validate the backend's parameters (currently: Sinkhorn's `ε` must
-    /// be positive and finite).
+    /// be positive and finite, and its optional ε-schedule well-formed).
     ///
     /// # Errors
     /// [`OtError::InvalidParameter`] naming the offending parameter.
     pub fn validate(&self) -> Result<()> {
-        if let SolverBackend::Sinkhorn { epsilon } = self {
+        if let SolverBackend::Sinkhorn {
+            epsilon,
+            eps_scaling,
+        } = self
+        {
             if !(*epsilon > 0.0) || !epsilon.is_finite() {
                 return Err(OtError::InvalidParameter {
                     name: "solver.epsilon",
                     reason: format!("must be positive and finite, got {epsilon}"),
                 });
+            }
+            if let Some(schedule) = eps_scaling {
+                schedule.validate()?;
             }
         }
         Ok(())
@@ -195,9 +228,13 @@ impl Solver1d for SolverBackend {
                     .into(),
             }),
             SolverBackend::Simplex => solve_transportation_simplex(mu, nu, cost),
-            SolverBackend::Sinkhorn { epsilon } => {
+            SolverBackend::Sinkhorn {
+                epsilon,
+                eps_scaling,
+            } => {
                 let config = SinkhornConfig {
                     threads,
+                    eps_scaling: *eps_scaling,
                     ..SinkhornConfig::with_epsilon(*epsilon)
                 };
                 match sinkhorn(mu, nu, cost, config) {
@@ -226,7 +263,22 @@ impl fmt::Display for SolverBackend {
         match self {
             SolverBackend::ExactMonotone => write!(f, "exact"),
             SolverBackend::Simplex => write!(f, "simplex"),
-            SolverBackend::Sinkhorn { epsilon } => write!(f, "sinkhorn:{epsilon}"),
+            SolverBackend::Sinkhorn {
+                epsilon,
+                eps_scaling: None,
+            } => write!(f, "sinkhorn:{epsilon}"),
+            SolverBackend::Sinkhorn {
+                epsilon,
+                eps_scaling: Some(s),
+            } => {
+                // The CLI spelling covers eps0/factor; stage budgets
+                // keep their defaults on a round trip.
+                if *s == EpsSchedule::default() {
+                    write!(f, "sinkhorn:{epsilon}:scaled")
+                } else {
+                    write!(f, "sinkhorn:{epsilon}:scaled:{}:{}", s.eps0, s.factor)
+                }
+            }
         }
     }
 }
@@ -234,26 +286,65 @@ impl fmt::Display for SolverBackend {
 impl FromStr for SolverBackend {
     type Err = OtError;
 
-    /// Parse the CLI spelling: `exact` (or `monotone`), `simplex`, or
-    /// `sinkhorn:<eps>`.
+    /// Parse the CLI spelling: `exact` (or `monotone`), `simplex`,
+    /// `sinkhorn:<eps>`, or the ε-scaled forms
+    /// `sinkhorn:<eps>:scaled` (default schedule) and
+    /// `sinkhorn:<eps>:scaled:<eps0>:<factor>`.
     fn from_str(s: &str) -> Result<Self> {
+        let parse_f64 = |what: &str, v: &str| -> Result<f64> {
+            v.parse::<f64>().map_err(|_| OtError::InvalidParameter {
+                name: "solver",
+                reason: format!("cannot parse Sinkhorn {what} from `{v}`"),
+            })
+        };
         let backend = match s {
             "exact" | "monotone" => SolverBackend::ExactMonotone,
             "simplex" => SolverBackend::Simplex,
             _ => match s.strip_prefix("sinkhorn:") {
-                Some(eps) => {
-                    let epsilon = eps.parse::<f64>().map_err(|_| OtError::InvalidParameter {
-                        name: "solver",
-                        reason: format!("cannot parse Sinkhorn epsilon from `{eps}`"),
-                    })?;
-                    SolverBackend::Sinkhorn { epsilon }
+                Some(rest) => {
+                    let mut parts = rest.split(':');
+                    let epsilon = parse_f64("epsilon", parts.next().unwrap_or(""))?;
+                    let eps_scaling = match parts.next() {
+                        None => None,
+                        Some("scaled") => {
+                            let tail: Vec<&str> = parts.collect();
+                            match tail.as_slice() {
+                                [] => Some(EpsSchedule::default()),
+                                [eps0, factor] => Some(EpsSchedule::geometric(
+                                    parse_f64("eps0", eps0)?,
+                                    parse_f64("factor", factor)?,
+                                )),
+                                _ => {
+                                    return Err(OtError::InvalidParameter {
+                                        name: "solver",
+                                        reason: format!(
+                                            "expected `sinkhorn:<eps>:scaled` or \
+                                             `sinkhorn:<eps>:scaled:<eps0>:<factor>`, got `{s}`"
+                                        ),
+                                    })
+                                }
+                            }
+                        }
+                        Some(other) => {
+                            return Err(OtError::InvalidParameter {
+                                name: "solver",
+                                reason: format!(
+                                    "unknown Sinkhorn option `{other}` (expected `scaled`)"
+                                ),
+                            })
+                        }
+                    };
+                    SolverBackend::Sinkhorn {
+                        epsilon,
+                        eps_scaling,
+                    }
                 }
                 None => {
                     return Err(OtError::InvalidParameter {
                         name: "solver",
                         reason: format!(
-                            "unknown solver `{s}` (expected `exact`, `simplex`, or \
-                             `sinkhorn:<eps>`)"
+                            "unknown solver `{s}` (expected `exact`, `simplex`, \
+                             `sinkhorn:<eps>`, or `sinkhorn:<eps>:scaled[:<eps0>:<factor>]`)"
                         ),
                     })
                 }
@@ -276,7 +367,7 @@ mod tests {
         [
             SolverBackend::ExactMonotone,
             SolverBackend::Simplex,
-            SolverBackend::Sinkhorn { epsilon: 0.05 },
+            SolverBackend::sinkhorn(0.05),
         ]
     }
 
@@ -311,7 +402,7 @@ mod tests {
             "{mono} vs {simp}"
         );
         // Entropic cost upper-bounds the exact optimum and converges to it.
-        let entropic = SolverBackend::Sinkhorn { epsilon: 0.01 }
+        let entropic = SolverBackend::sinkhorn(0.01)
             .solve_1d(&mu, &nu)
             .unwrap()
             .transport_cost(&cost)
@@ -327,7 +418,7 @@ mod tests {
         // the problem to the exact simplex and return its optimum.
         let mu = dd(&[0.0, 3.0, 6.0], &[0.5, 0.25, 0.25]);
         let nu = dd(&[1.0, 4.0], &[0.6, 0.4]);
-        let backend = SolverBackend::Sinkhorn { epsilon: 1e-12 };
+        let backend = SolverBackend::sinkhorn(1e-12);
         let plan = backend.solve_1d(&mu, &nu).unwrap();
         plan.validate_marginals(mu.masses(), nu.masses()).unwrap();
         let cost = CostMatrix::squared_euclidean(mu.support(), nu.support()).unwrap();
@@ -350,10 +441,7 @@ mod tests {
         let nu = [0.25, 0.75];
         let cost =
             CostMatrix::from_fn(&[0, 1], &[0, 1], |a, b| if a == b { 0.0 } else { 2.0 }).unwrap();
-        for backend in [
-            SolverBackend::Simplex,
-            SolverBackend::Sinkhorn { epsilon: 0.1 },
-        ] {
+        for backend in [SolverBackend::Simplex, SolverBackend::sinkhorn(0.1)] {
             let plan = backend.solve_with_cost(&mu, &nu, &cost).unwrap();
             plan.validate_marginals(&mu, &nu).unwrap();
         }
@@ -364,25 +452,15 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_epsilon() {
-        assert!(SolverBackend::Sinkhorn { epsilon: 0.0 }.validate().is_err());
-        assert!(SolverBackend::Sinkhorn { epsilon: -1.0 }
-            .validate()
-            .is_err());
-        assert!(SolverBackend::Sinkhorn { epsilon: f64::NAN }
-            .validate()
-            .is_err());
-        assert!(SolverBackend::Sinkhorn {
-            epsilon: f64::INFINITY
-        }
-        .validate()
-        .is_err());
+        assert!(SolverBackend::sinkhorn(0.0).validate().is_err());
+        assert!(SolverBackend::sinkhorn(-1.0).validate().is_err());
+        assert!(SolverBackend::sinkhorn(f64::NAN).validate().is_err());
+        assert!(SolverBackend::sinkhorn(f64::INFINITY).validate().is_err());
         assert!(SolverBackend::ExactMonotone.validate().is_ok());
         assert!(SolverBackend::Simplex.validate().is_ok());
         // Invalid parameters surface through the solve path too.
         let mu = dd(&[0.0, 1.0], &[0.5, 0.5]);
-        assert!(SolverBackend::Sinkhorn { epsilon: -1.0 }
-            .solve_1d(&mu, &mu)
-            .is_err());
+        assert!(SolverBackend::sinkhorn(-1.0).solve_1d(&mu, &mu).is_err());
     }
 
     #[test]
@@ -401,7 +479,7 @@ mod tests {
         );
         assert_eq!(
             "sinkhorn:0.05".parse::<SolverBackend>().unwrap(),
-            SolverBackend::Sinkhorn { epsilon: 0.05 }
+            SolverBackend::sinkhorn(0.05)
         );
         assert!("sinkhorn:".parse::<SolverBackend>().is_err());
         assert!("sinkhorn:-3".parse::<SolverBackend>().is_err());

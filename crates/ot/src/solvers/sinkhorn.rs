@@ -1,22 +1,37 @@
 //! Entropic-regularized optimal transport: the Sinkhorn–Knopp algorithm
-//! (Cuturi 2013, the paper's reference \[35\]), with two iteration
-//! domains behind one entry point:
+//! (Cuturi 2013, the paper's reference \[35\]), built around three
+//! coordinated performance ideas:
 //!
-//! * a **standard-domain** fast path — scaling vectors `u, v` against a
-//!   precomputed Gibbs kernel `K = exp(−C/ε)`, one multiply-add per cell
-//!   per iteration — taken when `max(C)/ε` is small enough that the
-//!   kernel cannot underflow destructively;
-//! * the **log-domain** path — dual potentials updated through
-//!   log-sum-exp — for small `ε` on wide cost ranges, and as the
-//!   fallback if the standard path ever turns non-finite.
+//! * an **absorption-stabilized standard domain** — scaling vectors
+//!   `u, v` against the *absorbed* Gibbs kernel
+//!   `K̃ = exp((φ_i + ψ_j − C_ij)/ε)`, one multiply-add per cell per
+//!   iteration; whenever the scalings drift too far from 1 their logs
+//!   are absorbed into the dual potentials `φ, ψ` and the kernel is
+//!   rebuilt (Schmitzer 2019's stabilization), so the fast path now
+//!   serves *any* `ε` instead of only `max(C)/ε ≤ 500`;
+//! * a **log-domain fallback** — dual potentials updated through
+//!   log-sum-exp — entered only if the standard iteration turns
+//!   non-finite or stalls (a pure function of the iterates, so the
+//!   switch is deterministic);
+//! * an optional **ε-scaling schedule with warm-started duals**
+//!   ([`EpsSchedule`]): anneal geometrically from `ε₀` down to the
+//!   target `ε`, carrying the converged potentials of each stage into
+//!   the next ([`sinkhorn_warm`]). Warm duals cut the iteration count
+//!   at the final (expensive) `ε` by an order of magnitude; the stage
+//!   list is a pure function of the config, so scheduling never breaks
+//!   the determinism contract below.
 //!
-//! Both paths chunk their row/column scaling updates over
+//! The hot loops chunk their row/column scaling updates over
 //! [`otr_par::par_chunks_mut`] once the kernel crosses the
-//! [`otr_par::kernel_cells`] size threshold: every output element is
-//! written by exactly one thread and accumulated in a fixed order, so
-//! the returned plan is **bit-identical for any thread count**. All
-//! cross-row reductions (marginal residuals, rounding mass totals) are
-//! summed sequentially on the calling thread for the same reason.
+//! [`otr_par::kernel_cells`] size threshold, and past the same
+//! threshold the **column phase reads a transposed kernel copy**
+//! ([`otr_par::par_transpose`]) instead of striding the row-major
+//! kernel — the accumulation order over rows is unchanged, so the
+//! transposed phase is bitwise-equal to the strided one. Every output
+//! element is written by exactly one thread and accumulated in a fixed
+//! order, and all cross-row reductions (marginal residuals, absorption
+//! drift, rounding mass totals) are summed sequentially on the calling
+//! thread: the returned plan is **bit-identical for any thread count**.
 //!
 //! Section IV-A1 of the paper contrasts unregularized OT's
 //! `O(nQ³ log nQ)` with Sinkhorn's `O(nQ²/ε²)`; the `ablation_sinkhorn`
@@ -25,35 +40,181 @@
 
 use serde::{Deserialize, Serialize};
 
-use otr_par::{par_chunks_mut, par_rows_mut};
+use otr_par::{par_chunks_mut, par_rows_mut, par_transpose};
 
 use crate::cost::CostMatrix;
 use crate::coupling::OtPlan;
 use crate::error::{OtError, Result};
 
-/// Largest `max(C)/ε` ratio the standard-domain path accepts: kernel
-/// entries stay ≥ `exp(−500)` ≈ 7e−218, comfortably inside f64 range,
-/// so the plain multiply-add iteration cannot underflow to hard zero.
-const STANDARD_DOMAIN_MAX_EXPONENT: f64 = 500.0;
+/// Iterations between convergence / absorption checks: the `O(n²)`
+/// residual amortizes to noise at this cadence.
+const CHECK_CADENCE: usize = 10;
 
-/// Configuration for [`sinkhorn`].
+/// Largest `max(|ln u|, |ln v|)` scaling drift the standard-domain
+/// iteration tolerates before absorbing the scalings into the dual
+/// potentials and rebuilding the kernel. Products `u_i K̃_ij v_j` stay
+/// below `exp(2 · 250) = e⁵⁰⁰`, comfortably inside f64 range.
+const ABSORB_DRIFT: f64 = 250.0;
+
+/// Consecutive non-improving residual checks before the standard
+/// iteration is declared stalled and the log-domain fallback takes
+/// over (30 checks × cadence 10 = 300 iterations of grace).
+const STALL_CHECKS: usize = 30;
+
+/// Hard cap on ε-schedule stages (a floor-bound geometric schedule with
+/// a factor very close to 1 would otherwise explode); past the cap the
+/// schedule jumps straight to the final ε.
+const MAX_STAGES: usize = 64;
+
+/// Default intermediate-stage iteration cap of [`EpsSchedule`]
+/// (`stage_iters = 0` = auto).
+const STAGE_ITERS_DEFAULT: usize = 200;
+
+/// Default intermediate-stage tolerance of [`EpsSchedule`]
+/// (`stage_tol = 0.0` = auto).
+const STAGE_TOL_DEFAULT: f64 = 1e-4;
+
+/// A deterministic geometric ε-annealing schedule: solve at
+/// `ε₀, ε₀·factor, ε₀·factor², …` (each stage warm-starting the next's
+/// dual potentials) until the sequence crosses the target ε, which is
+/// always the final stage. A pure function of the config — the stage
+/// list never depends on data, threads, or timing — so scheduled solves
+/// keep the bit-identical-for-any-thread-count contract.
+///
+/// Intermediate stages only need to *warm the duals*, so they run under
+/// a loose tolerance and a small iteration cap; only the final stage
+/// enforces the caller's `tol`/`max_iters`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsSchedule {
+    /// Starting regularization `ε₀` (> the target ε for the schedule to
+    /// have any effect; a start at or below the target collapses to the
+    /// single final stage).
+    pub eps0: f64,
+    /// Geometric decay factor per stage, strictly inside `(0, 1)`.
+    pub factor: f64,
+    /// Iteration cap per intermediate stage; `0` = auto (200). The
+    /// final stage uses the solver's own budget.
+    #[serde(default)]
+    pub stage_iters: usize,
+    /// Convergence tolerance for intermediate stages; `0.0` = auto
+    /// (`1e-4`). The final stage uses the solver's own `tol`.
+    #[serde(default)]
+    pub stage_tol: f64,
+}
+
+impl Default for EpsSchedule {
+    /// `ε₀ = 1.0`, factor `0.25`: for the paper's joint `ε = 0.05` this
+    /// anneals through `1.0 → 0.25 → 0.0625 → 0.05`. Stage budget at
+    /// auto.
+    fn default() -> Self {
+        Self {
+            eps0: 1.0,
+            factor: 0.25,
+            stage_iters: 0,
+            stage_tol: 0.0,
+        }
+    }
+}
+
+impl EpsSchedule {
+    /// Schedule with the given start and decay, default stage budget.
+    pub fn geometric(eps0: f64, factor: f64) -> Self {
+        Self {
+            eps0,
+            factor,
+            ..Self::default()
+        }
+    }
+
+    /// Validate the schedule parameters.
+    ///
+    /// # Errors
+    /// [`OtError::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.eps0 > 0.0) || !self.eps0.is_finite() {
+            return Err(OtError::InvalidParameter {
+                name: "eps_scaling.eps0",
+                reason: format!("must be positive and finite, got {}", self.eps0),
+            });
+        }
+        if !(self.factor > 0.0 && self.factor < 1.0) {
+            return Err(OtError::InvalidParameter {
+                name: "eps_scaling.factor",
+                reason: format!("must lie strictly in (0, 1), got {}", self.factor),
+            });
+        }
+        if !(self.stage_tol >= 0.0) || !self.stage_tol.is_finite() {
+            return Err(OtError::InvalidParameter {
+                name: "eps_scaling.stage_tol",
+                reason: format!("must be non-negative and finite, got {}", self.stage_tol),
+            });
+        }
+        Ok(())
+    }
+
+    /// The intermediate-stage iteration cap (`stage_iters`, or the
+    /// default 200 when left at `0` = auto).
+    pub fn effective_stage_iters(&self) -> usize {
+        if self.stage_iters == 0 {
+            STAGE_ITERS_DEFAULT
+        } else {
+            self.stage_iters
+        }
+    }
+
+    /// The intermediate-stage tolerance (`stage_tol`, or the default
+    /// `1e-4` when left at `0.0` = auto).
+    pub fn effective_stage_tol(&self) -> f64 {
+        if self.stage_tol == 0.0 {
+            STAGE_TOL_DEFAULT
+        } else {
+            self.stage_tol
+        }
+    }
+
+    /// The stage ε sequence down to (and always ending exactly at)
+    /// `eps_final`: strictly decreasing, geometric, capped at 64
+    /// stages (past the cap the schedule jumps straight to the final
+    /// ε).
+    pub fn stages(&self, eps_final: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut eps = self.eps0;
+        while eps > eps_final && out.len() < MAX_STAGES {
+            out.push(eps);
+            eps *= self.factor;
+        }
+        out.push(eps_final);
+        out
+    }
+}
+
+/// Configuration for [`sinkhorn`] / [`sinkhorn_warm`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SinkhornConfig {
     /// Entropic regularization strength `ε > 0` (in cost units; it is NOT
     /// rescaled by the maximum cost internally).
     pub epsilon: f64,
-    /// Maximum Sinkhorn iterations.
+    /// Maximum Sinkhorn iterations (of the final stage, when an
+    /// ε-schedule is set).
     pub max_iters: usize,
     /// Convergence threshold on the L1 marginal violation.
     pub tol: f64,
+    /// Optional ε-annealing schedule ending at [`epsilon`](Self::epsilon).
+    /// Part of the solve's mathematical definition (a scheduled solve
+    /// converges to the same fixed point but along a different iterate
+    /// path), so — unlike the runtime knobs below — it serializes
+    /// (absent in pre-schedule JSON, defaulting to `None`).
+    #[serde(default)]
+    pub eps_scaling: Option<EpsSchedule>,
     /// Worker threads for the in-kernel scaling updates (`0` = auto:
     /// `OTR_THREADS` env or available parallelism). Runtime policy —
     /// never serialized, and never affects the returned plan's bytes.
     #[serde(skip)]
     pub threads: usize,
     /// Minimum kernel size (rows × cols) before the scaling updates
-    /// chunk across threads; `None` = auto (`OTR_KERNEL_CELLS` env or
-    /// [`otr_par::KERNEL_CELLS_DEFAULT`]). Runtime policy, not
+    /// chunk across threads — and before the column phase switches to
+    /// the transposed kernel copy; `None` = auto (`OTR_KERNEL_CELLS`
+    /// env or [`otr_par::KERNEL_CELLS_DEFAULT`]). Runtime policy, not
     /// serialized.
     #[serde(skip)]
     pub parallel_min_cells: Option<usize>,
@@ -65,6 +226,7 @@ impl Default for SinkhornConfig {
             epsilon: 1e-2,
             max_iters: 20_000,
             tol: 1e-6,
+            eps_scaling: None,
             threads: 0,
             parallel_min_cells: None,
         }
@@ -91,9 +253,26 @@ impl SinkhornConfig {
     }
 }
 
+/// Dual potentials `(f, g)` of a Sinkhorn solve in **cost units**
+/// (`π_ij ∝ exp((f_i + g_j − C_ij)/ε)`), on the caller's full support
+/// (zero at zero-mass atoms). Returned by [`sinkhorn_warm`] so a later
+/// solve of a *nearby* problem — the next stage of an ε-schedule, the
+/// next outer iteration of an alternating scheme, a slightly perturbed
+/// marginal — can start from them instead of from uniform.
+///
+/// Because the potentials are stored ε-free, warm-starting across a
+/// *change of ε* is exact: the solver just divides by its own ε.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkhornDuals {
+    /// Row potential `f`, one entry per source atom.
+    pub f: Vec<f64>,
+    /// Column potential `g`, one entry per target atom.
+    pub g: Vec<f64>,
+}
+
 /// Solve entropic OT `min ⟨π, C⟩ − ε H(π)` subject to the coupling
-/// constraints, via Sinkhorn scaling iterations (standard-domain when
-/// `max(C)/ε` permits, log-domain otherwise — see the module docs).
+/// constraints, via (optionally ε-scheduled) Sinkhorn scaling
+/// iterations — see the module docs for the iteration domains.
 ///
 /// Returns an ε-approximate plan whose marginals match `a`/`b` within
 /// `config.tol` in L1. The plan is bit-identical for any
@@ -104,6 +283,23 @@ impl SinkhornConfig {
 /// * [`OtError::NoConvergence`] if the iteration budget is exhausted
 ///   before the marginal residual falls below `tol`.
 pub fn sinkhorn(a: &[f64], b: &[f64], cost: &CostMatrix, config: SinkhornConfig) -> Result<OtPlan> {
+    sinkhorn_warm(a, b, cost, config, None).map(|(plan, _)| plan)
+}
+
+/// [`sinkhorn`] with an explicit dual warm start, returning the plan
+/// **and** the converged duals (for chaining into the next nearby
+/// solve). `warm = None` is the cold start from zero potentials.
+///
+/// # Errors
+/// As [`sinkhorn`]; additionally rejects warm duals whose lengths do
+/// not match the marginals.
+pub fn sinkhorn_warm(
+    a: &[f64],
+    b: &[f64],
+    cost: &CostMatrix,
+    config: SinkhornConfig,
+    warm: Option<&SinkhornDuals>,
+) -> Result<(OtPlan, SinkhornDuals)> {
     let n = a.len();
     let m = b.len();
     if n == 0 || m == 0 {
@@ -121,6 +317,18 @@ pub fn sinkhorn(a: &[f64], b: &[f64], cost: &CostMatrix, config: SinkhornConfig)
             name: "epsilon",
             reason: format!("must be positive and finite, got {}", config.epsilon),
         });
+    }
+    if let Some(schedule) = &config.eps_scaling {
+        schedule.validate()?;
+    }
+    if let Some(duals) = warm {
+        if duals.f.len() != n || duals.g.len() != m {
+            return Err(OtError::LengthMismatch {
+                what: "warm duals vs marginals",
+                left: duals.f.len() + duals.g.len(),
+                right: n + m,
+            });
+        }
     }
 
     let normalize = |v: &[f64], name: &str| -> Result<Vec<f64>> {
@@ -149,105 +357,210 @@ pub fn sinkhorn(a: &[f64], b: &[f64], cost: &CostMatrix, config: SinkhornConfig)
     let np = rows_pos.len();
     let mp = cols_pos.len();
 
-    let eps = config.epsilon;
-    // Scaled negative cost kernel exponents: -C[i][j]/eps, built
-    // row-parallel (each chunk writes its own disjoint rows).
+    // Negated cost -C on the positive sub-support (ε-free, so one build
+    // serves every schedule stage), built row-parallel.
     let threads = config.kernel_threads(np * mp);
-    let mut neg_c_eps = vec![0.0f64; np * mp];
-    par_chunks_mut(&mut neg_c_eps, threads, |start, chunk| {
+    let transposed = np * mp >= otr_par::kernel_cells(config.parallel_min_cells);
+    let mut neg_c = vec![0.0f64; np * mp];
+    par_chunks_mut(&mut neg_c, threads, |start, chunk| {
         for (off, slot) in chunk.iter_mut().enumerate() {
             let idx = start + off;
-            *slot = -cost.get(rows_pos[idx / mp], cols_pos[idx % mp]) / eps;
+            *slot = -cost.get(rows_pos[idx / mp], cols_pos[idx % mp]);
         }
     });
 
     let sub = SubProblem {
         np,
         mp,
-        neg_c_eps,
+        neg_c,
         a_pos: rows_pos.iter().map(|&i| a[i]).collect(),
         b_pos: cols_pos.iter().map(|&j| b[j]).collect(),
         threads,
-        config,
+        transposed,
     };
 
-    let max_exponent = sub
-        .neg_c_eps
-        .iter()
-        .fold(0.0f64, |acc, &x| acc.max(x.abs()));
-    let solved = if max_exponent <= STANDARD_DOMAIN_MAX_EXPONENT {
-        match sub.solve_standard() {
-            Ok(Some(plan)) => plan,
-            // The standard path turned non-finite (pathological inputs)
-            // or stalled — FLOOR-clamped underflow of K·v products can
-            // pin its residual above tol on skewed marginals the
-            // log-domain iteration still solves. Log-sum-exp is
-            // unconditionally stable, so retry there before reporting
-            // failure; the fallback decision is a pure function of the
-            // inputs, so determinism is unaffected.
-            Ok(None) | Err(OtError::NoConvergence { .. }) => sub.solve_log()?,
-            Err(e) => return Err(e),
+    // Dual potentials in cost units on the sub-support, warm or zero.
+    let mut phi = vec![0.0f64; np];
+    let mut psi = vec![0.0f64; mp];
+    if let Some(duals) = warm {
+        for (slot, &i) in phi.iter_mut().zip(&rows_pos) {
+            *slot = duals.f[i];
         }
-    } else {
-        sub.solve_log()?
+        for (slot, &j) in psi.iter_mut().zip(&cols_pos) {
+            *slot = duals.g[j];
+        }
+    }
+
+    let stages = match &config.eps_scaling {
+        Some(schedule) => schedule.stages(config.epsilon),
+        None => vec![config.epsilon],
     };
+    let (stage_iters, stage_tol) = match &config.eps_scaling {
+        Some(s) => (s.effective_stage_iters(), s.effective_stage_tol()),
+        None => (0, 0.0), // unused: a single stage is always final
+    };
+    let mut solved = Vec::new();
+    for (si, &eps) in stages.iter().enumerate() {
+        let last = si + 1 == stages.len();
+        let (cap, tol) = if last {
+            (config.max_iters, config.tol)
+        } else {
+            (stage_iters, stage_tol)
+        };
+        if let Some(plan) = sub.run_stage(eps, cap, tol, &mut phi, &mut psi, last)? {
+            solved = plan;
+        }
+    }
     let rounded = sub.round_to_feasible(solved);
 
-    // Embed into the full support.
+    // Embed the plan and the duals into the full support.
     let mut mass = vec![0.0f64; n * m];
     for (pi, &i) in rows_pos.iter().enumerate() {
         for (pj, &j) in cols_pos.iter().enumerate() {
             mass[i * m + j] = rounded[pi * mp + pj];
         }
     }
-    OtPlan::from_dense(n, m, mass)
+    let mut duals = SinkhornDuals {
+        f: vec![0.0f64; n],
+        g: vec![0.0f64; m],
+    };
+    for (pi, &i) in rows_pos.iter().enumerate() {
+        duals.f[i] = phi[pi];
+    }
+    for (pj, &j) in cols_pos.iter().enumerate() {
+        duals.g[j] = psi[pj];
+    }
+    Ok((OtPlan::from_dense(n, m, mass)?, duals))
+}
+
+/// Outcome of a standard-domain stage attempt.
+enum StandardOutcome {
+    /// Residual fell below the stage tolerance (plan present when the
+    /// stage was asked to materialize).
+    Converged(Option<Vec<f64>>),
+    /// Iteration cap exhausted with finite iterates; the duals hold the
+    /// absorbed final scalings (fine for an intermediate stage).
+    Exhausted,
+    /// Non-finite iterates or a stalled residual; the duals hold the
+    /// last healthy absorption. The caller should fall back to the
+    /// log domain.
+    Unstable,
 }
 
 /// The strictly-positive sub-problem a [`sinkhorn`] call reduces to,
-/// plus the resolved in-kernel thread count. Both iteration domains and
-/// the feasibility rounding operate on this.
+/// plus the resolved in-kernel execution policy. All schedule stages,
+/// both iteration domains, and the feasibility rounding operate on this.
 struct SubProblem {
     np: usize,
     mp: usize,
-    /// Kernel exponents `-C/ε`, row-major `np × mp`.
-    neg_c_eps: Vec<f64>,
+    /// Negated cost `-C` (ε-free), row-major `np × mp`.
+    neg_c: Vec<f64>,
     a_pos: Vec<f64>,
     b_pos: Vec<f64>,
     /// Effective worker threads (1 = stay sequential; the size
     /// threshold has already been applied).
     threads: usize,
-    config: SinkhornConfig,
+    /// Column phase reads a transposed kernel copy (true once the
+    /// kernel crosses the [`otr_par::kernel_cells`] threshold).
+    transposed: bool,
 }
 
 impl SubProblem {
-    /// Standard-domain Sinkhorn: scaling vectors against the explicit
-    /// Gibbs kernel. Returns `Ok(None)` if the iteration turns
-    /// non-finite and the caller should fall back to the log domain.
+    /// One ε-stage: try the absorption-stabilized standard domain, fall
+    /// back to the log domain if it turns non-finite or stalls. `phi` /
+    /// `psi` (cost-unit duals) are the warm-start input and the stage's
+    /// output. Only the final stage (`last`) materializes a plan and
+    /// treats an exhausted budget as [`OtError::NoConvergence`];
+    /// intermediate stages exist solely to warm the duals.
+    fn run_stage(
+        &self,
+        eps: f64,
+        max_iters: usize,
+        tol: f64,
+        phi: &mut [f64],
+        psi: &mut [f64],
+        last: bool,
+    ) -> Result<Option<Vec<f64>>> {
+        match self.iterate_standard(eps, max_iters, tol, phi, psi, last) {
+            StandardOutcome::Converged(plan) => Ok(plan),
+            StandardOutcome::Exhausted if !last => Ok(None),
+            // Final-stage exhaustion or instability: the log-sum-exp
+            // domain is unconditionally stable, so retry there before
+            // reporting failure. The fallback decision is a pure
+            // function of the iterates, so determinism is unaffected.
+            StandardOutcome::Exhausted | StandardOutcome::Unstable => {
+                self.iterate_log(eps, max_iters, tol, phi, psi, last)
+            }
+        }
+    }
+
+    /// Build the absorbed Gibbs kernel `K̃_ij = exp((φ_i + ψ_j − C_ij)/ε)`
+    /// (and, past the size threshold, its transposed copy for the
+    /// column phase), chunk-parallel.
+    fn build_absorbed_kernel(
+        &self,
+        eps: f64,
+        phi: &[f64],
+        psi: &[f64],
+        kernel: &mut [f64],
+        kernel_t: &mut [f64],
+    ) {
+        let mp = self.mp;
+        let neg_c = &self.neg_c;
+        par_chunks_mut(kernel, self.threads, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let idx = start + off;
+                *slot = ((phi[idx / mp] + psi[idx % mp] + neg_c[idx]) / eps).exp();
+            }
+        });
+        if self.transposed {
+            par_transpose(kernel, self.np, mp, kernel_t, self.threads);
+        }
+    }
+
+    /// Standard-domain Sinkhorn against the absorbed kernel, with
+    /// periodic absorption of drifting scalings into `phi`/`psi`.
     ///
     /// Update order matches the log-domain path (row scaling, then
     /// column scaling, residual measured on rows), so both paths
     /// converge on the same cadence.
-    fn solve_standard(&self) -> Result<Option<Vec<f64>>> {
+    fn iterate_standard(
+        &self,
+        eps: f64,
+        max_iters: usize,
+        tol: f64,
+        phi: &mut [f64],
+        psi: &mut [f64],
+        materialize: bool,
+    ) -> StandardOutcome {
         let (np, mp) = (self.np, self.mp);
-        let kernel: Vec<f64> = {
-            let mut k = vec![0.0f64; np * mp];
-            par_chunks_mut(&mut k, self.threads, |start, chunk| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    *slot = self.neg_c_eps[start + off].exp();
-                }
-            });
-            k
+        let mut kernel = vec![0.0f64; np * mp];
+        let mut kernel_t = if self.transposed {
+            vec![0.0f64; np * mp]
+        } else {
+            Vec::new()
         };
+        self.build_absorbed_kernel(eps, phi, psi, &mut kernel, &mut kernel_t);
 
         const FLOOR: f64 = 1e-300;
+        let absorb = |phi: &mut [f64], psi: &mut [f64], u: &[f64], v: &[f64]| {
+            for (p, ui) in phi.iter_mut().zip(u) {
+                *p += eps * ui.ln();
+            }
+            for (p, vj) in psi.iter_mut().zip(v) {
+                *p += eps * vj.ln();
+            }
+        };
+
         let mut u = vec![1.0f64; np];
         let mut v = vec![1.0f64; mp];
         let mut iterations = 0;
-        let mut residual = f64::INFINITY;
         let mut row_res = vec![0.0f64; np];
-        while iterations < self.config.max_iters {
+        let mut best_residual = f64::INFINITY;
+        let mut stalled_checks = 0;
+        while iterations < max_iters {
             iterations += 1;
-            // u_i = a_i / Σ_j K_ij v_j (row marginals exact after this).
+            // u_i = a_i / Σ_j K̃_ij v_j (row marginals exact after this).
             par_chunks_mut(&mut u, self.threads, |start, chunk| {
                 for (off, ui) in chunk.iter_mut().enumerate() {
                     let pi = start + off;
@@ -259,23 +572,45 @@ impl SubProblem {
                     *ui = self.a_pos[pi] / acc.max(FLOOR);
                 }
             });
-            // v_j = b_j / Σ_i K_ij u_i (column marginals exact after this).
-            par_chunks_mut(&mut v, self.threads, |start, chunk| {
-                for (off, vj) in chunk.iter_mut().enumerate() {
-                    let pj = start + off;
-                    let mut acc = 0.0;
-                    for pi in 0..np {
-                        acc += kernel[pi * mp + pj] * u[pi];
+            // v_j = b_j / Σ_i K̃_ij u_i (column marginals exact after
+            // this). Past the size threshold the sum reads row pj of the
+            // transposed copy — contiguous instead of stride-mp — in the
+            // same pi order, so the accumulated bits are unchanged.
+            if self.transposed {
+                let kernel_t = &kernel_t;
+                let u_ref = &u;
+                par_chunks_mut(&mut v, self.threads, |start, chunk| {
+                    for (off, vj) in chunk.iter_mut().enumerate() {
+                        let pj = start + off;
+                        let col = &kernel_t[pj * np..(pj + 1) * np];
+                        let mut acc = 0.0;
+                        for (kij, ui) in col.iter().zip(u_ref) {
+                            acc += kij * ui;
+                        }
+                        *vj = self.b_pos[pj] / acc.max(FLOOR);
                     }
-                    *vj = self.b_pos[pj] / acc.max(FLOOR);
-                }
-            });
+                });
+            } else {
+                let kernel_ref = &kernel;
+                let u_ref = &u;
+                par_chunks_mut(&mut v, self.threads, |start, chunk| {
+                    for (off, vj) in chunk.iter_mut().enumerate() {
+                        let pj = start + off;
+                        let mut acc = 0.0;
+                        for pi in 0..np {
+                            acc += kernel_ref[pi * mp + pj] * u_ref[pi];
+                        }
+                        *vj = self.b_pos[pj] / acc.max(FLOOR);
+                    }
+                });
+            }
 
-            // Check marginal residual every few iterations to amortize
-            // cost. Per-row contributions are computed elementwise in
-            // parallel; the cross-row sum stays sequential so the
-            // accumulated residual is thread-count-independent.
-            if iterations % 10 == 0 || iterations == self.config.max_iters {
+            // Convergence / absorption checks every few iterations to
+            // amortize their O(n²) / O(n) cost. Per-row contributions
+            // are computed elementwise in parallel; every cross-row
+            // reduction (residual sum, drift max) stays sequential so
+            // the outcome is thread-count-independent.
+            if iterations % CHECK_CADENCE == 0 || iterations == max_iters {
                 par_chunks_mut(&mut row_res, self.threads, |start, chunk| {
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         let pi = start + off;
@@ -287,46 +622,98 @@ impl SubProblem {
                         *slot = (u[pi] * acc - self.a_pos[pi]).abs();
                     }
                 });
-                residual = row_res.iter().sum();
+                let residual: f64 = row_res.iter().sum();
                 if !residual.is_finite() {
-                    return Ok(None);
+                    return StandardOutcome::Unstable;
                 }
-                if residual < self.config.tol {
-                    break;
+                if residual < tol {
+                    // Materialize π_ij = u_i K̃_ij v_j before the final
+                    // absorption folds the scalings away.
+                    let plan = materialize.then(|| {
+                        let mut plan = vec![0.0f64; np * mp];
+                        let kernel_ref = &kernel;
+                        let (u_ref, v_ref) = (&u, &v);
+                        par_chunks_mut(&mut plan, self.threads, |start, chunk| {
+                            for (off, slot) in chunk.iter_mut().enumerate() {
+                                let idx = start + off;
+                                *slot = u_ref[idx / mp] * kernel_ref[idx] * v_ref[idx % mp];
+                            }
+                        });
+                        plan
+                    });
+                    absorb(phi, psi, &u, &v);
+                    return StandardOutcome::Converged(plan);
                 }
-            }
-        }
-        if residual >= self.config.tol && iterations >= self.config.max_iters {
-            return Err(OtError::NoConvergence {
-                solver: "sinkhorn",
-                iterations,
-                residual,
-            });
-        }
+                if residual >= best_residual * 0.999 {
+                    stalled_checks += 1;
+                    if stalled_checks >= STALL_CHECKS {
+                        return StandardOutcome::Unstable;
+                    }
+                } else {
+                    stalled_checks = 0;
+                }
+                best_residual = best_residual.min(residual);
 
-        // Materialize π_ij = u_i K_ij v_j on the sub-support.
-        let mut plan = vec![0.0f64; np * mp];
-        par_chunks_mut(&mut plan, self.threads, |start, chunk| {
-            for (off, slot) in chunk.iter_mut().enumerate() {
-                let idx = start + off;
-                *slot = u[idx / mp] * kernel[idx] * v[idx % mp];
+                // Absorb drifting scalings into the duals and rebuild
+                // the kernel around them, keeping every product the
+                // iteration forms inside f64 range.
+                let drift = u
+                    .iter()
+                    .chain(&v)
+                    .map(|x| x.ln().abs())
+                    .fold(0.0f64, f64::max);
+                if !drift.is_finite() {
+                    return StandardOutcome::Unstable;
+                }
+                if drift > ABSORB_DRIFT {
+                    absorb(phi, psi, &u, &v);
+                    self.build_absorbed_kernel(eps, phi, psi, &mut kernel, &mut kernel_t);
+                    u.fill(1.0);
+                    v.fill(1.0);
+                }
             }
-        });
-        Ok(Some(plan))
+        }
+        absorb(phi, psi, &u, &v);
+        StandardOutcome::Exhausted
     }
 
     /// Log-domain Sinkhorn: dual potentials via log-sum-exp. Stable for
     /// any `ε > 0`; roughly 3–5× the per-cell cost of the standard path.
-    fn solve_log(&self) -> Result<Vec<f64>> {
+    /// Entered only as the fallback when [`Self::iterate_standard`]
+    /// turns non-finite or stalls.
+    fn iterate_log(
+        &self,
+        eps: f64,
+        max_iters: usize,
+        tol: f64,
+        phi: &mut [f64],
+        psi: &mut [f64],
+        last: bool,
+    ) -> Result<Option<Vec<f64>>> {
         let (np, mp) = (self.np, self.mp);
         let log_a: Vec<f64> = self.a_pos.iter().map(|x| x.ln()).collect();
         let log_b: Vec<f64> = self.b_pos.iter().map(|x| x.ln()).collect();
-        let neg_c_eps = &self.neg_c_eps;
+        // Kernel exponents -C/ε for this stage, plus the transposed
+        // copy for the column phase past the size threshold (the
+        // elementwise scaling commutes with the transpose, so either
+        // build order yields the same bits).
+        let mut neg_c_eps = vec![0.0f64; np * mp];
+        let neg_c = &self.neg_c;
+        par_chunks_mut(&mut neg_c_eps, self.threads, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = neg_c[start + off] / eps;
+            }
+        });
+        let mut neg_c_eps_t = Vec::new();
+        if self.transposed {
+            neg_c_eps_t = vec![0.0f64; np * mp];
+            par_transpose(&neg_c_eps, np, mp, &mut neg_c_eps_t, self.threads);
+        }
 
-        // Log-domain dual potentials f, g (initialized at zero), stored
-        // as (dual / eps) so updates are additive.
-        let mut f = vec![0.0f64; np];
-        let mut g = vec![0.0f64; mp];
+        // Log-domain dual potentials (stored as dual/ε so updates are
+        // additive), warm-started from the cost-unit duals.
+        let mut f: Vec<f64> = phi.iter().map(|x| x / eps).collect();
+        let mut g: Vec<f64> = psi.iter().map(|x| x / eps).collect();
 
         let log_sum_exp = |row: &[f64]| -> f64 {
             let mx = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -340,7 +727,7 @@ impl SubProblem {
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut row_res = vec![0.0f64; np];
-        while iterations < self.config.max_iters {
+        while iterations < max_iters {
             iterations += 1;
             // f update: f_i = log a_i - LSE_j(-C_ij/eps + g_j). Each
             // chunk owns its rows and a private scratch buffer.
@@ -354,21 +741,39 @@ impl SubProblem {
                     *fi = log_a[pi] - log_sum_exp(&scratch);
                 }
             });
-            // g update (column-parallel; strided kernel reads).
-            par_chunks_mut(&mut g, self.threads, |start, chunk| {
-                let mut scratch = vec![0.0f64; np];
-                for (off, gj) in chunk.iter_mut().enumerate() {
-                    let pj = start + off;
-                    for pi in 0..np {
-                        scratch[pi] = neg_c_eps[pi * mp + pj] + f[pi];
+            // g update (column-parallel; contiguous reads off the
+            // transposed exponents past the size threshold).
+            if self.transposed {
+                let t = &neg_c_eps_t;
+                let f_ref = &f;
+                par_chunks_mut(&mut g, self.threads, |start, chunk| {
+                    let mut scratch = vec![0.0f64; np];
+                    for (off, gj) in chunk.iter_mut().enumerate() {
+                        let pj = start + off;
+                        let col = &t[pj * np..(pj + 1) * np];
+                        for (slot, (nc, fi)) in scratch.iter_mut().zip(col.iter().zip(f_ref)) {
+                            *slot = nc + fi;
+                        }
+                        *gj = log_b[pj] - log_sum_exp(&scratch);
                     }
-                    *gj = log_b[pj] - log_sum_exp(&scratch);
-                }
-            });
+                });
+            } else {
+                let f_ref = &f;
+                par_chunks_mut(&mut g, self.threads, |start, chunk| {
+                    let mut scratch = vec![0.0f64; np];
+                    for (off, gj) in chunk.iter_mut().enumerate() {
+                        let pj = start + off;
+                        for pi in 0..np {
+                            scratch[pi] = neg_c_eps[pi * mp + pj] + f_ref[pi];
+                        }
+                        *gj = log_b[pj] - log_sum_exp(&scratch);
+                    }
+                });
+            }
 
             // Residual cadence as in the standard path; after the g
             // update column marginals are exact, so measure rows.
-            if iterations % 10 == 0 || iterations == self.config.max_iters {
+            if iterations % CHECK_CADENCE == 0 || iterations == max_iters {
                 par_chunks_mut(&mut row_res, self.threads, |start, chunk| {
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         let pi = start + off;
@@ -380,12 +785,12 @@ impl SubProblem {
                     }
                 });
                 residual = row_res.iter().sum();
-                if residual < self.config.tol {
+                if residual < tol {
                     break;
                 }
             }
         }
-        if residual >= self.config.tol && iterations >= self.config.max_iters {
+        if residual >= tol && iterations >= max_iters && last {
             return Err(OtError::NoConvergence {
                 solver: "sinkhorn",
                 iterations,
@@ -393,6 +798,16 @@ impl SubProblem {
             });
         }
 
+        // Write the duals back in cost units for the next stage/caller.
+        for (p, fi) in phi.iter_mut().zip(&f) {
+            *p = fi * eps;
+        }
+        for (p, gj) in psi.iter_mut().zip(&g) {
+            *p = gj * eps;
+        }
+        if !last {
+            return Ok(None);
+        }
         // Materialize the plan on the positive sub-support.
         let mut plan = vec![0.0f64; np * mp];
         par_chunks_mut(&mut plan, self.threads, |start, chunk| {
@@ -401,7 +816,7 @@ impl SubProblem {
                 *slot = (neg_c_eps[idx] + f[idx / mp] + g[idx % mp]).exp();
             }
         });
-        Ok(plan)
+        Ok(Some(plan))
     }
 
     /// Round to the exact feasible polytope (Altschuler–Weed–Rigollet,
@@ -539,9 +954,11 @@ mod tests {
     }
 
     #[test]
-    fn small_epsilon_is_stable_in_log_domain() {
-        // eps = 1e-3 with costs up to 9 would overflow naive exp(-C/eps);
-        // the log-domain form must survive and stay close to exact.
+    fn small_epsilon_is_stable() {
+        // eps = 1e-3 with costs up to 9 would overflow a naive raw
+        // exp(-C/eps) iteration; the absorption-stabilized standard
+        // domain (or its log fallback) must survive and stay close to
+        // exact.
         let a = [0.5, 0.5];
         let b = [0.5, 0.5];
         let cost = CostMatrix::squared_euclidean(&[0.0, 3.0], &[0.0, 3.0]).unwrap();
@@ -582,6 +999,148 @@ mod tests {
         assert!(sinkhorn(&[1.0], &[-1.0], &cost, SinkhornConfig::default()).is_err());
         let cost2 = CostMatrix::squared_euclidean(&[0.0, 1.0], &[0.0]).unwrap();
         assert!(sinkhorn(&[1.0], &[1.0], &cost2, SinkhornConfig::default()).is_err());
+        // Malformed schedules and warm duals are rejected up front.
+        let mut cfg = SinkhornConfig::with_epsilon(0.1);
+        cfg.eps_scaling = Some(EpsSchedule::geometric(1.0, 1.5));
+        assert!(sinkhorn(&[1.0], &[1.0], &cost, cfg).is_err());
+        let mut cfg = SinkhornConfig::with_epsilon(0.1);
+        cfg.eps_scaling = Some(EpsSchedule::geometric(-1.0, 0.5));
+        assert!(sinkhorn(&[1.0], &[1.0], &cost, cfg).is_err());
+        let bad_duals = SinkhornDuals {
+            f: vec![0.0; 3],
+            g: vec![0.0; 1],
+        };
+        assert!(sinkhorn_warm(
+            &[1.0],
+            &[1.0],
+            &cost,
+            SinkhornConfig::default(),
+            Some(&bad_duals)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn eps_schedule_stage_lists_are_geometric_and_floored() {
+        let s = EpsSchedule::geometric(1.0, 0.25);
+        assert_eq!(s.stages(0.05), vec![1.0, 0.25, 0.0625, 0.05]);
+        assert_eq!(s.stages(1.0), vec![1.0]);
+        // A start at or below the target collapses to the single stage.
+        assert_eq!(s.stages(2.0), vec![2.0]);
+        // The stage count is capped even for absurd factors.
+        let slow = EpsSchedule::geometric(1.0, 0.999_999);
+        assert!(slow.stages(1e-9).len() <= MAX_STAGES + 1);
+        assert_eq!(*slow.stages(1e-9).last().unwrap(), 1e-9);
+    }
+
+    #[test]
+    fn scheduled_solve_agrees_with_cold_start_at_final_epsilon() {
+        // The ε-schedule changes the route, not the destination: at the
+        // same final ε and tolerance, the scheduled plan must match the
+        // cold-start plan within solver tolerance, cell by cell.
+        let support_a: Vec<f64> = (0..23).map(|i| i as f64 * 0.31).collect();
+        let support_b: Vec<f64> = (0..19).map(|i| 0.05 + i as f64 * 0.37).collect();
+        let a: Vec<f64> = (0..23).map(|i| 1.0 + ((i * 7) % 5) as f64).collect();
+        let b: Vec<f64> = (0..19).map(|i| 1.0 + ((i * 3) % 4) as f64).collect();
+        let cost = CostMatrix::squared_euclidean(&support_a, &support_b).unwrap();
+        let cold_cfg = SinkhornConfig {
+            epsilon: 0.05,
+            tol: 1e-8,
+            ..SinkhornConfig::default()
+        };
+        let cold = sinkhorn(&a, &b, &cost, cold_cfg).unwrap();
+        let scheduled_cfg = SinkhornConfig {
+            eps_scaling: Some(EpsSchedule::default()),
+            ..cold_cfg
+        };
+        let scheduled = sinkhorn(&a, &b, &cost, scheduled_cfg).unwrap();
+        for i in 0..a.len() {
+            for j in 0..b.len() {
+                assert!(
+                    (cold.get(i, j) - scheduled.get(i, j)).abs() < 1e-5,
+                    "cell ({i}, {j}): cold {} vs scheduled {}",
+                    cold.get(i, j),
+                    scheduled.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_resolve_converges_fast_and_agrees() {
+        // Solving, then re-solving the same problem from the returned
+        // duals, must reproduce the same plan (within tolerance) — the
+        // warm-start contract an ε-schedule stage relies on.
+        let support: Vec<f64> = (0..17).map(|i| i as f64 * 0.4).collect();
+        let a: Vec<f64> = (0..17).map(|i| 1.0 + ((i * 5) % 7) as f64).collect();
+        let b: Vec<f64> = (0..17).map(|i| 1.0 + ((i * 11) % 6) as f64).collect();
+        let cost = CostMatrix::squared_euclidean(&support, &support).unwrap();
+        let cfg = SinkhornConfig {
+            epsilon: 0.1,
+            tol: 1e-8,
+            ..SinkhornConfig::default()
+        };
+        let (first, duals) = sinkhorn_warm(&a, &b, &cost, cfg, None).unwrap();
+        let (second, _) = sinkhorn_warm(&a, &b, &cost, cfg, Some(&duals)).unwrap();
+        for i in 0..17 {
+            for j in 0..17 {
+                assert!(
+                    (first.get(i, j) - second.get(i, j)).abs() < 1e-6,
+                    "cell ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_column_phase_bitwise_equal_to_strided() {
+        // The transposed kernel copy changes memory layout, never the
+        // accumulation order — forcing it on (min_cells = 1) must
+        // reproduce the strided sequential solve bit for bit, for both
+        // a cold and a scheduled solve.
+        let support_a: Vec<f64> = (0..23).map(|i| i as f64 * 0.031).collect();
+        let support_b: Vec<f64> = (0..17).map(|i| 0.01 + i as f64 * 0.04).collect();
+        let a: Vec<f64> = (0..23).map(|i| 1.0 + ((i * 7) % 5) as f64).collect();
+        let b: Vec<f64> = (0..17).map(|i| 1.0 + ((i * 3) % 4) as f64).collect();
+        let cost = CostMatrix::squared_euclidean(&support_a, &support_b).unwrap();
+        for eps_scaling in [None, Some(EpsSchedule::default())] {
+            let strided = sinkhorn(
+                &a,
+                &b,
+                &cost,
+                SinkhornConfig {
+                    epsilon: 0.05,
+                    eps_scaling,
+                    threads: 1,
+                    parallel_min_cells: Some(usize::MAX),
+                    ..SinkhornConfig::default()
+                },
+            )
+            .unwrap();
+            let transposed = sinkhorn(
+                &a,
+                &b,
+                &cost,
+                SinkhornConfig {
+                    epsilon: 0.05,
+                    eps_scaling,
+                    threads: 1,
+                    parallel_min_cells: Some(1),
+                    ..SinkhornConfig::default()
+                },
+            )
+            .unwrap();
+            for i in 0..a.len() {
+                for j in 0..b.len() {
+                    assert_eq!(
+                        transposed.get(i, j).to_bits(),
+                        strided.get(i, j).to_bits(),
+                        "scheduled = {}, cell ({i}, {j})",
+                        eps_scaling.is_some()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -589,38 +1148,44 @@ mod tests {
         // The in-kernel determinism contract: chunking the scaling
         // updates across any thread count returns the *exact same
         // bytes* as the sequential solve. `parallel_min_cells = 1`
-        // forces the chunked path even on this small problem; epsilons
-        // straddle the standard/log-domain switch so both paths are
-        // pinned.
-        // Standard-domain leg: 23 × 17 kernel, max-cost/eps ≈ 9 so the
-        // contraction is strong and the fast path converges.
+        // forces the chunked path even on this small problem; the two
+        // epsilons pin both a no-absorption regime and one that
+        // absorbs repeatedly.
         let support_a: Vec<f64> = (0..23).map(|i| i as f64 * 0.031).collect();
         let support_b: Vec<f64> = (0..17).map(|i| 0.01 + i as f64 * 0.04).collect();
         let a: Vec<f64> = (0..23).map(|i| 1.0 + ((i * 7) % 5) as f64).collect();
         let b: Vec<f64> = (0..17).map(|i| 1.0 + ((i * 3) % 4) as f64).collect();
         let cost = CostMatrix::squared_euclidean(&support_a, &support_b).unwrap();
-        assert_parallel_matches_sequential(&a, &b, &cost, 0.05);
+        assert_parallel_matches_sequential(&a, &b, &cost, 0.05, None);
 
-        // Log-domain leg: a shared support with equal marginals keeps
-        // the near-diagonal kernel convergent at an eps small enough
-        // (max-cost/eps > 500) to force the log-sum-exp path.
+        // Deep-ε leg on a shared support with equal marginals; also run
+        // it scheduled so every stage of the annealing is pinned.
         let support: Vec<f64> = (0..23).map(|i| i as f64 * 0.31).collect();
         let cost_sq = CostMatrix::squared_euclidean(&support, &support).unwrap();
         let m: Vec<f64> = (0..23).map(|i| 1.0 + ((i * 5) % 7) as f64).collect();
-        assert_parallel_matches_sequential(&m, &m, &cost_sq, 1e-4);
+        assert_parallel_matches_sequential(&m, &m, &cost_sq, 1e-4, None);
+        assert_parallel_matches_sequential(&m, &m, &cost_sq, 1e-4, Some(EpsSchedule::default()));
     }
 
     /// Chunked (2/3/7 threads, threshold forced to 1 cell) vs
     /// sequential solve of the same problem: the plans' bytes must
     /// match exactly.
-    fn assert_parallel_matches_sequential(a: &[f64], b: &[f64], cost: &CostMatrix, eps: f64) {
+    fn assert_parallel_matches_sequential(
+        a: &[f64],
+        b: &[f64],
+        cost: &CostMatrix,
+        eps: f64,
+        eps_scaling: Option<EpsSchedule>,
+    ) {
         let sequential = sinkhorn(
             a,
             b,
             cost,
             SinkhornConfig {
                 epsilon: eps,
+                eps_scaling,
                 threads: 1,
+                parallel_min_cells: Some(1),
                 ..SinkhornConfig::default()
             },
         )
@@ -632,6 +1197,7 @@ mod tests {
                 cost,
                 SinkhornConfig {
                     epsilon: eps,
+                    eps_scaling,
                     threads,
                     parallel_min_cells: Some(1),
                     ..SinkhornConfig::default()
@@ -660,31 +1226,43 @@ mod tests {
         let a = [0.3, 0.2, 0.3, 0.2];
         let b = [0.4, 0.3, 0.3];
         let cost = CostMatrix::squared_euclidean(&mu_support, &nu_support).unwrap();
-        let eps = 0.05; // max-cost/eps = 125 → standard-domain eligible
-        let config = SinkhornConfig {
-            epsilon: eps,
-            tol: 1e-9,
-            max_iters: 200_000,
-            ..SinkhornConfig::default()
-        };
+        let eps = 0.05;
         let (np, mp) = (a.len(), b.len());
-        let mut neg_c_eps = vec![0.0f64; np * mp];
+        let mut neg_c = vec![0.0f64; np * mp];
         for i in 0..np {
             for j in 0..mp {
-                neg_c_eps[i * mp + j] = -cost.get(i, j) / eps;
+                neg_c[i * mp + j] = -cost.get(i, j);
             }
         }
         let sub = SubProblem {
             np,
             mp,
-            neg_c_eps,
+            neg_c,
             a_pos: a.to_vec(),
             b_pos: b.to_vec(),
             threads: 1,
-            config,
+            transposed: false,
         };
-        let standard = sub.solve_standard().unwrap().expect("stable inputs");
-        let log = sub.solve_log().unwrap();
+        let mut phi = vec![0.0f64; np];
+        let mut psi = vec![0.0f64; mp];
+        let standard = match sub.iterate_standard(eps, 200_000, 1e-9, &mut phi, &mut psi, true) {
+            StandardOutcome::Converged(Some(plan)) => plan,
+            other => panic!(
+                "standard domain should converge on stable inputs, got {}",
+                match other {
+                    StandardOutcome::Converged(None) => "no plan",
+                    StandardOutcome::Exhausted => "exhausted",
+                    StandardOutcome::Unstable => "unstable",
+                    StandardOutcome::Converged(Some(_)) => unreachable!(),
+                }
+            ),
+        };
+        let mut phi = vec![0.0f64; np];
+        let mut psi = vec![0.0f64; mp];
+        let log = sub
+            .iterate_log(eps, 200_000, 1e-9, &mut phi, &mut psi, true)
+            .unwrap()
+            .expect("final stage materializes");
         for (idx, (s, l)) in standard.iter().zip(&log).enumerate() {
             assert!((s - l).abs() < 1e-6, "cell {idx}: standard {s} vs log {l}");
         }
@@ -702,5 +1280,17 @@ mod tests {
         assert!(blurry.get(0, 1) > sharp.get(0, 1));
         // At huge eps the plan approaches the independent coupling 0.25.
         assert!((blurry.get(0, 1) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn schedule_serde_defaults_stage_budget() {
+        // A schedule persisted without the stage-budget fields (or
+        // written by hand) deserializes with the defaults.
+        let s: EpsSchedule = serde_json::from_str(r#"{"eps0":0.5,"factor":0.5}"#).unwrap();
+        assert_eq!(s.effective_stage_iters(), STAGE_ITERS_DEFAULT);
+        assert_eq!(s.effective_stage_tol(), STAGE_TOL_DEFAULT);
+        let round: EpsSchedule =
+            serde_json::from_str(&serde_json::to_string(&EpsSchedule::default()).unwrap()).unwrap();
+        assert_eq!(round, EpsSchedule::default());
     }
 }

@@ -53,13 +53,13 @@ pub use otr_stats as stats;
 pub mod prelude {
     pub use otr_core::{
         dataset_damage, ContinuousUPoint, ContinuousURepairer, DamageReport, GeometricRepair,
-        GroupBlindRepairer, JointRepairConfig, JointRepairPlan, MassSplit, MongeRepair,
-        RepairConfig, RepairPlan, RepairPlanner, SolverBackend, StreamingRepairer,
+        GroupBlindRepairer, JointDesignReport, JointRepairConfig, JointRepairPlan, MassSplit,
+        MongeRepair, RepairConfig, RepairPlan, RepairPlanner, SolverBackend, StreamingRepairer,
     };
     pub use otr_data::{AdultSynth, Dataset, GroupKey, LabelledPoint, SimulationSpec, SplitData};
     pub use otr_fairness::{
         conditional_disparate_impact, ConditionalDependence, DiReport, EReport, JointDependence,
         LogisticRegression, WassersteinDependence,
     };
-    pub use otr_ot::{DiscreteDistribution, MidpointCdf, OtPlan};
+    pub use otr_ot::{DiscreteDistribution, EpsSchedule, MidpointCdf, OtPlan};
 }

@@ -185,6 +185,84 @@ fn apply_output_identical_for_any_thread_count() {
 }
 
 #[test]
+fn joint_design_apply_loop_with_verbose_report() {
+    let dir = tmp_dir("joint");
+    let (research, archive) = write_csvs(&dir, 4);
+    let plan = dir.join("joint-plan.json").to_string_lossy().into_owned();
+    let out = dir
+        .join("joint-repaired.csv")
+        .to_string_lossy()
+        .into_owned();
+
+    // A coarse grid keeps the n_q² product-support solves test-friendly.
+    let design = Command::new(bin())
+        .args([
+            "design",
+            "--joint",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--nq",
+            "8",
+            "--eps",
+            "0.05",
+            "--eps-scaling",
+            "0.8:0.25",
+            "--verbose",
+        ])
+        .output()
+        .unwrap();
+    assert!(design.status.success(), "joint design failed");
+    let stderr = String::from_utf8_lossy(&design.stderr);
+    // The --verbose design report surfaces the barycentre convergence
+    // diagnostics and the ε-schedule stage stats.
+    assert!(stderr.contains("joint design report"), "report: {stderr}");
+    assert!(stderr.contains("barycentre"), "report: {stderr}");
+    assert!(stderr.contains("per-stage eps:iters"), "report: {stderr}");
+    assert!(stderr.contains("plan transport cost"), "report: {stderr}");
+    assert!(std::fs::metadata(&plan).unwrap().len() > 1_000);
+
+    assert!(Command::new(bin())
+        .args([
+            "apply", "--joint", "--plan", &plan, "--data", &archive, "--out", &out, "--seed", "5",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let repaired = std::fs::read_to_string(&out).unwrap();
+    assert_eq!(
+        repaired.lines().count(),
+        std::fs::read_to_string(&archive).unwrap().lines().count()
+    );
+
+    // Joint apply rejects the 1-D-only modes.
+    let conflicted = Command::new(bin())
+        .args([
+            "apply", "--joint", "--plan", &plan, "--data", &archive, "--out", &out, "--monge",
+        ])
+        .output()
+        .unwrap();
+    assert!(!conflicted.status.success());
+    // An invalid --eps-scaling spelling is a parse error, not a design.
+    let bad = Command::new(bin())
+        .args([
+            "design",
+            "--joint",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--eps-scaling",
+            "fast",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("eps-scaling"));
+}
+
+#[test]
 fn helpful_errors_for_bad_inputs() {
     let unknown = Command::new(bin()).args(["frobnicate"]).output().unwrap();
     assert!(!unknown.status.success());
@@ -217,6 +295,8 @@ fn help_prints_usage() {
         "--plan",
         "--monge",
         "--threads",
+        "--joint",
+        "--eps-scaling",
         "OTR_THREADS",
         "OTR_KERNEL_CELLS",
     ] {

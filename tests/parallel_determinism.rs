@@ -95,9 +95,11 @@ fn byte_identical_across_explicit_thread_counts() {
 /// In-kernel determinism at joint scale: an `nQ = 24` joint design
 /// crosses the `OTR_KERNEL_CELLS` threshold (`24⁴ = 331 776` kernel
 /// cells), so the entropic-barycentre matvecs and the Sinkhorn scaling
-/// updates run chunked — and the designed plan plus the repaired
-/// archive must still be **byte-identical** across
-/// `OTR_THREADS ∈ {1, 2, 7}`.
+/// updates run chunked — with the **ε-scaling schedule on** (an
+/// explicit multi-stage geometric schedule, so every warm-started
+/// stage and the transposed column phase are exercised) — and the
+/// designed plan plus the repaired archive must still be
+/// **byte-identical** across `OTR_THREADS ∈ {1, 2, 7}`.
 ///
 /// Serialized on [`OTR_THREADS_ENV_LOCK`] with the other env-mutating
 /// test: `OTR_THREADS` cannot change output bytes, but a concurrent
@@ -113,10 +115,12 @@ fn joint_repair_byte_identical_across_otr_threads_env() {
     let split = spec.generate(300, 400, &mut rng).unwrap();
     let cfg = JointRepairConfig {
         n_q: 24,
-        // Keeps max-cost/eps under the standard-domain cap, so the test
-        // exercises the fast scaling path at a debug-build-friendly
-        // iteration count (byte identity is eps-independent).
+        // Keeps max-cost/eps modest so the test converges at a
+        // debug-build-friendly iteration count (byte identity is
+        // eps-independent).
         epsilon: 0.25,
+        // Three warm-started stages: 1.0 → 0.5 → 0.25.
+        eps_scaling: Some(EpsSchedule::geometric(1.0, 0.5)),
         threads: 0, // auto: defer to OTR_THREADS
         ..JointRepairConfig::default()
     };

@@ -124,12 +124,9 @@ fn solver_backend_survives_persistence() {
     let mut rng = StdRng::seed_from_u64(14);
     let split = spec.generate(300, 500, &mut rng).unwrap();
     let mut cfg = RepairConfig::with_n_q(20);
-    cfg.solver = SolverBackend::Sinkhorn { epsilon: 0.1 };
+    cfg.solver = SolverBackend::sinkhorn(0.1);
     let plan = RepairPlanner::new(cfg).design(&split.research).unwrap();
     let restored = RepairPlan::from_json(&plan.to_json().unwrap()).unwrap();
-    assert_eq!(
-        restored.config.solver,
-        SolverBackend::Sinkhorn { epsilon: 0.1 }
-    );
+    assert_eq!(restored.config.solver, SolverBackend::sinkhorn(0.1));
     assert_eq!(restored.config, plan.config);
 }
