@@ -23,13 +23,17 @@
 //!   2. **plan design** (`BENCH_plan_design.json`): Algorithm-1 design
 //!      rate at `nQ = 50`;
 //!   3. **joint repair** (`BENCH_joint.json`): `nQ = 24` joint
-//!      design + repair (ε-scaling schedule on, the default) under
-//!      `OTR_THREADS=1` vs `OTR_THREADS=4`, byte-identity asserted —
-//!      the in-kernel (Sinkhorn/barycentre) parallelism leg. On a
-//!      single-core runner the 1-vs-4 *timing* is skipped with an
-//!      explanatory note (identity still asserted). Also writes the
-//!      joint design report (`BENCH_joint_report.json`): barycentre
-//!      convergence + per-stage ε-schedule stats per stratum.
+//!      design + repair (ε-scaling schedule on, the default; separable
+//!      Kronecker kernels via `kernel = auto`) under `OTR_THREADS=1`
+//!      vs `OTR_THREADS=4`, byte-identity asserted — the in-kernel
+//!      (Sinkhorn/barycentre) parallelism leg. On a single-core runner
+//!      the 1-vs-4 *timing* is skipped with an explanatory note
+//!      (identity still asserted). A dense-kernel ablation run records
+//!      `dense_t1_secs` / `kernel_speedup` (gated at ≥2x), and the
+//!      report's `kernel` field names the representation the gated
+//!      legs resolved to. Also writes the joint design report
+//!      (`BENCH_joint_report.json`): barycentre convergence +
+//!      per-stage ε-schedule stats per stratum.
 
 use std::time::Instant;
 
@@ -38,7 +42,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use otr_core::{JointRepairConfig, JointRepairPlan, RepairConfig, RepairPlan, RepairPlanner};
+use otr_core::{
+    JointRepairConfig, JointRepairPlan, KernelChoice, RepairConfig, RepairPlan, RepairPlanner,
+};
 use otr_data::{Dataset, SimulationSpec};
 
 fn bench_repair(c: &mut Criterion) {
@@ -139,6 +145,10 @@ struct JointRepairReport {
     /// Whether the design ran the ε-scaling schedule (the default).
     #[serde(default)]
     eps_scaled: bool,
+    /// The Gibbs-kernel representation the gated legs resolved to
+    /// (`"separable"` on the joint product grid unless overridden).
+    #[serde(default)]
+    kernel: String,
     /// Worker threads the runner could actually use.
     threads_available: usize,
     t1_secs: f64,
@@ -155,6 +165,16 @@ struct JointRepairReport {
     /// Why the 1-vs-4 comparison was skipped, when it was.
     #[serde(default)]
     note: Option<String>,
+    /// Dense-kernel ablation: the same design + repair with
+    /// `kernel = dense` forced, under `OTR_THREADS=1` — what this leg
+    /// cost before the separable (Kronecker) kernels landed.
+    #[serde(default)]
+    dense_t1_secs: Option<f64>,
+    /// `dense_t1_secs / t1_secs` — the separable kernel's measured win
+    /// (`None` when the gated legs already ran dense, e.g. under an
+    /// `OTR_KERNEL=dense` override).
+    #[serde(default)]
+    kernel_speedup: Option<f64>,
 }
 
 /// The committed `ci/bench_baseline.json` schema: one (conservatively
@@ -305,15 +325,24 @@ fn quick_joint() -> JointRepairReport {
         .unwrap();
 
     let saved = std::env::var(otr_par::THREADS_ENV).ok();
-    let run = |threads: &str| {
+    let run = |threads: &str, cfg: JointRepairConfig| {
         std::env::set_var(otr_par::THREADS_ENV, threads);
         let start = Instant::now();
         let (plan, report) = JointRepairPlan::design_with_report(&split.research, cfg).unwrap();
         let out = plan.repair_dataset_par(&split.archive, 7).unwrap();
         (start.elapsed().as_secs_f64(), byte_image(&out), report)
     };
-    let (t1_secs, bytes1, design_report) = run("1");
-    let (t4_raw, bytes4, _) = run("4");
+    let (t1_secs, bytes1, design_report) = run("1", cfg);
+    let (t4_raw, bytes4, _) = run("4", cfg);
+    // Kernel-representation ablation: the same leg with the dense
+    // kernel forced (what this design cost before the separable
+    // Kronecker path), single-threaded for a like-for-like ratio.
+    // Skipped when the gated legs already ran dense (OTR_KERNEL=dense).
+    let dense_t1_secs = (design_report.kernel == "separable").then(|| {
+        let mut dense_cfg = cfg;
+        dense_cfg.kernel = KernelChoice::Dense;
+        run("1", dense_cfg).0
+    });
     match saved {
         Some(v) => std::env::set_var(otr_par::THREADS_ENV, v),
         None => std::env::remove_var(otr_par::THREADS_ENV),
@@ -339,6 +368,7 @@ fn quick_joint() -> JointRepairReport {
         archive_rows,
         epsilon: cfg.epsilon,
         eps_scaled: cfg.eps_scaling.is_some(),
+        kernel: design_report.kernel.clone(),
         threads_available,
         t1_secs,
         t4_secs: multicore.then_some(t4_raw),
@@ -350,17 +380,23 @@ fn quick_joint() -> JointRepairReport {
                  oversubscription); byte-identity across OTR_THREADS was still asserted"
             )
         }),
+        dense_t1_secs,
+        kernel_speedup: dense_t1_secs.map(|d| d / t1_secs),
     };
     match (report.t4_secs, report.speedup) {
         (Some(t4), Some(speedup)) => println!(
-            "joint OTR_THREADS=1: {:.3} s\njoint OTR_THREADS=4: {t4:.3} s\njoint speedup:       {speedup:.2}x (byte-identical output)",
-            report.t1_secs,
+            "joint OTR_THREADS=1: {:.3} s ({} kernel)\njoint OTR_THREADS=4: {t4:.3} s\njoint speedup:       {speedup:.2}x (byte-identical output)",
+            report.t1_secs, report.kernel,
         ),
         _ => println!(
-            "joint OTR_THREADS=1: {:.3} s\njoint OTR_THREADS=4: skipped timing — {}",
+            "joint OTR_THREADS=1: {:.3} s ({} kernel)\njoint OTR_THREADS=4: skipped timing — {}",
             report.t1_secs,
+            report.kernel,
             report.note.as_deref().unwrap_or("single-core runner"),
         ),
+    }
+    if let (Some(dense), Some(ratio)) = (report.dense_t1_secs, report.kernel_speedup) {
+        println!("joint dense kernel:  {dense:.3} s — separable kernel is {ratio:.2}x faster");
     }
     report
 }
@@ -482,6 +518,32 @@ fn quick_gate() {
             base,
             joint_repair.threads_available > 1,
         );
+    }
+    // Arm-the-baseline nudge (ROADMAP): a multicore runner that measures
+    // a real joint speedup while the committed baseline has none is the
+    // exact moment to re-record — say so instead of staying disarmed.
+    if joint_repair.speedup.is_some() && baseline.joint_repair.speedup.is_none() {
+        eprintln!(
+            "note: this runner measured a joint 1-vs-4 speedup but the committed baseline \
+             carries none, so the joint speedup floor is still disarmed. Re-record \
+             ci/bench_baseline.json from this run (see ci/README.md \"Re-recording the \
+             baseline\") to arm it."
+        );
+    }
+    // The separable-kernel floor: on product grids the Kronecker
+    // factorization must keep the joint leg ≥2x faster than the forced
+    // dense ablation (the measured margin is far wider, so this only
+    // trips on a structural regression, not runner noise).
+    if let Some(ratio) = joint_repair.kernel_speedup {
+        if ratio < 2.0 {
+            eprintln!(
+                "perf regression: separable kernel is only {ratio:.2}x faster than the dense \
+                 ablation (floor 2.0x) — the axis-pass matvec path may have degraded"
+            );
+            failed = true;
+        } else {
+            eprintln!("perf gate: separable-vs-dense kernel speedup {ratio:.2}x >= 2.0x — ok");
+        }
     }
     if failed {
         std::process::exit(1);

@@ -30,8 +30,8 @@ use serde::{Deserialize, Serialize};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
 use otr_ot::{
-    entropic_barycentre_points2d, BarycentreConfig, BarycentreDiagnostics, CostMatrix, EpsSchedule,
-    OtPlan, Solver1d as _, SolverBackend,
+    entropic_barycentre_grid2d, BarycentreConfig, BarycentreDiagnostics, CostMatrix, EpsSchedule,
+    KernelChoice, OtPlan, Solver1d as _, SolverBackend,
 };
 use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
@@ -70,6 +70,18 @@ pub struct JointRepairConfig {
     /// affects the thread-count byte-identity of the design.
     #[serde(default)]
     pub eps_scaling: Option<EpsSchedule>,
+    /// Gibbs-kernel representation of the design's entropic solves
+    /// (barycentre + Sinkhorn plans). The joint cost is squared
+    /// Euclidean on the `nQ × nQ` self-product grid, so it factorizes
+    /// as `Kx ⊗ Ky`: `Auto` (the default; the `OTR_KERNEL` environment
+    /// variable can override it) runs every kernel matvec as two
+    /// `O(nQ³)` axis passes instead of the `O(nQ⁴)` dense sweep —
+    /// the joint design's dominant cost after ε-scaling. Either
+    /// representation stays byte-identical across thread counts; the
+    /// two representations group sums differently, so they agree to
+    /// solver tolerance, not bitwise.
+    #[serde(default)]
+    pub kernel: KernelChoice,
     /// Worker threads for stratum design and parallel dataset repair
     /// (`0` = auto: `OTR_THREADS` env or available parallelism).
     #[serde(skip)]
@@ -85,6 +97,7 @@ impl Default for JointRepairConfig {
             min_group_size: 10,
             solver: None,
             eps_scaling: Some(EpsSchedule::default()),
+            kernel: KernelChoice::Auto,
             threads: 0,
         }
     }
@@ -210,6 +223,10 @@ pub struct JointDesignReport {
     pub eps_scaling: Option<EpsSchedule>,
     /// CLI spelling of the backend that designed the plans.
     pub solver: String,
+    /// The Gibbs-kernel representation the design's entropic solves
+    /// resolved to (`"separable"` or `"dense"` — `auto` is resolved
+    /// before it gets here).
+    pub kernel: String,
     /// Wall-clock seconds the design took (KDE + barycentres + plans).
     pub design_secs: f64,
     /// Per-`u`-stratum convergence diagnostics.
@@ -301,6 +318,13 @@ impl JointRepairPlan {
             epsilon: config.epsilon,
             eps_scaling: config.eps_scaling,
             solver: config.plan_solver().to_string(),
+            // The joint cost is always grid-separable, so the resolved
+            // representation is a pure function of the config + env.
+            kernel: if config.kernel.resolve(true) {
+                "separable".into()
+            } else {
+                "dense".into()
+            },
             design_secs,
             strata: stratum_reports,
         };
@@ -349,10 +373,6 @@ impl JointRepairPlan {
         };
         let gx = axis(0)?;
         let gy = axis(1)?;
-        let points: Vec<(f64, f64)> = gx
-            .iter()
-            .flat_map(|&x| gy.iter().map(move |&y| (x, y)))
-            .collect();
 
         // 2-D KDE pmfs with a positivity floor (cf. plan.rs).
         let mut pmfs: Vec<Vec<f64>> = Vec::with_capacity(2);
@@ -371,13 +391,16 @@ impl JointRepairPlan {
         }
 
         // Entropic W2 barycentre on the fixed product support (iterative
-        // Bregman projections with the 2-D Gibbs kernel, O(nQ⁴) matvecs
-        // chunked over config.threads, annealed along the configured
-        // ε-schedule — see otr_ot::barycentre).
-        let (bary, diagnostics) = entropic_barycentre_points2d(
+        // Bregman projections, annealed along the configured ε-schedule
+        // — see otr_ot::barycentre). The grid2d entry point lets the
+        // kernel choice factorize the Gibbs matvecs as two O(nQ³) axis
+        // passes (`auto`, the default) instead of O(nQ⁴) dense sweeps,
+        // chunked over config.threads either way.
+        let (bary, diagnostics) = entropic_barycentre_grid2d(
             &[&pmfs[0], &pmfs[1]],
             &[1.0 - config.t, config.t],
-            &points,
+            &gx,
+            &gy,
             &BarycentreConfig {
                 eps: config.epsilon,
                 max_iters: 5_000,
@@ -385,25 +408,27 @@ impl JointRepairPlan {
                 eps_scaling: config.eps_scaling,
                 threads: config.threads,
                 parallel_min_cells: None,
+                kernel: config.kernel,
             },
         )?;
 
         // Plans µ_s -> ν under squared Euclidean cost on R², through the
         // configured backend (the seam rejects backends that need 1-D
         // structure and owns the Sinkhorn fallback policy); the solver's
-        // in-kernel scaling updates ride the same thread setting.
-        let cost = CostMatrix::from_fn(&points, &points, |a, b| {
-            let dx = a.0 - b.0;
-            let dy = a.1 - b.1;
-            dx * dx + dy * dy
-        })?;
+        // in-kernel scaling updates ride the same thread setting, and
+        // the product-grid cost constructor records the axis grids so
+        // the entropic backend can factorize its kernel too.
+        let cost = CostMatrix::squared_euclidean_grid2d(&gx, &gy)?;
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
         let mut plan_transport_cost = [0.0f64; 2];
         for (s, pmf) in pmfs.iter().enumerate() {
-            let plan =
-                config
-                    .plan_solver()
-                    .solve_with_cost_threads(pmf, &bary, &cost, config.threads)?;
+            let plan = config.plan_solver().solve_with_cost_kernel(
+                pmf,
+                &bary,
+                &cost,
+                config.threads,
+                config.kernel,
+            )?;
             plan_transport_cost[s] = plan.transport_cost(&cost)?;
             plans.push(plan);
         }
@@ -412,7 +437,7 @@ impl JointRepairPlan {
         let mut stratum = JointStratum {
             gx,
             gy,
-            points,
+            points: Vec::new(), // derived; compile() rebuilds it
             plans,
             samplers: [Vec::new(), Vec::new()],
         };
@@ -726,6 +751,13 @@ mod tests {
         assert_eq!(report.epsilon, cfg.epsilon);
         assert_eq!(report.eps_scaling, cfg.eps_scaling);
         assert_eq!(report.solver, cfg.plan_solver().to_string());
+        // The report names the resolved representation (auto is
+        // resolved through the environment, so accept either).
+        assert!(
+            report.kernel == "separable" || report.kernel == "dense",
+            "kernel: {}",
+            report.kernel
+        );
         assert!(report.design_secs > 0.0);
         assert_eq!(report.strata.len(), 2);
         let expected_stages = cfg.eps_scaling.unwrap().stages(cfg.epsilon).len();

@@ -86,5 +86,6 @@ pub use joint::{
     BarycentreStageStat, JointDesignReport, JointRepairConfig, JointRepairPlan, JointStratumReport,
 };
 pub use monge::MongeRepair;
+pub use otr_ot::KernelChoice;
 pub use plan::{FeaturePlan, RepairPlan, RepairPlanner};
 pub use repair::StreamingRepairer;

@@ -14,10 +14,9 @@
 //!    more than two marginals and in higher dimensions; property-tested to
 //!    agree with (1) at small `ε`.
 
-use otr_par::par_chunks_mut;
-
 use crate::discrete::DiscreteDistribution;
 use crate::error::{OtError, Result};
+use crate::kernel::{KernelChoice, KernelRep};
 use crate::solvers::sinkhorn::EpsSchedule;
 
 /// Exact 1-D `W₂` barycentre `ν_t` of `(1−t)·µ₀ ⊕ t·µ₁` projected onto
@@ -132,6 +131,16 @@ pub struct BarycentreConfig {
     /// threads; `None` = auto (`OTR_KERNEL_CELLS` env or
     /// [`otr_par::KERNEL_CELLS_DEFAULT`]).
     pub parallel_min_cells: Option<usize>,
+    /// Gibbs-kernel representation on separable (product-grid) costs —
+    /// honored by [`entropic_barycentre_grid2d`], where `Auto` (the
+    /// default) factorizes the kernel as `Kx ⊗ Ky` unless the
+    /// `OTR_KERNEL` environment variable says otherwise. The 1-D and
+    /// arbitrary-point entry points have no separable structure and
+    /// always solve dense. Part of the solve's definition (separable
+    /// and dense group the matvec sums differently, so their outputs
+    /// agree to ~1e-12 relative but not bitwise), like
+    /// [`eps_scaling`](Self::eps_scaling).
+    pub kernel: KernelChoice,
 }
 
 impl Default for BarycentreConfig {
@@ -143,6 +152,7 @@ impl Default for BarycentreConfig {
             eps_scaling: None,
             threads: 0,
             parallel_min_cells: None,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -237,9 +247,11 @@ pub fn entropic_barycentre_with(
     let pmfs: Vec<&[f64]> = marginals.iter().map(|m| m.masses()).collect();
     // Ground metric (q_i - q_j)² on the shared support; the staged core
     // builds the Gibbs kernel exp(-d²/ε) per schedule stage.
-    let (masses, diag) = bregman_barycentre(&pmfs, &lambda, n, config, |i, j| {
-        let d = support[i] - support[j];
-        d * d
+    let (masses, diag) = bregman_barycentre(&pmfs, &lambda, n, config, n * n, |eps, threads| {
+        KernelRep::dense_square(n, eps, threads, |i, j| {
+            let d = support[i] - support[j];
+            d * d
+        })
     })?;
     Ok((DiscreteDistribution::new(support.to_vec(), masses)?, diag))
 }
@@ -274,29 +286,65 @@ pub fn entropic_barycentre_points2d(
     }
     // Validate eps/lambda/marginal-count before the O(n²) kernel build.
     let lambda = validated_lambda(marginals.len(), lambda, config)?;
-    bregman_barycentre(marginals, &lambda, n, config, |i, j| {
-        let dx = points[i].0 - points[j].0;
-        let dy = points[i].1 - points[j].1;
-        dx * dx + dy * dy
+    bregman_barycentre(marginals, &lambda, n, config, n * n, |eps, threads| {
+        KernelRep::dense_square(n, eps, threads, |i, j| {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            dx * dx + dy * dy
+        })
     })
 }
 
-/// Build the `n × n` Gibbs kernel `exp(-d²(i,j)/eps)` row-parallel
-/// (cells are disjoint, so the bytes are thread-count-independent).
-fn build_kernel(
-    n: usize,
-    eps: f64,
-    threads: usize,
-    sq_dist: impl Fn(usize, usize) -> f64 + Sync,
-) -> Vec<f64> {
-    let mut kernel = vec![0.0f64; n * n];
-    par_chunks_mut(&mut kernel, threads, |start, chunk| {
-        for (off, slot) in chunk.iter_mut().enumerate() {
-            let idx = start + off;
-            *slot = (-sq_dist(idx / n, idx % n) / eps).exp();
+/// Entropic barycentre of pmfs on the **self-product grid** `gx × gy`
+/// (flattened row-major, `y` fastest) under squared-Euclidean cost —
+/// the joint-repair hot path. Functionally
+/// [`entropic_barycentre_points2d`] over the flattened grid points (and
+/// bitwise-equal to it when [`BarycentreConfig::kernel`] resolves to
+/// dense), but on this support the Gibbs kernel factorizes as
+/// `Kx ⊗ Ky`, so the default `Auto` choice runs every matvec as two
+/// `O(nQ³)` axis passes instead of one `O(nQ⁴)` dense sweep — the
+/// `~nQ/2`-fold saving that makes coarse joint design practical.
+/// Either representation is bit-identical for any
+/// [`BarycentreConfig::threads`] setting.
+///
+/// # Errors
+/// As [`entropic_barycentre_points2d`]; every marginal must have one
+/// mass per product-grid cell.
+pub fn entropic_barycentre_grid2d(
+    marginals: &[&[f64]],
+    lambda: &[f64],
+    gx: &[f64],
+    gy: &[f64],
+    config: &BarycentreConfig,
+) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
+    if gx.is_empty() || gy.is_empty() {
+        return Err(OtError::EmptyInput("barycentre grid axis"));
+    }
+    if !config.kernel.resolve(true) {
+        // The dense representation of this support IS the points2d
+        // solve — delegate rather than duplicate (the bitwise-equality
+        // test pins the two entry points to each other).
+        let points: Vec<(f64, f64)> = gx
+            .iter()
+            .flat_map(|&x| gy.iter().map(move |&y| (x, y)))
+            .collect();
+        return entropic_barycentre_points2d(marginals, lambda, &points, config);
+    }
+    let n = gx.len() * gy.len();
+    for m in marginals {
+        if m.len() != n {
+            return Err(OtError::LengthMismatch {
+                what: "marginal vs product support",
+                left: m.len(),
+                right: n,
+            });
         }
-    });
-    kernel
+    }
+    let lambda = validated_lambda(marginals.len(), lambda, config)?;
+    let work = n * (gx.len() + gy.len());
+    bregman_barycentre(marginals, &lambda, n, config, work, |eps, _| {
+        KernelRep::separable_grid2d(gx, gy, eps)
+    })
 }
 
 /// Effective matvec thread count: configured threads once the kernel
@@ -340,18 +388,21 @@ fn validated_lambda(k: usize, lambda: &[f64], config: &BarycentreConfig) -> Resu
     Ok(lambda.iter().map(|l| l / lam_total).collect())
 }
 
-/// The shared iterative-Bregman core: `k ≥ 2` flat pmfs against the
-/// symmetric Gibbs kernel of the given ground metric, with `lambda`
-/// already validated and normalized ([`validated_lambda`]). When the
-/// config carries an [`EpsSchedule`], the fixed point is approached
-/// through a decreasing ε sequence, each stage rebuilding the kernel
-/// and warm-starting the scaling vectors from the previous stage
-/// (`u ← u^(ε_prev/ε)`, the log-space rescaling of ε-free potentials);
-/// intermediate stages run under the schedule's loose budget and only
-/// the final stage enforces `config.tol` / `config.max_iters`.
+/// The shared iterative-Bregman core: `k ≥ 2` flat pmfs against a
+/// symmetric Gibbs [`KernelRep`] (built per ε-stage by `build_kernel`),
+/// with `lambda` already validated and normalized
+/// ([`validated_lambda`]). When the config carries an [`EpsSchedule`],
+/// the fixed point is approached through a decreasing ε sequence, each
+/// stage rebuilding the kernel and warm-starting the scaling vectors
+/// from the previous stage (`u ← u^(ε_prev/ε)`, the log-space rescaling
+/// of ε-free potentials); intermediate stages run under the schedule's
+/// loose budget and only the final stage enforces `config.tol` /
+/// `config.max_iters`.
 ///
-/// The `O(n²)` kernel matvecs are chunk-parallel over output rows;
-/// every `O(n)` reduction (barycentre normalization, convergence
+/// `work_cells` is the matrix cells one matvec touches (`n²` dense,
+/// `n·(nx+ny)` separable) — what the in-kernel parallelism threshold
+/// compares against. The kernel matvecs are chunk-parallel over output
+/// rows; every `O(n)` reduction (barycentre normalization, convergence
 /// delta) is summed sequentially on the calling thread, keeping the
 /// output bit-identical for any thread count.
 fn bregman_barycentre(
@@ -359,9 +410,10 @@ fn bregman_barycentre(
     lambda: &[f64],
     n: usize,
     config: &BarycentreConfig,
-    sq_dist: impl Fn(usize, usize) -> f64 + Sync,
+    work_cells: usize,
+    build_kernel: impl Fn(f64, usize) -> KernelRep,
 ) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
-    let threads = kernel_threads(config, n * n);
+    let threads = kernel_threads(config, work_cells);
     let k = marginals.len();
     let mut u = vec![vec![1.0f64; n]; k];
     let mut v = vec![vec![1.0f64; n]; k];
@@ -370,6 +422,7 @@ fn bregman_barycentre(
     let mut kv = vec![vec![0.0f64; n]; k];
     let mut bary = vec![1.0 / n as f64; n];
     let mut tmp = vec![0.0f64; n];
+    let mut scratch = vec![0.0f64; n];
     const FLOOR: f64 = 1e-300;
 
     let stages = match &config.eps_scaling {
@@ -398,22 +451,11 @@ fn bregman_barycentre(
             }
         }
         prev_eps = Some(eps);
-        let kernel = build_kernel(n, eps, threads, &sq_dist);
-
-        // out_i = Σ_j K_ij v_j, rows chunked across threads (each row's
-        // accumulation order is fixed, so chunking never changes bytes).
-        let kmatvec = |v: &[f64], out: &mut [f64]| {
-            par_chunks_mut(out, threads, |start, chunk| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let row = &kernel[(start + off) * n..(start + off + 1) * n];
-                    let mut acc = 0.0;
-                    for (kij, vj) in row.iter().zip(v) {
-                        acc += kij * vj;
-                    }
-                    *slot = acc;
-                }
-            });
-        };
+        // out = K v through the representation seam: dense rows or two
+        // separable axis passes, either way chunked so each output
+        // element is written by one thread in a fixed accumulation
+        // order (bytes never depend on the chunking).
+        let kernel = build_kernel(eps, threads);
 
         let mut iterations = 0;
         delta = f64::INFINITY;
@@ -422,11 +464,11 @@ fn bregman_barycentre(
             let prev = bary.clone();
             // v_s <- a_s / K^T u_s  (kernel symmetric => K^T = K).
             for s in 0..k {
-                kmatvec(&u[s], &mut tmp);
+                kernel.matvec(&u[s], &mut tmp, &mut scratch, threads);
                 for i in 0..n {
                     v[s][i] = marginals[s][i] / tmp[i].max(FLOOR);
                 }
-                kmatvec(&v[s], &mut kv[s]);
+                kernel.matvec(&v[s], &mut kv[s], &mut scratch, threads);
             }
             // bary <- prod_s (u_s * K v_s)^{lambda_s}, computed in logs.
             let mut log_b = vec![0.0f64; n];
@@ -726,6 +768,118 @@ mod tests {
         for (a, b) in plane.masses().iter().zip(line.masses()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Unnormalized 2-D Gaussian pmf on the product grid (row-major,
+    /// `y` fastest), floored to strict positivity.
+    fn gaussian2d_on(gx: &[f64], gy: &[f64], mx: f64, my: f64, sd: f64) -> Vec<f64> {
+        let mut pmf: Vec<f64> = gx
+            .iter()
+            .flat_map(|&x| {
+                gy.iter().map(move |&y| {
+                    (-0.5 * (((x - mx) / sd).powi(2) + ((y - my) / sd).powi(2))).exp()
+                })
+            })
+            .collect();
+        let total: f64 = pmf.iter().sum();
+        for p in &mut pmf {
+            *p = (*p / total).max(1e-14);
+        }
+        pmf
+    }
+
+    #[test]
+    fn grid2d_dense_path_bitwise_matches_points2d() {
+        // The grid2d entry with the kernel forced dense is the exact
+        // points2d computation — a refactor guard at the bit level.
+        let gx = grid(-1.5, 1.5, 9);
+        let gy = grid(-1.0, 2.0, 7);
+        let a = gaussian2d_on(&gx, &gy, -0.5, 0.0, 0.6);
+        let b = gaussian2d_on(&gx, &gy, 0.7, 0.8, 0.5);
+        let cfg = BarycentreConfig {
+            kernel: KernelChoice::Dense,
+            ..BarycentreConfig::new(0.15, 5_000)
+        };
+        let points: Vec<(f64, f64)> = gx
+            .iter()
+            .flat_map(|&x| gy.iter().map(move |&y| (x, y)))
+            .collect();
+        let (flat, flat_diag) =
+            entropic_barycentre_points2d(&[&a, &b], &[0.5, 0.5], &points, &cfg).unwrap();
+        let (grid2d, diag) =
+            entropic_barycentre_grid2d(&[&a, &b], &[0.5, 0.5], &gx, &gy, &cfg).unwrap();
+        assert_eq!(diag, flat_diag);
+        for (x, y) in grid2d.iter().zip(&flat) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid2d_separable_agrees_with_dense() {
+        // Separable and dense group the matvec sums differently, so the
+        // converged barycentres agree to rounding, not bitwise. A tight
+        // tolerance pins both iterates close to the common fixed point.
+        let gx = grid(-1.5, 1.5, 10);
+        let gy = grid(-1.2, 1.8, 8);
+        let a = gaussian2d_on(&gx, &gy, -0.5, -0.2, 0.6);
+        let b = gaussian2d_on(&gx, &gy, 0.6, 0.9, 0.5);
+        let base = BarycentreConfig {
+            tol: 1e-12,
+            ..BarycentreConfig::new(0.15, 20_000)
+        };
+        let dense_cfg = BarycentreConfig {
+            kernel: KernelChoice::Dense,
+            ..base
+        };
+        let sep_cfg = BarycentreConfig {
+            kernel: KernelChoice::Separable,
+            ..base
+        };
+        let (dense, _) =
+            entropic_barycentre_grid2d(&[&a, &b], &[0.5, 0.5], &gx, &gy, &dense_cfg).unwrap();
+        let (sep, diag) =
+            entropic_barycentre_grid2d(&[&a, &b], &[0.5, 0.5], &gx, &gy, &sep_cfg).unwrap();
+        assert!(diag.final_delta < base.tol);
+        let l1: f64 = dense.iter().zip(&sep).map(|(x, y)| (x - y).abs()).sum();
+        assert!(l1 < 1e-9, "separable vs dense barycentre L1 = {l1:e}");
+    }
+
+    #[test]
+    fn grid2d_separable_parallel_bit_identical_to_sequential() {
+        let gx = grid(-1.0, 1.0, 8);
+        let gy = grid(-0.5, 1.5, 6);
+        let a = gaussian2d_on(&gx, &gy, -0.3, 0.1, 0.5);
+        let b = gaussian2d_on(&gx, &gy, 0.4, 0.6, 0.4);
+        let seq_cfg = BarycentreConfig {
+            kernel: KernelChoice::Separable,
+            eps_scaling: Some(EpsSchedule::geometric(0.8, 0.3)),
+            threads: 1,
+            parallel_min_cells: Some(1),
+            ..BarycentreConfig::new(0.1, 5_000)
+        };
+        let (seq, seq_diag) =
+            entropic_barycentre_grid2d(&[&a, &b], &[0.4, 0.6], &gx, &gy, &seq_cfg).unwrap();
+        for threads in [2usize, 3, 7] {
+            let cfg = BarycentreConfig { threads, ..seq_cfg };
+            let (par, diag) =
+                entropic_barycentre_grid2d(&[&a, &b], &[0.4, 0.6], &gx, &gy, &cfg).unwrap();
+            assert_eq!(diag, seq_diag, "threads = {threads}");
+            for (x, y) in par.iter().zip(&seq) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid2d_rejects_bad_shapes() {
+        let gx = grid(0.0, 1.0, 4);
+        let gy = grid(0.0, 1.0, 3);
+        let ok = vec![1.0 / 12.0; 12];
+        let short = vec![0.5; 6];
+        let cfg = BarycentreConfig::default();
+        assert!(entropic_barycentre_grid2d(&[&ok, &short], &[0.5, 0.5], &gx, &gy, &cfg).is_err());
+        assert!(entropic_barycentre_grid2d(&[&ok, &ok], &[0.5, 0.5], &[], &gy, &cfg).is_err());
+        assert!(entropic_barycentre_grid2d(&[&ok], &[1.0], &gx, &gy, &cfg).is_err());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   (absorption-stabilized fast path with a log-domain fallback, plus
 //!   an optional warm-started ε-scaling schedule, [`EpsSchedule`]), the
 //!   `O(nQ²/ε²)` alternative discussed in Section IV-A1.
+//! * [`kernel`] — the **Gibbs-kernel representation seam**:
+//!   [`KernelRep`] serves every entropic matvec either dense or — on
+//!   product-grid squared-Euclidean costs — factorized as `Kx ⊗ Ky`
+//!   (two `O(nQ³)` axis passes instead of one `O(nQ⁴)` sweep), selected
+//!   by [`KernelChoice`] (`auto|dense|separable`, `OTR_KERNEL` env).
 //! * [`solvers::backend`] — the **unified solver seam**: [`SolverBackend`]
 //!   and the [`Solver1d`] interface own backend selection, epsilon
 //!   validation, and the Sinkhorn→simplex fallback policy; every
@@ -55,18 +60,20 @@ pub mod coupling;
 pub mod discrete;
 pub mod error;
 pub mod interp;
+pub mod kernel;
 pub mod solvers;
 pub mod wasserstein;
 
 pub use barycentre::{
-    entropic_barycentre, entropic_barycentre_points2d, entropic_barycentre_with,
-    quantile_barycentre, BarycentreConfig, BarycentreDiagnostics,
+    entropic_barycentre, entropic_barycentre_grid2d, entropic_barycentre_points2d,
+    entropic_barycentre_with, quantile_barycentre, BarycentreConfig, BarycentreDiagnostics,
 };
 pub use cost::CostMatrix;
 pub use coupling::OtPlan;
 pub use discrete::DiscreteDistribution;
 pub use error::OtError;
 pub use interp::MidpointCdf;
+pub use kernel::{KernelChoice, KernelRep, KERNEL_ENV};
 pub use solvers::backend::{Solver1d, SolverBackend};
 pub use solvers::monotone::solve_monotone_1d;
 pub use solvers::simplex::solve_transportation_simplex;

@@ -28,6 +28,7 @@ use crate::cost::CostMatrix;
 use crate::coupling::OtPlan;
 use crate::discrete::DiscreteDistribution;
 use crate::error::{OtError, Result};
+use crate::kernel::KernelChoice;
 use crate::solvers::monotone::solve_monotone_1d;
 use crate::solvers::simplex::solve_transportation_simplex;
 use crate::solvers::sinkhorn::{sinkhorn, EpsSchedule, SinkhornConfig};
@@ -177,6 +178,27 @@ pub trait Solver1d {
         let _ = threads;
         self.solve_with_cost(mu, nu, cost)
     }
+
+    /// [`Solver1d::solve_with_cost_threads`] with an explicit
+    /// Gibbs-kernel representation preference for entropic backends on
+    /// grid-separable costs (see [`KernelChoice`]). Backends without an
+    /// entropic kernel ignore the preference, which is the default
+    /// implementation; an unavailable preference degrades to dense,
+    /// never errors.
+    ///
+    /// # Errors
+    /// As [`Solver1d::solve_with_cost`].
+    fn solve_with_cost_kernel(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        cost: &CostMatrix,
+        threads: usize,
+        kernel: KernelChoice,
+    ) -> Result<OtPlan> {
+        let _ = kernel;
+        self.solve_with_cost_threads(mu, nu, cost, threads)
+    }
 }
 
 impl Solver1d for SolverBackend {
@@ -219,6 +241,17 @@ impl Solver1d for SolverBackend {
         cost: &CostMatrix,
         threads: usize,
     ) -> Result<OtPlan> {
+        self.solve_with_cost_kernel(mu, nu, cost, threads, KernelChoice::Auto)
+    }
+
+    fn solve_with_cost_kernel(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        cost: &CostMatrix,
+        threads: usize,
+        kernel: KernelChoice,
+    ) -> Result<OtPlan> {
         self.validate()?;
         match self {
             SolverBackend::ExactMonotone => Err(OtError::InvalidParameter {
@@ -235,6 +268,7 @@ impl Solver1d for SolverBackend {
                 let config = SinkhornConfig {
                     threads,
                     eps_scaling: *eps_scaling,
+                    kernel,
                     ..SinkhornConfig::with_epsilon(*epsilon)
                 };
                 match sinkhorn(mu, nu, cost, config) {

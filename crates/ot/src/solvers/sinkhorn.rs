@@ -45,6 +45,7 @@ use otr_par::{par_chunks_mut, par_rows_mut, par_transpose};
 use crate::cost::CostMatrix;
 use crate::coupling::OtPlan;
 use crate::error::{OtError, Result};
+use crate::kernel::{KernelChoice, KernelRep};
 
 /// Iterations between convergence / absorption checks: the `O(n²)`
 /// residual amortizes to noise at this cadence.
@@ -60,6 +61,15 @@ const ABSORB_DRIFT: f64 = 250.0;
 /// iteration is declared stalled and the log-domain fallback takes
 /// over (30 checks × cadence 10 = 300 iterations of grace).
 const STALL_CHECKS: usize = 30;
+
+/// Largest `max(|ln U|, |ln V|)` total-scaling drift the **separable**
+/// standard domain tolerates. Its factored kernel cannot be rebuilt
+/// around the dual potentials (that would break the `Kx ⊗ Ky`
+/// structure), so the scaling vectors carry the *full* duals; past this
+/// bound the products `U_i · Kx·Ky · V_j` risk leaving f64 range and
+/// the stage bails to the log domain instead
+/// (`2 · 340 < ln f64::MAX ≈ 709`).
+const SEPARABLE_SCALING_MAX: f64 = 340.0;
 
 /// Hard cap on ε-schedule stages (a floor-bound geometric schedule with
 /// a factor very close to 1 would otherwise explode); past the cap the
@@ -218,6 +228,20 @@ pub struct SinkhornConfig {
     /// serialized.
     #[serde(skip)]
     pub parallel_min_cells: Option<usize>,
+    /// Gibbs-kernel representation on **grid-separable** costs (a
+    /// self-product-grid squared-Euclidean [`CostMatrix`] with no
+    /// zero-mass filtering): `Auto` (the default) factorizes the kernel
+    /// as `Kx ⊗ Ky` — two `O(nQ³)` axis passes per scaling update
+    /// instead of the `O(nQ⁴)` dense sweep — unless the `OTR_KERNEL`
+    /// environment variable says otherwise; non-separable solves always
+    /// run dense. Like [`eps_scaling`](Self::eps_scaling) this is part
+    /// of the solve's definition (the representations group sums
+    /// differently, agreeing to ~1e-12 relative, not bitwise); unlike
+    /// it the choice is not serialized — a persisted plan stores the
+    /// designed coupling itself, never the representation that built
+    /// it.
+    #[serde(skip)]
+    pub kernel: KernelChoice,
 }
 
 impl Default for SinkhornConfig {
@@ -229,6 +253,7 @@ impl Default for SinkhornConfig {
             eps_scaling: None,
             threads: 0,
             parallel_min_cells: None,
+            kernel: KernelChoice::Auto,
         }
     }
 }
@@ -357,17 +382,39 @@ pub fn sinkhorn_warm(
     let np = rows_pos.len();
     let mp = cols_pos.len();
 
-    // Negated cost -C on the positive sub-support (ε-free, so one build
-    // serves every schedule stage), built row-parallel.
     let threads = config.kernel_threads(np * mp);
     let transposed = np * mp >= otr_par::kernel_cells(config.parallel_min_cells);
-    let mut neg_c = vec![0.0f64; np * mp];
-    par_chunks_mut(&mut neg_c, threads, |start, chunk| {
-        for (off, slot) in chunk.iter_mut().enumerate() {
-            let idx = start + off;
-            *slot = -cost.get(rows_pos[idx / mp], cols_pos[idx % mp]);
-        }
+
+    // The separable (Kronecker) standard domain engages only when the
+    // cost is grid-separable AND no zero-mass filtering narrowed the
+    // support (filtering breaks the product structure); the kernel
+    // choice then still gets the last word. Its per-matvec work is
+    // `n·(nx+ny)` cells, so it resolves its own threshold.
+    let separable = cost
+        .grid2d()
+        .filter(|(gx, gy)| np == n && mp == m && n == m && gx.len() * gy.len() == n)
+        .filter(|_| config.kernel.resolve(true))
+        .map(|(gx, gy)| (gx.to_vec(), gy.to_vec()));
+    let sep_threads = separable.as_ref().map_or(1, |(gx, gy)| {
+        config.kernel_threads(np * (gx.len() + gy.len()))
     });
+
+    // Negated cost -C on the positive sub-support (ε-free, so one build
+    // serves every schedule stage), built row-parallel — but only for
+    // dense solves. The separable path rebuilds it on demand from its
+    // axis grids if (and only if) a stage ever falls back to the log
+    // domain; its happy path never touches the O(n²) matrix.
+    let neg_c = std::sync::OnceLock::new();
+    if separable.is_none() {
+        let mut dense = vec![0.0f64; np * mp];
+        par_chunks_mut(&mut dense, threads, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let idx = start + off;
+                *slot = -cost.get(rows_pos[idx / mp], cols_pos[idx % mp]);
+            }
+        });
+        let _ = neg_c.set(dense);
+    }
 
     let sub = SubProblem {
         np,
@@ -377,6 +424,8 @@ pub fn sinkhorn_warm(
         b_pos: cols_pos.iter().map(|&j| b[j]).collect(),
         threads,
         transposed,
+        separable,
+        sep_threads,
     };
 
     // Dual potentials in cost units on the sub-support, warm or zero.
@@ -453,8 +502,12 @@ enum StandardOutcome {
 struct SubProblem {
     np: usize,
     mp: usize,
-    /// Negated cost `-C` (ε-free), row-major `np × mp`.
-    neg_c: Vec<f64>,
+    /// Negated cost `-C` (ε-free), row-major `np × mp`. Built eagerly
+    /// for dense solves; the separable fast path defers it — only the
+    /// log-domain fallback needs the dense cost there, and the common
+    /// case (every stage converging in the factorized domain) never
+    /// pays the `O(n²)` build. Access through [`SubProblem::neg_c`].
+    neg_c: std::sync::OnceLock<Vec<f64>>,
     a_pos: Vec<f64>,
     b_pos: Vec<f64>,
     /// Effective worker threads (1 = stay sequential; the size
@@ -463,9 +516,43 @@ struct SubProblem {
     /// Column phase reads a transposed kernel copy (true once the
     /// kernel crosses the [`otr_par::kernel_cells`] threshold).
     transposed: bool,
+    /// Axis grids `(gx, gy)` when the standard domain runs against the
+    /// factorized kernel `Kx ⊗ Ky` (grid-separable cost, unfiltered
+    /// support, kernel choice resolved to separable); `None` = dense.
+    separable: Option<(Vec<f64>, Vec<f64>)>,
+    /// Effective worker threads of the separable passes (thresholded on
+    /// their own `n·(nx+ny)` work measure; 1 when `separable` is
+    /// `None`).
+    sep_threads: usize,
 }
 
 impl SubProblem {
+    /// The negated cost `-C`, row-major `np × mp` — eager for dense
+    /// solves, reconstructed from the separable axis grids on first use
+    /// (bit-identical to the eager build: same `dx·dx + dy·dy` ops in
+    /// the same order, then negated).
+    fn neg_c(&self) -> &[f64] {
+        self.neg_c.get_or_init(|| {
+            let (gx, gy) = self
+                .separable
+                .as_ref()
+                .expect("dense sub-problems build neg_c eagerly");
+            let ny = gy.len();
+            let m = self.mp;
+            let mut dense = vec![0.0f64; self.np * m];
+            par_chunks_mut(&mut dense, self.threads, |start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let idx = start + off;
+                    let (r, c) = (idx / m, idx % m);
+                    let dx = gx[r / ny] - gx[c / ny];
+                    let dy = gy[r % ny] - gy[c % ny];
+                    *slot = -(dx * dx + dy * dy);
+                }
+            });
+            dense
+        })
+    }
+
     /// One ε-stage: try the absorption-stabilized standard domain, fall
     /// back to the log domain if it turns non-finite or stalls. `phi` /
     /// `psi` (cost-unit duals) are the warm-start input and the stage's
@@ -481,7 +568,12 @@ impl SubProblem {
         psi: &mut [f64],
         last: bool,
     ) -> Result<Option<Vec<f64>>> {
-        match self.iterate_standard(eps, max_iters, tol, phi, psi, last) {
+        let standard = if self.separable.is_some() {
+            self.iterate_separable(eps, max_iters, tol, phi, psi, last)
+        } else {
+            self.iterate_standard(eps, max_iters, tol, phi, psi, last)
+        };
+        match standard {
             StandardOutcome::Converged(plan) => Ok(plan),
             StandardOutcome::Exhausted if !last => Ok(None),
             // Final-stage exhaustion or instability: the log-sum-exp
@@ -492,6 +584,146 @@ impl SubProblem {
                 self.iterate_log(eps, max_iters, tol, phi, psi, last)
             }
         }
+    }
+
+    /// Standard-domain Sinkhorn against the **factorized** kernel
+    /// `Kx ⊗ Ky` of a grid-separable cost: every scaling update
+    /// contracts one axis at a time (two `O(nQ³)` passes through
+    /// [`KernelRep::matvec`]) instead of sweeping the `O(nQ⁴)` dense
+    /// kernel.
+    ///
+    /// Unlike [`SubProblem::iterate_standard`] this domain cannot
+    /// absorb drifting scalings into the kernel — rebuilding
+    /// `exp((φ_i + ψ_j − C_ij)/ε)` cell-wise would destroy the product
+    /// structure — so the scaling vectors `U = exp(φ/ε)·u`,
+    /// `V = exp(ψ/ε)·v` carry the *full* duals (warm-started via the
+    /// one free dual constant, which centres the two exponent ranges).
+    /// If they drift past [`SEPARABLE_SCALING_MAX`] or turn non-finite
+    /// the stage returns [`StandardOutcome::Unstable`] and the caller
+    /// falls back to the (dense) log domain — a pure function of the
+    /// iterates, so determinism is unaffected. Update order matches the
+    /// other domains (row scaling, column scaling, residual on rows).
+    fn iterate_separable(
+        &self,
+        eps: f64,
+        max_iters: usize,
+        tol: f64,
+        phi: &mut [f64],
+        psi: &mut [f64],
+        materialize: bool,
+    ) -> StandardOutcome {
+        let (gx, gy) = self.separable.as_ref().expect("separable axes");
+        let kernel = KernelRep::separable_grid2d(gx, gy, eps);
+        let n = self.np;
+        let threads = self.sep_threads;
+        const FLOOR: f64 = 1e-300;
+
+        // Warm start: fold the duals into the scalings, spending the
+        // free dual constant (φ ↦ φ − s, ψ ↦ ψ + s leaves every
+        // π_ij = exp((φ_i + ψ_j − C_ij)/ε) unchanged) on centring the
+        // two exponent ranges around a common mean.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let shift = (mean(phi) - mean(psi)) / 2.0;
+        let mut u: Vec<f64> = phi.iter().map(|p| ((p - shift) / eps).exp()).collect();
+        let mut v: Vec<f64> = psi.iter().map(|p| ((p + shift) / eps).exp()).collect();
+        if u.iter().chain(&v).any(|x| !x.is_finite() || *x <= 0.0) {
+            // The warm duals themselves exceed the factored domain's
+            // range; let the log domain handle this stage.
+            return StandardOutcome::Unstable;
+        }
+        let write_duals = |phi: &mut [f64], psi: &mut [f64], u: &[f64], v: &[f64]| {
+            for (p, ui) in phi.iter_mut().zip(u) {
+                *p = eps * ui.max(FLOOR).ln() + shift;
+            }
+            for (p, vj) in psi.iter_mut().zip(v) {
+                *p = eps * vj.max(FLOOR).ln() - shift;
+            }
+        };
+
+        let mut kv = vec![0.0f64; n];
+        let mut ku = vec![0.0f64; n];
+        let mut scratch = vec![0.0f64; n];
+        let mut iterations = 0;
+        let mut best_residual = f64::INFINITY;
+        let mut stalled_checks = 0;
+        while iterations < max_iters {
+            iterations += 1;
+            // U_i = a_i / (K V)_i (row marginals exact after this).
+            kernel.matvec(&v, &mut kv, &mut scratch, threads);
+            for i in 0..n {
+                u[i] = self.a_pos[i] / kv[i].max(FLOOR);
+            }
+            // V_j = b_j / (Kᵀ U)_j; the kernel is symmetric (self-grid
+            // cost), so the same two axis passes serve the transpose.
+            kernel.matvec(&u, &mut ku, &mut scratch, threads);
+            for j in 0..n {
+                v[j] = self.b_pos[j] / ku[j].max(FLOOR);
+            }
+
+            // Convergence / stability checks on the standard cadence.
+            // The residual matvec and the sequential folds mirror the
+            // dense domain: every cross-row reduction happens on the
+            // calling thread, so the outcome is thread-count-free.
+            if iterations % CHECK_CADENCE == 0 || iterations == max_iters {
+                kernel.matvec(&v, &mut kv, &mut scratch, threads);
+                let mut residual = 0.0;
+                for i in 0..n {
+                    residual += (u[i] * kv[i] - self.a_pos[i]).abs();
+                }
+                if !residual.is_finite() {
+                    return StandardOutcome::Unstable;
+                }
+                if residual < tol {
+                    let plan = materialize.then(|| self.materialize_separable(&kernel, &u, &v));
+                    write_duals(phi, psi, &u, &v);
+                    return StandardOutcome::Converged(plan);
+                }
+                if residual >= best_residual * 0.999 {
+                    stalled_checks += 1;
+                    if stalled_checks >= STALL_CHECKS {
+                        return StandardOutcome::Unstable;
+                    }
+                } else {
+                    stalled_checks = 0;
+                }
+                best_residual = best_residual.min(residual);
+
+                // Factored-domain overflow guard (see the method docs).
+                let drift = u
+                    .iter()
+                    .chain(&v)
+                    .map(|x| x.ln().abs())
+                    .fold(0.0f64, f64::max);
+                if !drift.is_finite() || drift > SEPARABLE_SCALING_MAX {
+                    return StandardOutcome::Unstable;
+                }
+            }
+        }
+        write_duals(phi, psi, &u, &v);
+        StandardOutcome::Exhausted
+    }
+
+    /// Materialize `π_ij = U_i · K_ij · V_j` from the factorized kernel
+    /// (the plan itself is dense — `O(n²)` cells once, vs the per-
+    /// iteration savings of the axis-pass matvecs), chunk-parallel and
+    /// elementwise pure, so bit-identical for any thread count.
+    fn materialize_separable(&self, kernel: &KernelRep, u: &[f64], v: &[f64]) -> Vec<f64> {
+        let KernelRep::Separable { kx, ky, nx: _, ny } = kernel else {
+            unreachable!("separable materialization needs a factorized kernel")
+        };
+        let (n, ny) = (self.np, *ny);
+        let nx = n / ny;
+        let mut plan = vec![0.0f64; n * n];
+        par_chunks_mut(&mut plan, self.sep_threads, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let idx = start + off;
+                let (r, c) = (idx / n, idx % n);
+                let (ix, iy) = (r / ny, r % ny);
+                let (jx, jy) = (c / ny, c % ny);
+                *slot = u[r] * kx[ix * nx + jx] * ky[iy * ny + jy] * v[c];
+            }
+        });
+        plan
     }
 
     /// Build the absorbed Gibbs kernel `K̃_ij = exp((φ_i + ψ_j − C_ij)/ε)`
@@ -506,7 +738,7 @@ impl SubProblem {
         kernel_t: &mut [f64],
     ) {
         let mp = self.mp;
-        let neg_c = &self.neg_c;
+        let neg_c = self.neg_c();
         par_chunks_mut(kernel, self.threads, |start, chunk| {
             for (off, slot) in chunk.iter_mut().enumerate() {
                 let idx = start + off;
@@ -698,7 +930,7 @@ impl SubProblem {
         // elementwise scaling commutes with the transpose, so either
         // build order yields the same bits).
         let mut neg_c_eps = vec![0.0f64; np * mp];
-        let neg_c = &self.neg_c;
+        let neg_c = self.neg_c();
         par_chunks_mut(&mut neg_c_eps, self.threads, |start, chunk| {
             for (off, slot) in chunk.iter_mut().enumerate() {
                 *slot = neg_c[start + off] / eps;
@@ -1234,14 +1466,18 @@ mod tests {
                 neg_c[i * mp + j] = -cost.get(i, j);
             }
         }
+        let neg_c_cell = std::sync::OnceLock::new();
+        let _ = neg_c_cell.set(neg_c);
         let sub = SubProblem {
             np,
             mp,
-            neg_c,
+            neg_c: neg_c_cell,
             a_pos: a.to_vec(),
             b_pos: b.to_vec(),
             threads: 1,
             transposed: false,
+            separable: None,
+            sep_threads: 1,
         };
         let mut phi = vec![0.0f64; np];
         let mut psi = vec![0.0f64; mp];
@@ -1266,6 +1502,192 @@ mod tests {
         for (idx, (s, l)) in standard.iter().zip(&log).enumerate() {
             assert!((s - l).abs() < 1e-6, "cell {idx}: standard {s} vs log {l}");
         }
+    }
+
+    /// A grid-separable product-grid problem: pmfs on the `gx × gy`
+    /// self-product support (strictly positive so no filtering breaks
+    /// the structure).
+    fn product_grid_problem() -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, CostMatrix) {
+        let gx: Vec<f64> = (0..6).map(|i| -1.0 + 0.4 * i as f64).collect();
+        let gy: Vec<f64> = (0..5).map(|i| 0.1 + 0.35 * i as f64).collect();
+        let n = gx.len() * gy.len();
+        let a: Vec<f64> = (0..n).map(|i| 0.2 + ((i * 7) % 5) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| 0.3 + ((i * 3) % 4) as f64).collect();
+        let cost = CostMatrix::squared_euclidean_grid2d(&gx, &gy).unwrap();
+        (gx, gy, a, b, cost)
+    }
+
+    #[test]
+    fn separable_kernel_agrees_with_dense_on_product_grids() {
+        // Same fixed point, different sum grouping: the factorized and
+        // dense solves of one problem must agree within the solver
+        // tolerance, cell by cell — cold and ε-scheduled.
+        let (_, _, a, b, cost) = product_grid_problem();
+        for eps_scaling in [None, Some(EpsSchedule::default())] {
+            let base = SinkhornConfig {
+                epsilon: 0.1,
+                tol: 1e-9,
+                eps_scaling,
+                ..SinkhornConfig::default()
+            };
+            let dense = sinkhorn(
+                &a,
+                &b,
+                &cost,
+                SinkhornConfig {
+                    kernel: KernelChoice::Dense,
+                    ..base
+                },
+            )
+            .unwrap();
+            let sep = sinkhorn(
+                &a,
+                &b,
+                &cost,
+                SinkhornConfig {
+                    kernel: KernelChoice::Separable,
+                    ..base
+                },
+            )
+            .unwrap();
+            sep.validate_marginals(
+                &a.iter()
+                    .map(|x| x / a.iter().sum::<f64>())
+                    .collect::<Vec<_>>(),
+                &b.iter()
+                    .map(|x| x / b.iter().sum::<f64>())
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            for i in 0..dense.rows() {
+                for j in 0..dense.cols() {
+                    assert!(
+                        (dense.get(i, j) - sep.get(i, j)).abs() < 1e-7,
+                        "scheduled = {}, cell ({i}, {j}): dense {} vs separable {}",
+                        eps_scaling.is_some(),
+                        dense.get(i, j),
+                        sep.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separable_kernel_bit_identical_across_thread_counts() {
+        let (_, _, a, b, cost) = product_grid_problem();
+        for eps_scaling in [None, Some(EpsSchedule::default())] {
+            let sequential = sinkhorn(
+                &a,
+                &b,
+                &cost,
+                SinkhornConfig {
+                    epsilon: 0.08,
+                    eps_scaling,
+                    threads: 1,
+                    parallel_min_cells: Some(1),
+                    kernel: KernelChoice::Separable,
+                    ..SinkhornConfig::default()
+                },
+            )
+            .unwrap();
+            for threads in [2usize, 3, 7] {
+                let parallel = sinkhorn(
+                    &a,
+                    &b,
+                    &cost,
+                    SinkhornConfig {
+                        epsilon: 0.08,
+                        eps_scaling,
+                        threads,
+                        parallel_min_cells: Some(1),
+                        kernel: KernelChoice::Separable,
+                        ..SinkhornConfig::default()
+                    },
+                )
+                .unwrap();
+                for i in 0..a.len() {
+                    for j in 0..b.len() {
+                        assert_eq!(
+                            parallel.get(i, j).to_bits(),
+                            sequential.get(i, j).to_bits(),
+                            "scheduled = {}, threads = {threads}, cell ({i}, {j})",
+                            eps_scaling.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_neg_c_reconstruction_bitwise_matches_eager_build() {
+        // A separable sub-problem defers its O(n²) negated-cost build;
+        // when the log-domain fallback does demand it, the axis-grid
+        // reconstruction must reproduce the eager `-cost.get(i, j)`
+        // build bit for bit.
+        let (gx, gy, a, b, cost) = product_grid_problem();
+        let n = a.len();
+        let lazy = SubProblem {
+            np: n,
+            mp: b.len(),
+            neg_c: std::sync::OnceLock::new(),
+            a_pos: a.clone(),
+            b_pos: b.clone(),
+            threads: 1,
+            transposed: false,
+            separable: Some((gx, gy)),
+            sep_threads: 1,
+        };
+        let got = lazy.neg_c();
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(
+                    got[r * n + c].to_bits(),
+                    (-cost.get(r, c)).to_bits(),
+                    "cell ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn separable_preference_degrades_to_dense_off_product_grids() {
+        // A non-separable cost under an explicit Separable preference
+        // must solve dense (and correctly), never error; and zero-mass
+        // filtering on a product-grid cost also falls back cleanly.
+        let support_a = [0.0, 1.0, 2.0];
+        let support_b = [0.5, 1.5];
+        let a = [0.3, 0.4, 0.3];
+        let b = [0.5, 0.5];
+        let cost = CostMatrix::squared_euclidean(&support_a, &support_b).unwrap();
+        let plan = sinkhorn(
+            &a,
+            &b,
+            &cost,
+            SinkhornConfig {
+                kernel: KernelChoice::Separable,
+                ..SinkhornConfig::default()
+            },
+        )
+        .unwrap();
+        plan.validate_marginals(&a, &b).unwrap();
+
+        let (gx, gy, mut a2, b2, cost2) = product_grid_problem();
+        a2[3] = 0.0; // filtering narrows the support → product structure gone
+        let _ = (gx, gy);
+        let plan2 = sinkhorn(
+            &a2,
+            &b2,
+            &cost2,
+            SinkhornConfig {
+                epsilon: 0.1,
+                kernel: KernelChoice::Separable,
+                ..SinkhornConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(plan2.row_marginal()[3].abs() < 1e-12);
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub mod prelude {
         conditional_disparate_impact, ConditionalDependence, DiReport, EReport, JointDependence,
         LogisticRegression, WassersteinDependence,
     };
-    pub use otr_ot::{DiscreteDistribution, EpsSchedule, MidpointCdf, OtPlan};
+    pub use otr_ot::{DiscreteDistribution, EpsSchedule, KernelChoice, MidpointCdf, OtPlan};
 }

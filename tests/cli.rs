@@ -260,6 +260,84 @@ fn joint_design_apply_loop_with_verbose_report() {
         .unwrap();
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("eps-scaling"));
+
+    // An invalid --kernel spelling too.
+    let bad_kernel = Command::new(bin())
+        .args([
+            "design",
+            "--joint",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--kernel",
+            "kronecker",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad_kernel.status.success());
+    assert!(String::from_utf8_lossy(&bad_kernel.stderr).contains("kernel"));
+}
+
+#[test]
+fn joint_verbose_report_names_kernel_and_single_stage() {
+    let dir = tmp_dir("joint-verbose");
+    let (research, _archive) = write_csvs(&dir, 6);
+    let plan = dir.join("joint-plan.json").to_string_lossy().into_owned();
+
+    // ε-scaling off: the per-stratum stage breakdown says so instead of
+    // echoing a one-entry stage list; --kernel dense is reported back.
+    let design = Command::new(bin())
+        .args([
+            "design",
+            "--joint",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--nq",
+            "8",
+            "--eps",
+            "0.25",
+            "--eps-scaling",
+            "off",
+            "--kernel",
+            "dense",
+            "--verbose",
+        ])
+        .output()
+        .unwrap();
+    assert!(design.status.success(), "joint design failed");
+    let stderr = String::from_utf8_lossy(&design.stderr);
+    assert!(
+        stderr.contains("single stage (eps-scaling off)"),
+        "report: {stderr}"
+    );
+    assert!(stderr.contains("kernel = dense"), "report: {stderr}");
+
+    // The separable kernel designs the same grid shape successfully.
+    let design = Command::new(bin())
+        .args([
+            "design",
+            "--joint",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--nq",
+            "8",
+            "--eps",
+            "0.25",
+            "--kernel",
+            "separable",
+            "--verbose",
+        ])
+        .output()
+        .unwrap();
+    assert!(design.status.success(), "separable joint design failed");
+    let stderr = String::from_utf8_lossy(&design.stderr);
+    assert!(stderr.contains("kernel = separable"), "report: {stderr}");
+    assert!(std::fs::metadata(&plan).unwrap().len() > 1_000);
 }
 
 #[test]

@@ -1,0 +1,84 @@
+//! Golden-file schema test for [`JointDesignReport`] — the JSON the
+//! perf-smoke job archives as `BENCH_joint_report.json` and operators
+//! read for convergence headroom. The CI artifact format must not
+//! drift silently: any field rename, removal, reorder, or type change
+//! shows up here as a diff against the checked-in fixture, and the
+//! fixture update becomes an explicit, reviewable part of the change.
+
+use ot_fair_repair::prelude::*;
+use ot_fair_repair::repair::{BarycentreStageStat, JointStratumReport};
+
+/// A fully populated report with stable, hand-picked values — every
+/// field and nesting level of the artifact schema exercised.
+fn reference_report() -> JointDesignReport {
+    JointDesignReport {
+        n_q: 24,
+        epsilon: 0.05,
+        eps_scaling: Some(EpsSchedule {
+            eps0: 1.0,
+            factor: 0.25,
+            stage_iters: 0,
+            stage_tol: 0.0,
+        }),
+        solver: "sinkhorn:0.05:scaled".to_string(),
+        kernel: "separable".to_string(),
+        design_secs: 1.5,
+        strata: vec![
+            JointStratumReport {
+                u: 0,
+                barycentre_iterations: 120,
+                barycentre_final_delta: 5e-10,
+                barycentre_stages: vec![
+                    BarycentreStageStat {
+                        eps: 1.0,
+                        iterations: 40,
+                    },
+                    BarycentreStageStat {
+                        eps: 0.25,
+                        iterations: 50,
+                    },
+                    BarycentreStageStat {
+                        eps: 0.05,
+                        iterations: 30,
+                    },
+                ],
+                plan_transport_cost: [0.75, 1.25],
+            },
+            JointStratumReport {
+                u: 1,
+                barycentre_iterations: 90,
+                barycentre_final_delta: 2.5e-10,
+                barycentre_stages: vec![BarycentreStageStat {
+                    eps: 0.05,
+                    iterations: 90,
+                }],
+                plan_transport_cost: [0.5, 2.0],
+            },
+        ],
+    }
+}
+
+#[test]
+fn joint_design_report_schema_matches_checked_in_fixture() {
+    let fixture_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/joint_design_report.json"
+    );
+    let fixture = std::fs::read_to_string(fixture_path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {fixture_path}: {e}"));
+    // Compare as parsed JSON values: whitespace-insensitive, but field
+    // names, order, nesting, and numeric payloads all pinned (the
+    // vendored Value keeps object entries in serialization order).
+    let want: serde_json::Value = serde_json::from_str(&fixture)
+        .unwrap_or_else(|e| panic!("malformed fixture {fixture_path}: {e}"));
+    let got: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&reference_report()).unwrap()).unwrap();
+    assert!(
+        want == got,
+        "JointDesignReport schema drifted from tests/fixtures/joint_design_report.json.\n\
+         If the change is intentional, re-record the fixture from this test's \
+         reference_report() and review the diff.\n\
+         fixture: {want:?}\n\
+         current: {got:?}"
+    );
+}
