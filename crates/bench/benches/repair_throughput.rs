@@ -18,8 +18,11 @@
 //!   and (when `OTR_BENCH_BASELINE` names the committed baseline)
 //!   gated at a 25% regression margin:
 //!   1. **archival throughput** (`BENCH_throughput.json`): sequential
-//!      vs parallel repair of a ≥100k-row synthetic archive,
-//!      bit-identity asserted;
+//!      vs parallel vs columnar repair of a ≥100k-row synthetic
+//!      archive, bit-identity asserted between all three; the columnar
+//!      sub-leg records `columnar_rows_per_sec` and `layout_speedup`
+//!      (columnar vs the parallel row path at the same thread count,
+//!      self-contained gate at ≥1.5x);
 //!   2. **plan design** (`BENCH_plan_design.json`): Algorithm-1 design
 //!      rate at `nQ = 50`;
 //!   3. **joint repair** (`BENCH_joint.json`): `nQ = 24` joint
@@ -45,7 +48,7 @@ use serde::{Deserialize, Serialize};
 use otr_core::{
     JointRepairConfig, JointRepairPlan, KernelChoice, RepairConfig, RepairPlan, RepairPlanner,
 };
-use otr_data::{Dataset, SimulationSpec};
+use otr_data::{ColumnarDataset, Dataset, SimulationSpec};
 
 fn bench_repair(c: &mut Criterion) {
     let spec = SimulationSpec::paper_defaults();
@@ -90,6 +93,10 @@ fn bench_parallel(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| plan.repair_dataset_seeded(&archive, 7).unwrap())
     });
+    let columnar_archive = ColumnarDataset::from_dataset(&archive);
+    group.bench_function("columnar", |b| {
+        b.iter(|| plan.repair_columnar_par(&columnar_archive, 7).unwrap())
+    });
     let mut thread_counts = vec![2usize, 4, otr_par::thread_count(0)];
     thread_counts.sort_unstable();
     thread_counts.dedup(); // auto may equal 2 or 4 — don't bench twice
@@ -123,6 +130,17 @@ struct ThroughputReport {
     seq_rows_per_sec: f64,
     par_rows_per_sec: f64,
     speedup: f64,
+    /// Columnar (struct-of-arrays) kernel wall time, same rows and
+    /// auto threads as the parallel row leg (`serde(default)`s keep
+    /// pre-columnar baselines readable; 0 disarms the columnar gates).
+    #[serde(default)]
+    columnar_secs: f64,
+    #[serde(default)]
+    columnar_rows_per_sec: f64,
+    /// `par_secs / columnar_secs` — the layout's win over the row path
+    /// at identical thread count, gated ≥ 1.5x.
+    #[serde(default)]
+    layout_speedup: f64,
 }
 
 /// The plan-design leg: Algorithm-1 strata design rate.
@@ -233,16 +251,26 @@ fn quick_throughput() -> ThroughputReport {
         .unwrap();
 
     // The determinism contract is part of the gate: parallel output must
-    // be bit-identical to the sequential per-row-stream reference.
+    // be bit-identical to the sequential per-row-stream reference, and
+    // the columnar kernels bit-identical to both.
     let seq_out = plan.repair_dataset_seeded(&archive, 7).unwrap();
     let par_out = plan.repair_dataset_par(&archive, 7).unwrap();
     assert!(
         seq_out.points() == par_out.points(),
         "parallel repair diverged from the sequential reference"
     );
+    let columnar_archive = ColumnarDataset::from_dataset(&archive);
+    let col_out = plan.repair_columnar_par(&columnar_archive, 7).unwrap();
+    assert!(
+        byte_image(&col_out.to_dataset()) == byte_image(&par_out),
+        "columnar repair diverged from the row path"
+    );
 
     let seq_secs = best_of(5, || plan.repair_dataset_seeded(&archive, 7).unwrap());
     let par_secs = best_of(5, || plan.repair_dataset_par(&archive, 7).unwrap());
+    let columnar_secs = best_of(5, || {
+        plan.repair_columnar_par(&columnar_archive, 7).unwrap()
+    });
     let report = ThroughputReport {
         rows,
         dim: archive.dim(),
@@ -252,6 +280,9 @@ fn quick_throughput() -> ThroughputReport {
         seq_rows_per_sec: rows as f64 / seq_secs,
         par_rows_per_sec: rows as f64 / par_secs,
         speedup: seq_secs / par_secs,
+        columnar_secs,
+        columnar_rows_per_sec: rows as f64 / columnar_secs,
+        layout_speedup: par_secs / columnar_secs,
     };
     println!(
         "sequential: {:.3} s ({:.0} rows/s)\nparallel:   {:.3} s ({:.0} rows/s)\nspeedup:    {:.2}x at {} threads",
@@ -261,6 +292,10 @@ fn quick_throughput() -> ThroughputReport {
         report.par_rows_per_sec,
         report.speedup,
         report.threads
+    );
+    println!(
+        "columnar:   {:.3} s ({:.0} rows/s) — {:.2}x over the row path (byte-identical)",
+        report.columnar_secs, report.columnar_rows_per_sec, report.layout_speedup
     );
     report
 }
@@ -472,6 +507,16 @@ fn quick_gate() {
         baseline.throughput.par_rows_per_sec,
         "rows/s",
     );
+    // The columnar rate floor arms once the baseline records one
+    // (pre-columnar baselines deserialize it as 0).
+    if baseline.throughput.columnar_rows_per_sec > 0.0 {
+        gate_rate(
+            "columnar repair",
+            throughput.columnar_rows_per_sec,
+            baseline.throughput.columnar_rows_per_sec,
+            "rows/s",
+        );
+    }
     gate_rate(
         "plan design",
         plan_design.designs_per_sec,
@@ -544,6 +589,23 @@ fn quick_gate() {
         } else {
             eprintln!("perf gate: separable-vs-dense kernel speedup {ratio:.2}x >= 2.0x — ok");
         }
+    }
+    // The columnar-layout floor: the struct-of-arrays kernels must stay
+    // ≥1.5x faster than the row path at the same thread count. Like the
+    // kernel floor above, this is a within-run ratio — self-contained,
+    // so it holds on any runner regardless of absolute speed.
+    if throughput.layout_speedup < 1.5 {
+        eprintln!(
+            "perf regression: columnar repair is only {:.2}x faster than the row path \
+             (floor 1.5x) — the column-slice kernels may have degraded",
+            throughput.layout_speedup
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perf gate: columnar-vs-row layout speedup {:.2}x >= 1.5x — ok",
+            throughput.layout_speedup
+        );
     }
     if failed {
         std::process::exit(1);

@@ -60,6 +60,13 @@ pub struct RepairConfig {
     /// deserialized plans always start at `0` = auto.
     #[serde(skip)]
     pub threads: usize,
+    /// Row-batch size of the columnar repair kernels (`None` = auto: the
+    /// `OTR_BATCH_ROWS` environment variable if set, else
+    /// `otr_par::BATCH_ROWS_DEFAULT`). Pure blocking policy — it changes
+    /// wall-clock time and nothing else — and, like [`Self::threads`],
+    /// machine-local: not serialized into plan JSON.
+    #[serde(skip)]
+    pub batch_rows: Option<usize>,
     /// Mass-split mode of Algorithm 2 (randomized multinomial draws vs
     /// deterministic barycentric projection).
     #[serde(default)]
@@ -76,6 +83,7 @@ impl Default for RepairConfig {
             min_group_size: 2,
             barycentre_resolution: None,
             threads: 0,
+            batch_rows: None,
             mass_split: MassSplit::Randomized,
         }
     }
@@ -182,14 +190,23 @@ mod tests {
             min_group_size: 5,
             barycentre_resolution: Some(4096),
             threads: 3,
+            batch_rows: Some(1024),
             mass_split: MassSplit::Deterministic,
         };
         let json = serde_json::to_string(&c).unwrap();
         let back: RepairConfig = serde_json::from_str(&json).unwrap();
-        // `threads` is machine-local runtime policy and must NOT travel
-        // with the artifact; everything else round-trips.
+        // `threads` and `batch_rows` are machine-local runtime policy and
+        // must NOT travel with the artifact; everything else round-trips.
         assert_eq!(back.threads, 0);
-        assert_eq!(c, RepairConfig { threads: 3, ..back });
+        assert_eq!(back.batch_rows, None);
+        assert_eq!(
+            c,
+            RepairConfig {
+                threads: 3,
+                batch_rows: Some(1024),
+                ..back
+            }
+        );
     }
 
     #[test]

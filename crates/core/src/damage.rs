@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use otr_data::{Dataset, GroupKey};
+use otr_data::{ColumnarDataset, Dataset, GroupKey};
 use otr_ot::wasserstein::w2;
 use otr_ot::DiscreteDistribution;
 
@@ -93,6 +93,71 @@ pub fn dataset_damage(original: &Dataset, repaired: &Dataset) -> Result<DamageRe
             for k in 0..d {
                 let before = original.feature_column(key, k)?;
                 let after = repaired.feature_column(key, k)?;
+                if before.is_empty() {
+                    continue; // a group may legitimately be absent
+                }
+                let mu = DiscreteDistribution::empirical(&before)?;
+                let nu = DiscreteDistribution::empirical(&after)?;
+                w2_gf[u as usize][s as usize][k] = w2(&mu, &nu)?;
+            }
+        }
+    }
+
+    Ok(DamageReport {
+        rmse_per_feature: rmse,
+        w2_group_feature: w2_gf,
+    })
+}
+
+/// [`dataset_damage`] over columnar data sets, computed straight from
+/// the column slices (full-column RMSE sweeps, group gathers through
+/// the precomputed index lists). Produces bitwise the same report as
+/// [`dataset_damage`] on the row-major images: the per-feature RMSE
+/// accumulates in ascending row order either way, and the group columns
+/// gather in the same insertion order.
+///
+/// # Errors
+/// Rejects misaligned inputs or empty `(u, s)` groups.
+pub fn dataset_damage_columnar(
+    original: &ColumnarDataset,
+    repaired: &ColumnarDataset,
+) -> Result<DamageReport> {
+    if original.dim() != repaired.dim() || original.len() != repaired.len() {
+        return Err(RepairError::PlanMismatch(format!(
+            "damage inputs misaligned: {}x{} vs {}x{}",
+            original.len(),
+            original.dim(),
+            repaired.len(),
+            repaired.dim()
+        )));
+    }
+    if original.s() != repaired.s() || original.u() != repaired.u() {
+        return Err(RepairError::PlanMismatch(
+            "damage inputs must be point-wise label-aligned".into(),
+        ));
+    }
+    let d = original.dim();
+    let n = original.len() as f64;
+
+    let mut rmse = Vec::with_capacity(d);
+    for k in 0..d {
+        let before = original.feature_column(k)?;
+        let after = repaired.feature_column(k)?;
+        let mut acc = 0.0f64;
+        for (a, b) in before.iter().zip(after) {
+            let diff = a - b;
+            acc += diff * diff;
+        }
+        rmse.push((acc / n).sqrt());
+    }
+
+    let mut w2_gf = vec![vec![vec![0.0f64; d]; 2]; 2];
+    for u in 0..2u8 {
+        for s in 0..2u8 {
+            let key = GroupKey { u, s };
+            for k in 0..d {
+                let before = original.group_feature_column(key, k)?;
+                let after = repaired.group_feature_column(key, k)?;
                 if before.is_empty() {
                     continue; // a group may legitimately be absent
                 }

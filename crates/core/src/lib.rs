@@ -79,7 +79,7 @@ pub mod repair;
 pub use blind::GroupBlindRepairer;
 pub use config::{MassSplit, RepairConfig, SolverBackend};
 pub use continuous_u::{ContinuousUPoint, ContinuousURepairer};
-pub use damage::{dataset_damage, DamageReport};
+pub use damage::{dataset_damage, dataset_damage_columnar, DamageReport};
 pub use error::RepairError;
 pub use geometric::GeometricRepair;
 pub use joint::{

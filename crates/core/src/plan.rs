@@ -20,9 +20,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use otr_data::{Dataset, GroupKey, LabelledPoint};
+use otr_data::{ColumnarDataset, Dataset, GroupKey, LabelledPoint};
 use otr_ot::{quantile_barycentre, DiscreteDistribution, OtPlan, Solver1d as _};
-use otr_par::{splitmix_seed, try_par_map_indexed};
+use otr_par::{par_cols_mut, splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
 use otr_stats::kde::GaussianKde;
 
@@ -180,6 +180,130 @@ impl FeaturePlan {
             .barycentric_projection(q, &self.support)
             .unwrap_or(self.support[q]))
     }
+
+    /// Precompute the deterministic repair image of every grid cell —
+    /// `repair_value_deterministic` is then a pure quantize-and-gather,
+    /// which is what lets the columnar kernel run it RNG- and
+    /// branch-free over whole column slices.
+    fn projection_table(&self, s: usize) -> Vec<f64> {
+        (0..self.support.len())
+            .map(|q| {
+                self.plans[s]
+                    .barycentric_projection(q, &self.support)
+                    .unwrap_or(self.support[q])
+            })
+            .collect()
+    }
+
+    /// Columnar randomized repair of one `(u, s)` row group within a
+    /// batch. `col_in`/`col_out` are batch-local column slices, `rows`
+    /// the batch-local indices of this group's rows, `rngs` the
+    /// batch-local per-row streams. Returns the group's out-of-range
+    /// count.
+    ///
+    /// Two passes per lane: an RNG-free quantization sweep (`base`/`tau`
+    /// scratch lanes; tight float loop, autovectorizes) and then the
+    /// per-row draws of Equations 14–15. Per row, RNG consumption is
+    /// exactly [`Self::repair_value`]: one uniform for the Bernoulli
+    /// when the value is strictly inside the grid (none on the boundary
+    /// clamp, flagged here as `tau = -1`), then the alias-table draw.
+    fn repair_rows_randomized(
+        &self,
+        s: usize,
+        col_in: &[f64],
+        col_out: &mut [f64],
+        rows: &[u32],
+        rngs: &mut [StdRng],
+        scratch: &mut QuantScratch,
+    ) -> u64 {
+        let QuantScratch { base, tau } = scratch;
+        let n_q = self.support.len();
+        let lo = self.support[0];
+        let hi = self.support[n_q - 1];
+        let step = self.step();
+        let mut oob = 0u64;
+        base.clear();
+        tau.clear();
+        base.reserve(rows.len());
+        tau.reserve(rows.len());
+        for &li in rows {
+            let x = col_in[li as usize];
+            oob += u64::from(x < lo || x > hi);
+            if x <= lo || step == 0.0 {
+                base.push(0);
+                tau.push(-1.0);
+            } else if x >= hi {
+                base.push((n_q - 1) as u32);
+                tau.push(-1.0);
+            } else {
+                // Same arithmetic as `repair_value`: divide by `step`
+                // (a reciprocal-multiply rounds differently and would
+                // break byte-identity with the row path).
+                let pos = (x - lo) / step;
+                let b = pos.floor();
+                base.push(b as u32);
+                tau.push(pos - b);
+            }
+        }
+        let samplers = &self.samplers[s];
+        for (j, &li) in rows.iter().enumerate() {
+            let rng = &mut rngs[li as usize];
+            let mut q = base[j] as usize;
+            let t = tau[j];
+            if t >= 0.0 {
+                // a ~ B(tau); the draw is consumed even when tau == 0,
+                // exactly as in `repair_value`.
+                if rng.gen::<f64>() < t {
+                    q += 1;
+                }
+                q = q.min(n_q - 1);
+            }
+            let target = samplers[q].sample(rng);
+            col_out[li as usize] = self.support[target];
+        }
+        oob
+    }
+
+    /// Columnar deterministic repair of one `(u, s)` row group: nearest
+    /// grid cell, then a gather through the precomputed
+    /// [`Self::projection_table`]. RNG-free; single vectorizable pass.
+    /// Returns the group's out-of-range count.
+    fn repair_rows_deterministic(
+        &self,
+        col_in: &[f64],
+        col_out: &mut [f64],
+        rows: &[u32],
+        proj: &[f64],
+    ) -> u64 {
+        let n_q = self.support.len();
+        let lo = self.support[0];
+        let hi = self.support[n_q - 1];
+        let step = self.step();
+        let mut oob = 0u64;
+        for &li in rows {
+            let x = col_in[li as usize];
+            oob += u64::from(x < lo || x > hi);
+            let q = if x <= lo || step == 0.0 {
+                0
+            } else if x >= hi {
+                n_q - 1
+            } else {
+                ((((x - lo) / step) + 0.5).floor() as usize).min(n_q - 1)
+            };
+            col_out[li as usize] = proj[q];
+        }
+        oob
+    }
+}
+
+/// Reusable quantization scratch lanes for the columnar randomized
+/// kernel: the per-row base cell and interpolation weight (`-1` marks a
+/// boundary clamp that consumes no RNG draws). Batch-local; cleared and
+/// refilled per `(u, s)` group.
+#[derive(Debug, Default)]
+struct QuantScratch {
+    base: Vec<u32>,
+    tau: Vec<f64>,
 }
 
 /// A complete repair plan: one [`FeaturePlan`] per `(u, k)` stratum.
@@ -382,6 +506,154 @@ impl RepairPlan {
             points.push(self.repair_point_stream(seed, i, p)?);
         }
         Ok(Dataset::from_points(points)?)
+    }
+
+    /// Columnar batch repair: Algorithm 2 over column slices instead of
+    /// rows. Repairs a [`ColumnarDataset`] feature by feature — quantize
+    /// a whole column lane against the plan grid, draw (or gather, in
+    /// deterministic mode) the repaired states, scatter back — in tight
+    /// `f64`-slice loops that autovectorize, chunked over rows on
+    /// `config.threads` threads with `config.batch_rows`-row batches
+    /// (`None` = auto / `OTR_BATCH_ROWS`).
+    ///
+    /// Output is **byte-identical to the row path**: row `i` draws from
+    /// `StdRng::seed_from_u64(splitmix_seed(seed, i))` in feature order,
+    /// exactly like [`Self::repair_dataset_par`], so
+    /// `repair_columnar_par(x, seed).to_dataset() ==
+    /// repair_dataset_seeded(x.to_dataset(), seed)` for any thread count
+    /// and any batch size.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches and uncompiled plans.
+    pub fn repair_columnar_par(
+        &self,
+        data: &ColumnarDataset,
+        seed: u64,
+    ) -> Result<ColumnarDataset> {
+        Ok(self.repair_columnar_counted(data, seed)?.0)
+    }
+
+    /// [`Self::repair_columnar_par`] plus the out-of-range feature count
+    /// (same strict `x < lo || x > hi` test as the streaming counters) —
+    /// the form [`crate::StreamingRepairer::repair_batch_columnar`]
+    /// needs to keep its stats without a second pass.
+    pub(crate) fn repair_columnar_counted(
+        &self,
+        data: &ColumnarDataset,
+        seed: u64,
+    ) -> Result<(ColumnarDataset, u64)> {
+        if data.dim() != self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "dataset dimension {} vs plan dimension {}",
+                data.dim(),
+                self.dim
+            )));
+        }
+        // Mode-specific precomputation, and all fallibility, up front:
+        // the chunk workers below are infallible.
+        let proj: Option<Vec<[Vec<f64>; 2]>> = match self.config.mass_split {
+            MassSplit::Randomized => {
+                for fp in &self.features {
+                    if !fp.is_compiled() {
+                        return Err(RepairError::PlanMismatch(
+                            "feature plan is not compiled; call compile() after deserialization"
+                                .into(),
+                        ));
+                    }
+                }
+                None
+            }
+            MassSplit::Deterministic => Some(
+                self.features
+                    .iter()
+                    .map(|fp| [fp.projection_table(0), fp.projection_table(1)])
+                    .collect(),
+            ),
+        };
+        let mut out: Vec<Vec<f64>> = vec![vec![0.0; data.len()]; self.dim];
+        let oob = par_cols_mut(&mut out, self.config.threads, |row0, chunks| {
+            self.repair_columnar_chunk(data, seed, row0, chunks, proj.as_deref())
+        })
+        .into_iter()
+        .sum();
+        Ok((data.with_feature_columns(out)?, oob))
+    }
+
+    /// Repair one contiguous row chunk (`row0 ..`) of the columnar data
+    /// into `cols_out`, in `batch_rows`-row batches so the working set —
+    /// column lanes, scratch lanes, one RNG per row — stays cache-sized.
+    /// Returns the chunk's out-of-range count.
+    fn repair_columnar_chunk(
+        &self,
+        data: &ColumnarDataset,
+        seed: u64,
+        row0: usize,
+        cols_out: &mut [&mut [f64]],
+        proj: Option<&[[Vec<f64>; 2]]>,
+    ) -> u64 {
+        let d = self.dim;
+        let chunk_rows = cols_out.first().map_or(0, |c| c.len());
+        let batch = otr_par::batch_rows(self.config.batch_rows);
+        let (s_col, u_col) = (data.s(), data.u());
+        let cols_in = data.feature_columns();
+        let mut groups: [Vec<u32>; 4] = Default::default();
+        let mut rngs: Vec<StdRng> = Vec::new();
+        let mut scratch = QuantScratch::default();
+        let mut oob = 0u64;
+        let mut start = 0usize;
+        while start < chunk_rows {
+            let end = (start + batch).min(chunk_rows);
+            // Partition the batch's rows by (u, s) group once; every
+            // feature lane then reuses the partition.
+            for g in &mut groups {
+                g.clear();
+            }
+            for li in 0..end - start {
+                let i = row0 + start + li;
+                let slot = usize::from(u_col[i]) * 2 + usize::from(s_col[i]);
+                groups[slot].push(li as u32);
+            }
+            if proj.is_none() {
+                // The per-row SplitMix64 streams of the determinism
+                // contract, seeded by absolute row index.
+                rngs.clear();
+                rngs.extend(
+                    (start..end)
+                        .map(|li| StdRng::seed_from_u64(splitmix_seed(seed, (row0 + li) as u64))),
+                );
+            }
+            for k in 0..d {
+                let col_in = &cols_in[k][row0 + start..row0 + end];
+                let col_out = &mut cols_out[k][start..end];
+                for u in 0..2usize {
+                    let fp = &self.features[u * d + k];
+                    for s in 0..2usize {
+                        let rows = &groups[u * 2 + s];
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        oob += match proj {
+                            None => fp.repair_rows_randomized(
+                                s,
+                                col_in,
+                                col_out,
+                                rows,
+                                &mut rngs,
+                                &mut scratch,
+                            ),
+                            Some(tables) => fp.repair_rows_deterministic(
+                                col_in,
+                                col_out,
+                                rows,
+                                &tables[u * d + k][s],
+                            ),
+                        };
+                    }
+                }
+            }
+            start = end;
+        }
+        oob
     }
 
     /// Parallel partial repair: per-row streams as in
@@ -837,6 +1109,62 @@ mod tests {
                 Some(r) => assert_eq!(par.points(), r.points(), "threads = {threads}"),
             }
         }
+    }
+
+    #[test]
+    fn columnar_repair_byte_identical_to_row_path() {
+        let data = research(30, 400);
+        let archive = research(31, 1_500);
+        let cols = ColumnarDataset::from_dataset(&archive);
+        for threads in [1usize, 2, 7] {
+            // Batch boundaries are pure blocking policy: tiny, prime,
+            // and bigger-than-the-data batches all give the same bytes.
+            for batch_rows in [None, Some(1), Some(37), Some(100_000)] {
+                let mut cfg = RepairConfig::with_n_q(30);
+                cfg.threads = threads;
+                cfg.batch_rows = batch_rows;
+                let plan = RepairPlanner::new(cfg).design(&data).unwrap();
+                let seq = plan.repair_dataset_seeded(&archive, 99).unwrap();
+                let col = plan.repair_columnar_par(&cols, 99).unwrap();
+                assert_eq!(
+                    col.to_dataset().points(),
+                    seq.points(),
+                    "threads = {threads}, batch_rows = {batch_rows:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_repair_deterministic_mode_matches_row_path() {
+        let data = research(32, 400);
+        let mut cfg = RepairConfig::with_n_q(30);
+        cfg.mass_split = MassSplit::Deterministic;
+        cfg.threads = 3;
+        cfg.batch_rows = Some(101);
+        let plan = RepairPlanner::new(cfg).design(&data).unwrap();
+        let archive = research(33, 800);
+        let row = plan.repair_dataset_par(&archive, 5).unwrap();
+        let col = plan
+            .repair_columnar_par(&ColumnarDataset::from_dataset(&archive), 5)
+            .unwrap();
+        assert_eq!(col.to_dataset().points(), row.points());
+    }
+
+    #[test]
+    fn columnar_repair_rejects_mismatch_and_uncompiled() {
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(10))
+            .design(&research(34, 300))
+            .unwrap();
+        let wrong_dim =
+            ColumnarDataset::from_columns(vec![vec![0.0, 1.0]], vec![0, 1], vec![0, 1]).unwrap();
+        assert!(plan.repair_columnar_par(&wrong_dim, 1).is_err());
+        // A freshly deserialized (uncompiled) plan is rejected, same as
+        // the row path's repair_value.
+        let raw: RepairPlan = serde_json::from_str(&plan.to_json().unwrap()).unwrap();
+        let cols = ColumnarDataset::from_dataset(&research(35, 50));
+        assert!(raw.repair_columnar_par(&cols, 1).is_err());
+        assert!(plan.repair_columnar_par(&cols, 1).is_ok());
     }
 
     #[test]

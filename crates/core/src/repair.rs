@@ -10,10 +10,11 @@
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use otr_data::LabelledPoint;
+use otr_data::{ColumnarDataset, LabelledPoint};
 use otr_par::{splitmix_seed, try_par_map_indexed};
 
-use crate::error::Result;
+use crate::config::MassSplit;
+use crate::error::{RepairError, Result};
 use crate::plan::RepairPlan;
 
 /// Running statistics of a repair stream.
@@ -105,6 +106,49 @@ impl StreamingRepairer {
             out.push(r);
         }
         Ok(out)
+    }
+
+    /// Repair a columnar batch through the column-slice kernels of
+    /// [`RepairPlan::repair_columnar_par`], updating stream statistics.
+    ///
+    /// Same RNG contract as [`Self::repair_batch`]: the owned RNG is
+    /// advanced **once** for the batch seed and every row then draws
+    /// from its own SplitMix64 stream — so on equivalent inputs the two
+    /// entry points produce byte-identical repairs and leave the
+    /// repairer in byte-identical state. A pipeline can mix row and
+    /// columnar batches freely.
+    ///
+    /// # Errors
+    /// Fails atomically like [`Self::repair_batch`] (labels and column
+    /// shapes are already guaranteed by [`ColumnarDataset`], so only a
+    /// dimension mismatch or an uncompiled plan can fail): statistics
+    /// and the owned RNG are untouched on failure, and an empty batch is
+    /// a strict no-op.
+    pub fn repair_batch_columnar(&mut self, batch: &ColumnarDataset) -> Result<ColumnarDataset> {
+        if batch.is_empty() {
+            return Ok(batch.clone());
+        }
+        // All failure modes checked before consuming any randomness —
+        // atomicity of the RNG stream.
+        if batch.dim() != self.plan.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "dataset dimension {} vs plan dimension {}",
+                batch.dim(),
+                self.plan.dim
+            )));
+        }
+        if self.plan.config.mass_split == MassSplit::Randomized
+            && self.plan.feature_plans().iter().any(|fp| !fp.is_compiled())
+        {
+            return Err(RepairError::PlanMismatch(
+                "feature plan is not compiled; call compile() after deserialization".into(),
+            ));
+        }
+        let batch_seed = self.rng.next_u64();
+        let (repaired, oob) = self.plan.repair_columnar_counted(batch, batch_seed)?;
+        self.stats.repaired += batch.len() as u64;
+        self.stats.out_of_range += oob;
+        Ok(repaired)
     }
 
     /// Fraction of feature values seen so far that were out of range.
@@ -233,6 +277,63 @@ mod tests {
                 Some(r) => assert_eq!(&out, r, "threads = {threads}"),
             }
         }
+    }
+
+    #[test]
+    fn columnar_batch_matches_row_batch_and_stats() {
+        let (plan, points) = setup();
+        let data = otr_data::Dataset::from_points(points.clone()).unwrap();
+        let cols = ColumnarDataset::from_dataset(&data);
+        let mut row_streamer = StreamingRepairer::new(plan.clone(), 42);
+        let mut col_streamer = StreamingRepairer::new(plan, 42);
+        // Two batches through each entry point: identical repairs,
+        // identical stats, identical RNG state afterwards.
+        for _ in 0..2 {
+            let row_out = row_streamer.repair_batch(&points).unwrap();
+            let col_out = col_streamer.repair_batch_columnar(&cols).unwrap();
+            assert_eq!(col_out.to_dataset().points(), &row_out[..]);
+        }
+        assert_eq!(row_streamer.stats(), col_streamer.stats());
+        // Mixing layouts keeps the stream aligned: the next row batch
+        // agrees whichever entry point served the earlier ones.
+        let row_next = row_streamer.repair_batch(&points).unwrap();
+        let col_next = col_streamer.repair_batch(&points).unwrap();
+        assert_eq!(row_next, col_next);
+    }
+
+    #[test]
+    fn columnar_batch_counts_out_of_range() {
+        let (plan, _) = setup();
+        let extreme = LabelledPoint {
+            x: vec![1e9, -1e9],
+            s: 0,
+            u: 0,
+        };
+        let data = otr_data::Dataset::from_points(vec![extreme]).unwrap();
+        let mut streamer = StreamingRepairer::new(plan, 9);
+        streamer
+            .repair_batch_columnar(&ColumnarDataset::from_dataset(&data))
+            .unwrap();
+        assert_eq!(streamer.stats().out_of_range, 2);
+        assert_eq!(streamer.stats().repaired, 1);
+    }
+
+    #[test]
+    fn columnar_empty_or_failed_batch_leaves_rng_untouched() {
+        let (plan, points) = setup();
+        let data = otr_data::Dataset::from_points(points).unwrap();
+        let cols = ColumnarDataset::from_dataset(&data);
+        let wrong_dim = ColumnarDataset::from_columns(vec![vec![0.0]], vec![0], vec![0]).unwrap();
+        let empty = ColumnarDataset::new(2).unwrap();
+        let mut poisoned = StreamingRepairer::new(plan.clone(), 42);
+        assert!(poisoned.repair_batch_columnar(&empty).unwrap().is_empty());
+        assert!(poisoned.repair_batch_columnar(&wrong_dim).is_err());
+        assert_eq!(poisoned.stats().repaired, 0);
+        let after_failure = poisoned.repair_batch_columnar(&cols).unwrap();
+        let fresh = StreamingRepairer::new(plan, 42)
+            .repair_batch_columnar(&cols)
+            .unwrap();
+        assert_eq!(after_failure, fresh);
     }
 
     #[test]

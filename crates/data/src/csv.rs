@@ -18,7 +18,30 @@ use crate::error::{DataError, Result};
 /// only for error reporting.
 pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
     let mut fields = Vec::new();
-    let mut field = String::new();
+    let n = parse_line_into(line, line_no, &mut fields)?;
+    fields.truncate(n);
+    Ok(fields)
+}
+
+/// Parse one CSV line into a reusable field buffer, returning the number
+/// of fields written. Slots beyond the returned count keep stale content;
+/// callers read `&fields[..n]`. Reusing the buffer keeps a streaming
+/// reader at zero per-line `String` allocations once capacities settle.
+///
+/// # Errors
+/// Returns [`DataError::Csv`] for unterminated quotes; `line_no` is used
+/// only for error reporting.
+pub fn parse_line_into(line: &str, line_no: usize, fields: &mut Vec<String>) -> Result<usize> {
+    // Hand out the next reusable field slot, cleared.
+    fn open_slot(fields: &mut Vec<String>, n: &mut usize) {
+        if *n == fields.len() {
+            fields.push(String::new());
+        }
+        fields[*n].clear();
+        *n += 1;
+    }
+    let mut n = 0usize;
+    open_slot(fields, &mut n);
     let mut chars = line.chars().peekable();
     let mut in_quotes = false;
     while let Some(c) = chars.next() {
@@ -27,21 +50,19 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         chars.next();
-                        field.push('"');
+                        fields[n - 1].push('"');
                     } else {
                         in_quotes = false;
                     }
                 }
-                _ => field.push(c),
+                _ => fields[n - 1].push(c),
             }
         } else {
             match c {
                 '"' => in_quotes = true,
-                ',' => {
-                    fields.push(std::mem::take(&mut field));
-                }
+                ',' => open_slot(fields, &mut n),
                 '\r' => {} // tolerate CR before LF
-                _ => field.push(c),
+                _ => fields[n - 1].push(c),
             }
         }
     }
@@ -51,8 +72,38 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
             reason: "unterminated quoted field".into(),
         });
     }
-    fields.push(field);
-    Ok(fields)
+    Ok(n)
+}
+
+/// Stream rows from a reader, invoking `visit(line_no, fields)` for each
+/// non-blank line (1-based `line_no`). Line and field buffers are reused
+/// across rows, so memory stays O(widest row) no matter how large the
+/// archive is — the ingest path for columnar data sets and the streaming
+/// repair service.
+///
+/// # Errors
+/// Propagates I/O and parse failures, and whatever the visitor returns.
+pub fn for_each_row<R, F>(mut reader: R, mut visit: F) -> Result<()>
+where
+    R: BufRead,
+    F: FnMut(usize, &[String]) -> Result<()>,
+{
+    let mut line = String::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        line_no += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let n = parse_line_into(trimmed, line_no, &mut fields)?;
+        visit(line_no, &fields[..n])?;
+    }
 }
 
 /// Read all rows from a reader; empty lines are skipped.
@@ -61,13 +112,10 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>> {
 /// Propagates I/O and parse failures.
 pub fn read_rows<R: BufRead>(reader: R) -> Result<Vec<Vec<String>>> {
     let mut rows = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        rows.push(parse_line(&line, idx + 1)?);
-    }
+    for_each_row(reader, |_, fields| {
+        rows.push(fields.to_vec());
+        Ok(())
+    })?;
     Ok(rows)
 }
 

@@ -4,7 +4,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{DataError, Result};
 
@@ -28,6 +28,13 @@ impl GroupKey {
             GroupKey { u: 1, s: 1 },
         ]
     }
+
+    /// The cache slot (`u * 2 + s`) of a valid binary key; `None` for
+    /// labels outside `{0, 1}` (which belong to no group).
+    #[inline]
+    pub(crate) fn slot(self) -> Option<usize> {
+        (self.u <= 1 && self.s <= 1).then(|| usize::from(self.u) * 2 + usize::from(self.s))
+    }
 }
 
 /// One labelled observation: features `x ∈ ℝᵈ`, protected attribute `s`,
@@ -43,10 +50,47 @@ pub struct LabelledPoint {
 }
 
 /// An in-memory data set of labelled points with a fixed feature dimension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Alongside the row store, the data set maintains per-`(u, s)`
+/// **group-index caches** (row indices in insertion order), built once at
+/// construction and kept current by [`Dataset::push`], so
+/// [`Dataset::group`] / [`Dataset::feature_column`] never rescan all
+/// points. The caches are derived state: serialization writes only
+/// `{dim, points}` and deserialization rebuilds them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dim: usize,
     points: Vec<LabelledPoint>,
+    /// Row indices per `(u, s)` group, slot-indexed `u * 2 + s`, each
+    /// ascending (insertion order).
+    groups: [Vec<usize>; 4],
+}
+
+impl Serialize for Dataset {
+    fn to_value(&self) -> Value {
+        // Same shape the derive produced before the group caches existed;
+        // the caches are derived state and must not travel.
+        Value::Obj(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("points".to_string(), self.points.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::Error> {
+        let dim = usize::from_value(
+            value
+                .get("dim")
+                .ok_or_else(|| serde::Error::missing_field("dim", "Dataset"))?,
+        )?;
+        let points = Vec::<LabelledPoint>::from_value(
+            value
+                .get("points")
+                .ok_or_else(|| serde::Error::missing_field("points", "Dataset"))?,
+        )?;
+        Ok(Self::from_validated(dim, points))
+    }
 }
 
 impl Dataset {
@@ -61,7 +105,27 @@ impl Dataset {
         Ok(Self {
             dim,
             points: Vec::new(),
+            groups: Default::default(),
         })
+    }
+
+    /// Assemble a data set from already-validated points, (re)building
+    /// the group-index caches. Points with labels outside `{0, 1}` (only
+    /// reachable through deserialization of foreign JSON) land in no
+    /// group — the same observable behaviour the old scan-per-call
+    /// accessors had.
+    pub(crate) fn from_validated(dim: usize, points: Vec<LabelledPoint>) -> Self {
+        let mut groups: [Vec<usize>; 4] = Default::default();
+        for (i, p) in points.iter().enumerate() {
+            if let Some(slot) = (GroupKey { u: p.u, s: p.s }).slot() {
+                groups[slot].push(i);
+            }
+        }
+        Self {
+            dim,
+            points,
+            groups,
+        }
     }
 
     /// Build from points, validating dimensions and label ranges.
@@ -96,7 +160,7 @@ impl Dataset {
                 )));
             }
         }
-        Ok(Self { dim, points })
+        Ok(Self::from_validated(dim, points))
     }
 
     /// Feature dimension `d`.
@@ -141,24 +205,40 @@ impl Dataset {
         if p.s > 1 || p.u > 1 {
             return Err(DataError::Shape("labels must be in {0,1}".into()));
         }
+        if let Some(slot) = (GroupKey { u: p.u, s: p.s }).slot() {
+            self.groups[slot].push(self.points.len());
+        }
         self.points.push(p);
         Ok(())
     }
 
-    /// Iterator over points in the `(u, s)` group.
-    pub fn group(&self, key: GroupKey) -> impl Iterator<Item = &LabelledPoint> {
-        self.points
-            .iter()
-            .filter(move |p| p.u == key.u && p.s == key.s)
+    /// Row indices of the `(u, s)` group, in insertion order — the
+    /// precomputed cache behind [`Self::group`] and
+    /// [`Self::feature_column`]. Labels outside `{0, 1}` name no group
+    /// and yield an empty slice.
+    #[inline]
+    pub fn group_indices(&self, key: GroupKey) -> &[usize] {
+        match key.slot() {
+            Some(slot) => &self.groups[slot],
+            None => &[],
+        }
     }
 
-    /// Number of points in the `(u, s)` group.
+    /// Iterator over points in the `(u, s)` group (cached indices; no
+    /// full scan).
+    pub fn group(&self, key: GroupKey) -> impl Iterator<Item = &LabelledPoint> {
+        self.group_indices(key)
+            .iter()
+            .map(move |&i| &self.points[i])
+    }
+
+    /// Number of points in the `(u, s)` group — O(1) via the cache.
     pub fn group_len(&self, key: GroupKey) -> usize {
-        self.group(key).count()
+        self.group_indices(key).len()
     }
 
     /// Feature-`k` column of a `(u, s)` group — the `x_{R,u,s,k}` input of
-    /// Algorithm 1.
+    /// Algorithm 1. A gather through the cached group indices; no scan.
     ///
     /// # Errors
     /// Rejects `k >= dim`.
@@ -169,7 +249,11 @@ impl Dataset {
                 self.dim
             )));
         }
-        Ok(self.group(key).map(|p| p.x[k]).collect())
+        Ok(self
+            .group_indices(key)
+            .iter()
+            .map(|&i| self.points[i].x[k])
+            .collect())
     }
 
     /// Feature-`k` column of all points with unprotected attribute `u`
@@ -233,14 +317,8 @@ impl Dataset {
         shuffled.shuffle(rng);
         let archive_points = shuffled.split_off(n_research);
         Ok(SplitData {
-            research: Dataset {
-                dim: self.dim,
-                points: shuffled,
-            },
-            archive: Dataset {
-                dim: self.dim,
-                points: archive_points,
-            },
+            research: Dataset::from_validated(self.dim, shuffled),
+            archive: Dataset::from_validated(self.dim, archive_points),
         })
     }
 
@@ -258,10 +336,7 @@ impl Dataset {
         }
         let mut points = self.points.clone();
         points.extend(other.points.iter().cloned());
-        Ok(Dataset {
-            dim: self.dim,
-            points,
-        })
+        Ok(Dataset::from_validated(self.dim, points))
     }
 
     /// Map all feature vectors through `f`, preserving labels (used by
@@ -280,10 +355,7 @@ impl Dataset {
             }
             points.push(LabelledPoint { x, s: p.s, u: p.u });
         }
-        Ok(Dataset {
-            dim: self.dim,
-            points,
-        })
+        Ok(Dataset::from_validated(self.dim, points))
     }
 }
 
@@ -417,6 +489,39 @@ mod tests {
         }
         assert!(d.map_features(|_| vec![f64::NAN, 0.0]).is_err());
         assert!(d.map_features(|_| vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn group_cache_tracks_constructors_and_push() {
+        let mut d = small();
+        assert_eq!(d.group_indices(GroupKey { u: 1, s: 1 }), &[3, 4]);
+        assert_eq!(d.group_indices(GroupKey { u: 0, s: 1 }), &[1]);
+        // Labels outside {0,1} name no group.
+        assert!(d.group_indices(GroupKey { u: 2, s: 0 }).is_empty());
+        d.push(pt(&[9.0, 9.0], 1, 1)).unwrap();
+        assert_eq!(d.group_indices(GroupKey { u: 1, s: 1 }), &[3, 4, 5]);
+        // A rejected push must not grow the cache.
+        assert!(d.push(pt(&[9.0], 1, 1)).is_err());
+        assert_eq!(d.group_len(GroupKey { u: 1, s: 1 }), 3);
+        // Derived constructors rebuild the cache consistently.
+        let both = d.concat(&d).unwrap();
+        for key in GroupKey::all() {
+            assert_eq!(both.group_len(key), 2 * d.group_len(key));
+            for (&i, p) in both.group_indices(key).iter().zip(both.group(key)) {
+                assert_eq!(&both.points()[i], p);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_group_cache() {
+        use serde::{Deserialize as _, Serialize as _};
+        let d = small();
+        let back = Dataset::from_value(&d.to_value()).unwrap();
+        assert_eq!(back, d);
+        for key in GroupKey::all() {
+            assert_eq!(back.group_indices(key), d.group_indices(key));
+        }
     }
 
     #[test]

@@ -9,34 +9,13 @@
 
 use std::io::{BufRead, Write};
 
-use crate::csv::{parse_line, write_rows};
+use crate::columnar::ColumnarDataset;
+use crate::csv::{for_each_row, write_rows};
 use crate::dataset::{Dataset, LabelledPoint};
 use crate::error::{DataError, Result};
 
-/// Read a labelled data set from CSV (header required).
-///
-/// # Errors
-/// Reports malformed headers, label values outside `{0,1}`, non-numeric
-/// or non-finite features, and inconsistent row widths with line numbers.
-pub fn read_labelled_csv<R: BufRead>(reader: R) -> Result<Dataset> {
-    let mut lines = reader.lines().enumerate();
-    let header = loop {
-        match lines.next() {
-            Some((idx, line)) => {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                break parse_line(&line, idx + 1)?;
-            }
-            None => {
-                return Err(DataError::Csv {
-                    line: 0,
-                    reason: "empty file (expected a header row)".into(),
-                })
-            }
-        }
-    };
+/// Validate the fixed `s,u,x0,x1,…` header; returns the feature count.
+fn validate_header(header: &[String]) -> Result<usize> {
     if header.len() < 3
         || header[0].trim() != "s"
         || header[1].trim() != "u"
@@ -50,50 +29,117 @@ pub fn read_labelled_csv<R: BufRead>(reader: R) -> Result<Dataset> {
             reason: format!("header must be `s,u,x0,x1,…`, got {:?}", header.join(",")),
         });
     }
-    let d = header.len() - 2;
+    Ok(header.len() - 2)
+}
 
+fn parse_label(raw: &str, name: &str, line: usize) -> Result<u8> {
+    match raw.trim() {
+        "0" => Ok(0),
+        "1" => Ok(1),
+        other => Err(DataError::Csv {
+            line,
+            reason: format!("{name} must be 0 or 1, got {other:?}"),
+        }),
+    }
+}
+
+fn parse_feature(raw: &str, k: usize, line: usize) -> Result<f64> {
+    let v: f64 = raw.trim().parse().map_err(|_| DataError::Csv {
+        line,
+        reason: format!("x{k} is not a number: {raw:?}"),
+    })?;
+    if !v.is_finite() {
+        return Err(DataError::Csv {
+            line,
+            reason: format!("x{k} is not finite: {v}"),
+        });
+    }
+    Ok(v)
+}
+
+/// Read a labelled data set from CSV (header required).
+///
+/// # Errors
+/// Reports malformed headers, label values outside `{0,1}`, non-numeric
+/// or non-finite features, and inconsistent row widths with line numbers.
+pub fn read_labelled_csv<R: BufRead>(reader: R) -> Result<Dataset> {
+    let mut dim: Option<usize> = None;
     let mut points = Vec::new();
-    for (idx, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields = parse_line(&line, idx + 1)?;
-        if fields.len() != d + 2 {
-            return Err(DataError::Csv {
-                line: idx + 1,
-                reason: format!("expected {} fields, found {}", d + 2, fields.len()),
-            });
-        }
-        let parse_label = |raw: &str, name: &str| -> Result<u8> {
-            match raw.trim() {
-                "0" => Ok(0),
-                "1" => Ok(1),
-                other => Err(DataError::Csv {
-                    line: idx + 1,
-                    reason: format!("{name} must be 0 or 1, got {other:?}"),
-                }),
-            }
+    for_each_row(reader, |line_no, fields| {
+        let Some(d) = dim else {
+            dim = Some(validate_header(fields)?);
+            return Ok(());
         };
-        let s = parse_label(&fields[0], "s")?;
-        let u = parse_label(&fields[1], "u")?;
-        let mut x = Vec::with_capacity(d);
-        for (k, raw) in fields[2..].iter().enumerate() {
-            let v: f64 = raw.trim().parse().map_err(|_| DataError::Csv {
-                line: idx + 1,
-                reason: format!("x{k} is not a number: {raw:?}"),
-            })?;
-            if !v.is_finite() {
-                return Err(DataError::Csv {
-                    line: idx + 1,
-                    reason: format!("x{k} is not finite: {v}"),
-                });
-            }
-            x.push(v);
-        }
+        let (s, u, x) = parse_data_row(fields, d, line_no, Vec::with_capacity(d))?;
         points.push(LabelledPoint { x, s, u });
+        Ok(())
+    })?;
+    if dim.is_none() {
+        return Err(DataError::Csv {
+            line: 0,
+            reason: "empty file (expected a header row)".into(),
+        });
     }
     Dataset::from_points(points)
+}
+
+/// Parse one data row against the expected width; features are appended
+/// to `x` (passed in so streaming callers can reuse the buffer).
+fn parse_data_row(
+    fields: &[String],
+    d: usize,
+    line_no: usize,
+    mut x: Vec<f64>,
+) -> Result<(u8, u8, Vec<f64>)> {
+    if fields.len() != d + 2 {
+        return Err(DataError::Csv {
+            line: line_no,
+            reason: format!("expected {} fields, found {}", d + 2, fields.len()),
+        });
+    }
+    let s = parse_label(&fields[0], "s", line_no)?;
+    let u = parse_label(&fields[1], "u", line_no)?;
+    for (k, raw) in fields[2..].iter().enumerate() {
+        x.push(parse_feature(raw, k, line_no)?);
+    }
+    Ok((s, u, x))
+}
+
+/// Read a labelled data set straight into columnar (struct-of-arrays)
+/// layout: each row's fields are parsed and appended to the per-feature
+/// columns without ever materializing `LabelledPoint` rows, and the line
+/// and field buffers are reused, so peak memory beyond the columns
+/// themselves is O(widest row). Accepts exactly the inputs
+/// [`read_labelled_csv`] accepts and produces the columnar image of the
+/// same data set.
+///
+/// # Errors
+/// Same conditions (and messages) as [`read_labelled_csv`].
+pub fn read_labelled_csv_columnar<R: BufRead>(reader: R) -> Result<ColumnarDataset> {
+    let mut data: Option<ColumnarDataset> = None;
+    let mut x: Vec<f64> = Vec::new();
+    for_each_row(reader, |line_no, fields| {
+        let Some(cols) = data.as_mut() else {
+            data = Some(ColumnarDataset::new(validate_header(fields)?)?);
+            return Ok(());
+        };
+        let mut buf = std::mem::take(&mut x);
+        buf.clear();
+        let (s, u, buf) = parse_data_row(fields, cols.dim(), line_no, buf)?;
+        let res = cols.push_row(&buf, s, u);
+        x = buf;
+        res
+    })?;
+    match data {
+        Some(cols) if !cols.is_empty() => Ok(cols),
+        // Match the row path: a header with zero data rows is rejected
+        // (`Dataset::from_points` refuses an empty point set).
+        Some(_) => Err(DataError::Shape("cannot build an empty dataset".into())),
+        None => Err(DataError::Csv {
+            line: 0,
+            reason: "empty file (expected a header row)".into(),
+        }),
+    }
 }
 
 /// Write a labelled data set as CSV (with header).
@@ -111,6 +157,30 @@ pub fn write_labelled_csv<W: Write>(writer: W, data: &Dataset) -> Result<()> {
         rows.push(row);
     }
     write_rows(writer, &rows)
+}
+
+/// Write a columnar data set as CSV (with header), streaming row by row
+/// without materializing the row-major image. Labels and finite floats
+/// never need CSV escaping, so the output is byte-identical to
+/// [`write_labelled_csv`] on the equivalent [`Dataset`].
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_labelled_csv_columnar<W: Write>(mut writer: W, data: &ColumnarDataset) -> Result<()> {
+    write!(writer, "s,u")?;
+    for k in 0..data.dim() {
+        write!(writer, ",x{k}")?;
+    }
+    writeln!(writer)?;
+    let (s, u, cols) = (data.s(), data.u(), data.feature_columns());
+    for i in 0..data.len() {
+        write!(writer, "{},{}", s[i], u[i])?;
+        for col in cols {
+            write!(writer, ",{}", col[i])?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -167,5 +237,50 @@ mod tests {
         let data = read_labelled_csv("s,u,x0\n\n0,1,3.5\n\n1,0,2.5\n".as_bytes()).unwrap();
         assert_eq!(data.len(), 2);
         assert_eq!(data.points()[0].x, vec![3.5]);
+    }
+
+    #[test]
+    fn columnar_ingest_matches_row_path() {
+        let input = "s,u,x0,x1\n\n0,1,3.5,-2\n1,0,2.5,1e3\n\n1,1,0.125,7\n";
+        let rows = read_labelled_csv(input.as_bytes()).unwrap();
+        let cols = read_labelled_csv_columnar(input.as_bytes()).unwrap();
+        assert_eq!(cols.to_dataset(), rows);
+        assert_eq!(cols, ColumnarDataset::from_dataset(&rows));
+    }
+
+    #[test]
+    fn columnar_ingest_rejects_what_row_path_rejects() {
+        for bad in [
+            "",
+            "a,b,c\n0,1,2",
+            "s,u,x1\n0,1,2",
+            "s,u,x0\n",        // header but zero data rows
+            "s,u,x0\n0,1",     // short row
+            "s,u,x0\n2,0,1.0", // bad label
+            "s,u,x0\n0,1,abc", // non-numeric
+            "s,u,x0\n0,1,inf", // non-finite
+        ] {
+            assert!(
+                read_labelled_csv(bad.as_bytes()).is_err(),
+                "row path accepted {bad:?}"
+            );
+            assert!(
+                read_labelled_csv_columnar(bad.as_bytes()).is_err(),
+                "columnar path accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_write_is_byte_identical_to_row_write() {
+        let data = sample();
+        let cols = ColumnarDataset::from_dataset(&data);
+        let mut row_buf = Vec::new();
+        write_labelled_csv(&mut row_buf, &data).unwrap();
+        let mut col_buf = Vec::new();
+        write_labelled_csv_columnar(&mut col_buf, &cols).unwrap();
+        assert_eq!(row_buf, col_buf);
+        let back = read_labelled_csv_columnar(col_buf.as_slice()).unwrap();
+        assert_eq!(back, cols);
     }
 }

@@ -6,6 +6,11 @@
 //! * [`dataset`] — the [`Dataset`] container of `(x ∈ ℝᵈ, s, u)`
 //!   observations (`Z = {X, S, U}`, Equation 1), with `(u,s)`-group
 //!   slicing, feature-column extraction, and research/archive splitting.
+//! * [`columnar`] — the same data in column-major (struct-of-arrays)
+//!   layout ([`ColumnarDataset`]): one contiguous column per feature,
+//!   packed label bytes, precomputed group indices. The cache-friendly
+//!   substrate of the batch repair kernels; conversions both ways are
+//!   lossless.
 //! * [`synth`] — the bivariate-Gaussian simulation of Section V-A
 //!   ([`SimulationSpec`]).
 //! * [`adult`] — the Adult-income study (Section V-B): a calibrated
@@ -35,6 +40,7 @@
 //! ```
 
 pub mod adult;
+pub mod columnar;
 pub mod csv;
 pub mod dataset;
 pub mod drift;
@@ -43,8 +49,11 @@ pub mod labelled_csv;
 pub mod synth;
 
 pub use adult::AdultSynth;
+pub use columnar::ColumnarDataset;
 pub use dataset::{Dataset, GroupKey, LabelledPoint, SplitData};
 pub use drift::Drift;
 pub use error::DataError;
-pub use labelled_csv::{read_labelled_csv, write_labelled_csv};
+pub use labelled_csv::{
+    read_labelled_csv, read_labelled_csv_columnar, write_labelled_csv, write_labelled_csv_columnar,
+};
 pub use synth::SimulationSpec;

@@ -95,6 +95,36 @@ pub fn kernel_cells(requested: Option<usize>) -> usize {
     KERNEL_CELLS_DEFAULT
 }
 
+/// Environment variable overriding the columnar repair kernels' row
+/// batch size (rows processed per per-batch scratch refill).
+pub const BATCH_ROWS_ENV: &str = "OTR_BATCH_ROWS";
+
+/// Default row batch of the columnar repair kernels. Sized so one
+/// batch's working set — a handful of `f64` column slices, one 32-byte
+/// RNG state per row, and the quantization lanes — stays around the
+/// L2 cache (~0.5 MiB at `d = 2`) while the per-batch setup (group
+/// partitioning, RNG seeding) amortizes over thousands of rows.
+pub const BATCH_ROWS_DEFAULT: usize = 8_192;
+
+/// Resolve the columnar row-batch size: an explicit `Some(rows)` wins
+/// (the per-plan config knob, clamped to ≥ 1); `None` means auto — the
+/// `OTR_BATCH_ROWS` environment variable if set and positive, else
+/// [`BATCH_ROWS_DEFAULT`]. Batch size is pure blocking policy: it may
+/// change wall-clock time and nothing else (see `docs/determinism.md`).
+pub fn batch_rows(requested: Option<usize>) -> usize {
+    if let Some(rows) = requested {
+        return rows.max(1);
+    }
+    if let Ok(v) = std::env::var(BATCH_ROWS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    BATCH_ROWS_DEFAULT
+}
+
 /// The `stream`-th output of a SplitMix64 sequence seeded at `base` —
 /// the canonical way to derive independent per-item RNG seeds from one
 /// base seed. Adjacent streams are decorrelated by the full 64-bit
@@ -247,6 +277,72 @@ where
             h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         }
     });
+}
+
+/// Parallel in-place map over a **set of equal-length columns**, split
+/// at the same row boundaries: each of the `cols` column vectors is cut
+/// into at most `threads` near-equal contiguous row chunks, and
+/// `f(row_start, column_chunks)` runs once per chunk on its own scoped
+/// thread, receiving the aligned mutable chunk of *every* column.
+/// Per-chunk results come back **in chunk order** (so fold-style
+/// accumulators merge deterministically on the caller).
+///
+/// This is the row-chunk primitive of the columnar (SoA) repair path:
+/// a worker owns a contiguous row range across all feature columns at
+/// once, chunk borders never split a row, and each output element is
+/// written by exactly one thread — bit-identical output for every
+/// thread count, exactly as with [`par_rows_mut`] on a row-major
+/// matrix. The single-chunk case runs inline on the caller.
+///
+/// # Panics
+/// All columns must have the same length.
+pub fn par_cols_mut<T, R, F>(cols: &mut [Vec<T>], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [&mut [T]]) -> R + Sync,
+{
+    let rows = cols.first().map_or(0, Vec::len);
+    for (k, col) in cols.iter().enumerate() {
+        assert_eq!(col.len(), rows, "par_cols_mut: column {k} length");
+    }
+    let bounds = chunk_bounds(rows, thread_count(threads));
+    if bounds.len() <= 1 {
+        return bounds
+            .into_iter()
+            .map(|range| {
+                let mut chunks: Vec<&mut [T]> =
+                    cols.iter_mut().map(|c| &mut c[range.clone()]).collect();
+                f(range.start, &mut chunks)
+            })
+            .collect();
+    }
+    // Pre-split every column at the shared chunk boundaries, so each
+    // scoped thread owns one disjoint row range across all columns.
+    let mut rests: Vec<&mut [T]> = cols.iter_mut().map(Vec::as_mut_slice).collect();
+    let mut jobs: Vec<(usize, Vec<&mut [T]>)> = Vec::with_capacity(bounds.len());
+    for range in bounds {
+        let mut chunk_cols = Vec::with_capacity(rests.len());
+        let mut tails = Vec::with_capacity(rests.len());
+        for rest in rests {
+            let (head, tail) = rest.split_at_mut(range.len());
+            chunk_cols.push(head);
+            tails.push(tail);
+        }
+        rests = tails;
+        jobs.push((range.start, chunk_cols));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(start, mut chunk_cols)| scope.spawn(move || f(start, &mut chunk_cols)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
 }
 
 /// Tile edge of the blocked [`par_transpose`] loops: 64 × 64 `f64` tiles
@@ -516,6 +612,50 @@ mod tests {
         let mut twice = vec![0u64; rows * cols];
         par_transpose(&once, cols, rows, &mut twice, 5);
         assert_eq!(twice, src);
+    }
+
+    #[test]
+    fn par_cols_mut_writes_every_cell_once_in_order() {
+        for rows in [0usize, 1, 5, 257] {
+            for threads in [1usize, 2, 7, 64] {
+                let mut cols = vec![vec![0usize; rows]; 3];
+                let starts = par_cols_mut(&mut cols, threads, |start, chunks| {
+                    assert_eq!(chunks.len(), 3);
+                    let len = chunks[0].len();
+                    for (k, col) in chunks.iter_mut().enumerate() {
+                        assert_eq!(col.len(), len, "misaligned chunk for column {k}");
+                        for (off, slot) in col.iter_mut().enumerate() {
+                            *slot = 10 * (start + off) + k;
+                        }
+                    }
+                    start
+                });
+                // Chunk results come back in chunk order.
+                let mut sorted = starts.clone();
+                sorted.sort_unstable();
+                assert_eq!(starts, sorted, "rows = {rows}, threads = {threads}");
+                for (k, col) in cols.iter().enumerate() {
+                    let want: Vec<usize> = (0..rows).map(|i| 10 * i + k).collect();
+                    assert_eq!(col, &want, "rows = {rows}, threads = {threads}");
+                }
+            }
+        }
+        // No columns at all is a no-op, not a panic.
+        assert!(par_cols_mut::<u8, (), _>(&mut [], 4, |_, _| ()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column 1 length")]
+    fn par_cols_mut_rejects_misaligned_columns() {
+        let mut cols = vec![vec![0u8; 4], vec![0u8; 5]];
+        par_cols_mut(&mut cols, 2, |_, _| ());
+    }
+
+    #[test]
+    fn batch_rows_resolution() {
+        assert_eq!(batch_rows(Some(7)), 7);
+        assert_eq!(batch_rows(Some(0)), 1); // explicit 0 clamps, not auto
+        assert!(batch_rows(None) >= 1);
     }
 
     #[test]

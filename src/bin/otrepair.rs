@@ -58,6 +58,7 @@ fn print_usage() {
                              [--solver …] [--min-group N] [--threads N] [--verbose]\n\
            otrepair apply    --plan <plan.json> --data <csv> --out <csv>\n\
                              [--seed N] [--partial LAMBDA] [--monge] [--threads N]\n\
+                             [--layout row|columnar] [--batch-rows N]\n\
            otrepair apply    --joint --plan <plan.json> --data <csv> --out <csv>\n\
                              [--seed N] [--threads N]\n\
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
@@ -87,7 +88,18 @@ fn print_usage() {
            sequential, and past the same threshold the kernels' column phase\n\
            reads a transposed copy (bitwise-identical, just cache-friendly).\n\
            Repair output is bit-identical for any thread count and any\n\
-           threshold at a given --seed — see docs/determinism.md."
+           threshold at a given --seed — see docs/determinism.md.\n\
+         \n\
+         LAYOUT:\n\
+           apply repairs through the columnar (struct-of-arrays) kernels by\n\
+           default: CSV parses straight into per-feature columns and whole\n\
+           column slices are quantized/gathered in vectorizable loops.\n\
+           --layout row forces the per-point path (required by --partial and\n\
+           --monge, which imply it when --layout is omitted). Both layouts\n\
+           produce byte-identical output at a given --seed. --batch-rows\n\
+           sets the columnar row-batch size (default: the OTR_BATCH_ROWS\n\
+           environment variable if set, else 8192); batch size is pure\n\
+           blocking policy and never changes the output."
     );
 }
 
@@ -291,8 +303,22 @@ fn cmd_apply(args: &[String]) -> CliResult {
     let seed: u64 = opt(args, "--seed").map_or(Ok(0), str::parse)?;
     let partial: Option<f64> = opt(args, "--partial").map(str::parse).transpose()?;
     let use_monge = has_flag(args, "--monge");
+    // `--layout`: columnar (default for the standard repair) runs the
+    // column-slice kernels; `row` is the escape hatch. Byte-identical
+    // output either way.
+    let layout: Option<bool> = match opt(args, "--layout") {
+        None => None,
+        Some("columnar") => Some(true),
+        Some("row") => Some(false),
+        Some(other) => {
+            return Err(format!("unknown --layout `{other}` (expected `row` or `columnar`)").into())
+        }
+    };
 
     if has_flag(args, "--joint") {
+        if layout == Some(true) {
+            return Err("--joint supports only --layout row".into());
+        }
         if partial.is_some() || use_monge {
             return Err("--joint supports neither --partial nor --monge".into());
         }
@@ -327,6 +353,40 @@ fn cmd_apply(args: &[String]) -> CliResult {
         // repaired bytes depend only on --seed, never on this.
         plan.config.threads = threads.parse()?;
     }
+    if let Some(batch) = opt(args, "--batch-rows") {
+        // Columnar batch size; like --threads, pure execution policy
+        // (default: auto via OTR_BATCH_ROWS).
+        plan.config.batch_rows = Some(batch.parse()?);
+    }
+
+    // The columnar fast path: ingest straight into columns, repair with
+    // the batch kernels, stream back out. The default unless --monge /
+    // --partial (row-only modes) or an explicit --layout row.
+    let use_columnar = layout.unwrap_or(!use_monge && partial.is_none());
+    if use_columnar {
+        if use_monge || partial.is_some() {
+            return Err(
+                "--layout columnar supports neither --partial nor --monge (use --layout row)"
+                    .into(),
+            );
+        }
+        let file = File::open(data_path).map_err(|e| format!("cannot open {data_path}: {e}"))?;
+        let data = ot_fair_repair::data::read_labelled_csv_columnar(BufReader::new(file))?;
+        eprintln!(
+            "repairing {} points through {plan_path} (randomized mode, columnar layout)",
+            data.len()
+        );
+        let repaired = plan.repair_columnar_par(&data, seed)?;
+        let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+        ot_fair_repair::data::write_labelled_csv_columnar(BufWriter::new(out), &repaired)?;
+        let damage = dataset_damage_columnar(&data, &repaired)?;
+        eprintln!(
+            "wrote {out_path}; mean RMSE displacement {:.4}",
+            damage.mean_rmse()
+        );
+        return Ok(());
+    }
+
     let data = load_dataset(data_path)?;
     eprintln!(
         "repairing {} points through {} ({} mode)",

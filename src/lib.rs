@@ -52,11 +52,14 @@ pub use otr_stats as stats;
 /// Convenience prelude pulling in the types used by almost every caller.
 pub mod prelude {
     pub use otr_core::{
-        dataset_damage, ContinuousUPoint, ContinuousURepairer, DamageReport, GeometricRepair,
-        GroupBlindRepairer, JointDesignReport, JointRepairConfig, JointRepairPlan, MassSplit,
-        MongeRepair, RepairConfig, RepairPlan, RepairPlanner, SolverBackend, StreamingRepairer,
+        dataset_damage, dataset_damage_columnar, ContinuousUPoint, ContinuousURepairer,
+        DamageReport, GeometricRepair, GroupBlindRepairer, JointDesignReport, JointRepairConfig,
+        JointRepairPlan, MassSplit, MongeRepair, RepairConfig, RepairPlan, RepairPlanner,
+        SolverBackend, StreamingRepairer,
     };
-    pub use otr_data::{AdultSynth, Dataset, GroupKey, LabelledPoint, SimulationSpec, SplitData};
+    pub use otr_data::{
+        AdultSynth, ColumnarDataset, Dataset, GroupKey, LabelledPoint, SimulationSpec, SplitData,
+    };
     pub use otr_fairness::{
         conditional_disparate_impact, ConditionalDependence, DiReport, EReport, JointDependence,
         LogisticRegression, WassersteinDependence,

@@ -137,6 +137,39 @@ fn joint_repair_byte_identical_across_otr_threads_env() {
     std::env::remove_var("OTR_THREADS");
 }
 
+/// The columnar (SoA) kernel satisfies the same contract: for every
+/// `OTR_THREADS` setting, `repair_columnar_par` is **byte-identical**
+/// to the sequential row-path reference `repair_dataset_seeded`, for
+/// both mass-split configurations. Env-mutating, so serialized on
+/// [`OTR_THREADS_ENV_LOCK`].
+#[test]
+fn columnar_repair_byte_identical_across_otr_threads_env() {
+    let _env = OTR_THREADS_ENV_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let (research, archive) = setup();
+    let columnar = ColumnarDataset::from_dataset(&archive);
+    for mass_split in [MassSplit::Randomized, MassSplit::Deterministic] {
+        let mut cfg = RepairConfig::with_n_q(40);
+        cfg.mass_split = mass_split;
+        cfg.threads = 0; // auto: defer to OTR_THREADS
+        for threads in ["1", "2", "7"] {
+            std::env::set_var("OTR_THREADS", threads);
+            let plan = RepairPlanner::new(cfg).design(&research).unwrap();
+            let col = plan.repair_columnar_par(&columnar, 42).unwrap();
+            let seq = plan.repair_dataset_seeded(&archive, 42).unwrap();
+            assert_eq!(
+                byte_image(&col.to_dataset()),
+                byte_image(&seq),
+                "columnar != sequential row path ({mass_split:?}, OTR_THREADS={threads})"
+            );
+            assert_eq!(col.s(), ColumnarDataset::from_dataset(&seq).s());
+            assert_eq!(col.u(), ColumnarDataset::from_dataset(&seq).u());
+        }
+        std::env::remove_var("OTR_THREADS");
+    }
+}
+
 /// The partial-repair geodesic rides the same per-row streams, so the
 /// same invariance holds along λ.
 #[test]
