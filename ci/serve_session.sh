@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Scripted otrepaird session: boots the daemon on a loopback port, drives a
+# full client lifecycle (ping / load / plans / repair / info / evict), and
+# pins the serving determinism contract by comparing the served bytes against
+# an offline `otrepair apply` run with the same plan and seed.
+#
+# Run from the repository root after `cargo build --release --bins`:
+#
+#     bash ci/serve_session.sh
+#
+# Override BIN / DAEMON to point at different builds (e.g. debug binaries).
+# Exits non-zero on any protocol drift, lifecycle failure, or byte mismatch.
+set -euo pipefail
+
+BIN=${BIN:-target/release/otrepair}
+DAEMON=${DAEMON:-target/release/otrepaird}
+FIXTURES=${FIXTURES:-ci/fixtures}
+SEED=13
+
+WORK=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    [ -n "$PID" ] && wait "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== design a plan and produce the offline reference =="
+"$BIN" design --research "$FIXTURES/research.csv" --out "$WORK/plan.json" --nq 24
+"$BIN" apply --plan "$WORK/plan.json" --data "$FIXTURES/archive.csv" \
+    --out "$WORK/offline.csv" --seed "$SEED"
+
+echo "== boot otrepaird on an ephemeral loopback port =="
+"$DAEMON" --bind 127.0.0.1:0 --shards 7 --port-file "$WORK/port" &
+PID=$!
+for _ in $(seq 100); do
+    [ -s "$WORK/port" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "otrepaird exited before publishing its port" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "timed out waiting for port file" >&2; exit 1; }
+ADDR=$(cat "$WORK/port")
+echo "daemon is listening on $ADDR"
+
+echo "== client session: ping / load / plans / repair / info / evict =="
+"$BIN" client ping --addr "$ADDR" | grep -q pong
+"$BIN" client load --addr "$ADDR" --plan "$WORK/plan.json" --name ci-plan --version 2
+"$BIN" client plans --addr "$ADDR" | grep -q 'ci-plan@2'
+"$BIN" client repair --addr "$ADDR" --name ci-plan \
+    --data "$FIXTURES/archive.csv" --out "$WORK/served.csv" --seed "$SEED"
+"$BIN" client info --addr "$ADDR" | grep -q '1 plans'
+"$BIN" client evict --addr "$ADDR" --name ci-plan --version 2
+"$BIN" client plans --addr "$ADDR" | grep -q 'no plans registered'
+
+echo "== eviction must surface UnknownPlan to the client =="
+if "$BIN" client repair --addr "$ADDR" --name ci-plan \
+    --data "$FIXTURES/archive.csv" --out "$WORK/ghost.csv" --seed "$SEED" 2>"$WORK/err"; then
+    echo "repair against an evicted plan unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -qi 'UnknownPlan' "$WORK/err"
+
+echo "== serving determinism: served bytes == offline apply bytes =="
+cmp "$WORK/offline.csv" "$WORK/served.csv"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "serve session OK: lifecycle clean, served output byte-identical to offline apply"

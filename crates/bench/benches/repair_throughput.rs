@@ -14,7 +14,7 @@
 //! * default (`cargo bench --bench repair_throughput`) — criterion
 //!   groups: throughput vs `nQ`, plan-design cost vs `nQ`, and
 //!   sequential-vs-parallel dataset repair on a 100k-row archive;
-//! * `--quick` — the CI perf-smoke gate, three legs written to JSON
+//! * `--quick` — the CI perf-smoke gate, four legs written to JSON
 //!   and (when `OTR_BENCH_BASELINE` names the committed baseline)
 //!   gated at a 25% regression margin:
 //!   1. **archival throughput** (`BENCH_throughput.json`): sequential
@@ -36,7 +36,12 @@
 //!      report's `kernel` field names the representation the gated
 //!      legs resolved to. Also writes the joint design report
 //!      (`BENCH_joint_report.json`): barycentre convergence +
-//!      per-stage ε-schedule stats per stratum.
+//!      per-stage ε-schedule stats per stratum;
+//!   4. **served repair** (`BENCH_serve.json`): sustained rows/sec
+//!      through a live `otrepaird` on loopback under concurrent
+//!      clients (wire framing + sharded repair + index-ordered
+//!      reassembly), with served-vs-offline byte-identity asserted
+//!      before any timing.
 
 use std::time::Instant;
 
@@ -195,6 +200,26 @@ struct JointRepairReport {
     kernel_speedup: Option<f64>,
 }
 
+/// The serving leg: sustained rows/sec through a live `otrepaird` on
+/// loopback under concurrent clients, wire encode/decode included.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeReport {
+    /// Archive rows per repair request.
+    rows: usize,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Repair requests per client.
+    rounds: usize,
+    /// Server shard policy (contiguous row chunks per request).
+    shards: usize,
+    /// Server worker threads.
+    threads: usize,
+    /// Wall time for all clients to finish all rounds.
+    secs: f64,
+    /// `rows * clients * rounds / secs` — served repair throughput.
+    rows_per_sec: f64,
+}
+
 /// The committed `ci/bench_baseline.json` schema: one (conservatively
 /// scaled) entry per `--quick` leg.
 #[derive(Debug, Serialize, Deserialize)]
@@ -202,6 +227,10 @@ struct BenchBaseline {
     throughput: ThroughputReport,
     plan_design: PlanDesignReport,
     joint_repair: JointRepairReport,
+    /// `serde(default)` keeps pre-serving baselines readable; `None`
+    /// disarms the serving gate.
+    #[serde(default)]
+    serve: Option<ServeReport>,
 }
 
 /// The workspace root (cargo runs bench binaries with the *package*
@@ -436,12 +465,114 @@ fn quick_joint() -> JointRepairReport {
     report
 }
 
-/// CI perf-smoke mode: measure the three legs, record them, and
+/// Leg 4 — repair-as-a-service throughput: a live `otrepaird` on a
+/// loopback socket, a registered plan, and concurrent clients repairing
+/// the same archive, wall-clocked end to end (framing, socket copies,
+/// sharded repair, index-ordered reassembly). One served response is
+/// asserted byte-identical to the offline columnar path first — the
+/// serving determinism contract is part of the gate, not just the docs.
+fn quick_serve() -> ServeReport {
+    use otr_serve::{Client, PlanKind, ServeConfig, Server};
+
+    let rows: usize = std::env::var("OTR_BENCH_SERVE_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let clients = 4usize;
+    let rounds = 3usize;
+    let threads = otr_par::thread_count(0);
+    eprintln!(
+        "perf-smoke[serve]: {rows} rows/request, {clients} clients x {rounds} rounds, \
+         {threads} worker threads"
+    );
+
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(4);
+    let research = spec.sample_dataset(500, &mut rng).unwrap();
+    let archive = ColumnarDataset::from_dataset(&spec.sample_dataset(rows, &mut rng).unwrap());
+    let plan = RepairPlanner::new(RepairConfig::with_n_q(50))
+        .design(&research)
+        .unwrap();
+
+    let server = Server::bind(&ServeConfig {
+        bind: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let shards = threads; // ServeConfig default: shards = resolved threads
+    let handle = server.handle().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut loader = Client::connect(&addr).unwrap();
+    loader
+        .load_plan(PlanKind::Scalar, "bench", 1, &plan.to_json().unwrap())
+        .unwrap();
+    // Byte-identity of served vs offline output before any timing.
+    let served = loader.repair("bench", 1, 7, &archive).unwrap();
+    let offline = plan.repair_columnar_par(&archive, 7).unwrap();
+    let same = served
+        .columns
+        .iter()
+        .zip(offline.feature_columns())
+        .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    assert!(
+        same,
+        "served repair diverged from the offline columnar path"
+    );
+
+    let secs = best_of(3, || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    let archive = &archive;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        for round in 0..rounds {
+                            client
+                                .repair("bench", 1, (c * rounds + round) as u64, archive)
+                                .unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    handle.shutdown();
+    server_thread.join().unwrap();
+
+    let total_rows = (rows * clients * rounds) as f64;
+    let report = ServeReport {
+        rows,
+        clients,
+        rounds,
+        shards,
+        threads,
+        secs,
+        rows_per_sec: total_rows / secs,
+    };
+    println!(
+        "serve:      {:.3} s for {} requests ({:.0} rows/s served, {} shards x {} threads)",
+        report.secs,
+        clients * rounds,
+        report.rows_per_sec,
+        report.shards,
+        report.threads
+    );
+    report
+}
+
+/// CI perf-smoke mode: measure the four legs, record them, and
 /// (optionally) gate against the committed baseline.
 fn quick_gate() {
     let throughput = quick_throughput();
     let plan_design = quick_plan_design();
     let joint_repair = quick_joint();
+    let serve = quick_serve();
 
     for (name, json) in [
         (
@@ -455,6 +586,10 @@ fn quick_gate() {
         (
             "BENCH_joint.json",
             serde_json::to_string_pretty(&joint_repair).unwrap(),
+        ),
+        (
+            "BENCH_serve.json",
+            serde_json::to_string_pretty(&serve).unwrap(),
         ),
     ] {
         let out_path = workspace_root().join(name);
@@ -529,6 +664,16 @@ fn quick_gate() {
         1.0 / baseline.joint_repair.t1_secs,
         "runs/s",
     );
+    // The serving floor arms once the baseline records a serve leg
+    // (pre-serving baselines deserialize it as None).
+    if let Some(base) = &baseline.serve {
+        gate_rate(
+            "served repair",
+            serve.rows_per_sec,
+            base.rows_per_sec,
+            "rows/s",
+        );
+    }
     // Speedup legs only arm when the baseline recorded a genuine
     // parallel win AND this runner has the threads to reproduce one
     // (a single-core runner can never show a speedup).

@@ -598,9 +598,31 @@ impl JointRepairPlan {
     /// # Errors
     /// Rejects dimension mismatches.
     pub fn repair_dataset_par(&self, data: &Dataset, seed: u64) -> Result<Dataset> {
+        self.repair_dataset_shard(data, seed, 0)
+    }
+
+    /// Chunk-addressable joint repair — the joint analogue of
+    /// [`crate::RepairPlan::repair_columnar_shard`], and the entry point
+    /// the repair service (`otr-serve`) shards joint archives through.
+    /// Repairs `data` as if its rows occupied absolute indices
+    /// `row_offset .. row_offset + data.len()` of a larger archive: row
+    /// `i` draws from `splitmix_seed(seed, row_offset + i)`, so
+    /// contiguous shards repaired with their start rows as offsets and
+    /// concatenated in index order are byte-identical to one
+    /// whole-archive [`Self::repair_dataset_par`] call (which is the
+    /// `row_offset = 0` case).
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches.
+    pub fn repair_dataset_shard(
+        &self,
+        data: &Dataset,
+        seed: u64,
+        row_offset: u64,
+    ) -> Result<Dataset> {
         let pts = data.points();
         let points = try_par_map_indexed(pts.len(), self.config.threads, |i| {
-            let mut rng = StdRng::seed_from_u64(splitmix_seed(seed, i as u64));
+            let mut rng = StdRng::seed_from_u64(splitmix_seed(seed, row_offset + i as u64));
             self.repair_point(&pts[i], &mut rng)
         })?;
         Ok(Dataset::from_points(points)?)
@@ -879,6 +901,32 @@ mod tests {
                 None => reference = Some(out),
                 Some(r) => assert_eq!(out.points(), r.points(), "threads = {threads}"),
             }
+        }
+    }
+
+    #[test]
+    fn sharded_joint_repair_matches_whole_archive() {
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(12);
+        let split = spec.generate(400, 500, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 8; // keep the n_q² Sinkhorn solves cheap
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let whole = plan.repair_dataset_par(&split.archive, 21).unwrap();
+        for shards in [2usize, 7] {
+            let pts = split.archive.points();
+            let mut rebuilt: Vec<LabelledPoint> = Vec::with_capacity(pts.len());
+            let base = pts.len() / shards;
+            let rem = pts.len() % shards;
+            let mut start = 0usize;
+            for sh in 0..shards {
+                let len = base + usize::from(sh < rem);
+                let slice = Dataset::from_points(pts[start..start + len].to_vec()).unwrap();
+                let out = plan.repair_dataset_shard(&slice, 21, start as u64).unwrap();
+                rebuilt.extend_from_slice(out.points());
+                start += len;
+            }
+            assert_eq!(&rebuilt[..], whole.points(), "shards = {shards}");
         }
     }
 

@@ -542,6 +542,31 @@ impl RepairPlan {
         data: &ColumnarDataset,
         seed: u64,
     ) -> Result<(ColumnarDataset, u64)> {
+        self.repair_columnar_shard(data, seed, 0)
+    }
+
+    /// Chunk-addressable columnar repair — the sharding primitive of the
+    /// repair service (`otr-serve`). Repairs `data` **as if** its rows
+    /// occupied absolute indices `row_offset .. row_offset + data.len()`
+    /// of a larger archive: row `i` of `data` draws from
+    /// `StdRng::seed_from_u64(splitmix_seed(seed, row_offset + i))`,
+    /// exactly the stream that row would own in a whole-archive
+    /// [`Self::repair_columnar_par`] call. Consequently, splitting an
+    /// archive into contiguous shards, repairing each shard with its
+    /// start row as `row_offset`, and concatenating the outputs in index
+    /// order is **byte-identical** to repairing the whole archive in one
+    /// call — for any shard layout, thread count, or batch size.
+    /// `row_offset = 0` *is* [`Self::repair_columnar_par`]. Returns the
+    /// repaired shard plus its out-of-range feature count.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches and uncompiled plans.
+    pub fn repair_columnar_shard(
+        &self,
+        data: &ColumnarDataset,
+        seed: u64,
+        row_offset: u64,
+    ) -> Result<(ColumnarDataset, u64)> {
         if data.dim() != self.dim {
             return Err(RepairError::PlanMismatch(format!(
                 "dataset dimension {} vs plan dimension {}",
@@ -572,7 +597,7 @@ impl RepairPlan {
         };
         let mut out: Vec<Vec<f64>> = vec![vec![0.0; data.len()]; self.dim];
         let oob = par_cols_mut(&mut out, self.config.threads, |row0, chunks| {
-            self.repair_columnar_chunk(data, seed, row0, chunks, proj.as_deref())
+            self.repair_columnar_chunk(data, seed, row_offset, row0, chunks, proj.as_deref())
         })
         .into_iter()
         .sum();
@@ -587,6 +612,7 @@ impl RepairPlan {
         &self,
         data: &ColumnarDataset,
         seed: u64,
+        row_offset: u64,
         row0: usize,
         cols_out: &mut [&mut [f64]],
         proj: Option<&[[Vec<f64>; 2]]>,
@@ -615,12 +641,12 @@ impl RepairPlan {
             }
             if proj.is_none() {
                 // The per-row SplitMix64 streams of the determinism
-                // contract, seeded by absolute row index.
+                // contract, seeded by absolute row index (shard offset
+                // plus position within this shard).
                 rngs.clear();
-                rngs.extend(
-                    (start..end)
-                        .map(|li| StdRng::seed_from_u64(splitmix_seed(seed, (row0 + li) as u64))),
-                );
+                rngs.extend((start..end).map(|li| {
+                    StdRng::seed_from_u64(splitmix_seed(seed, row_offset + (row0 + li) as u64))
+                }));
             }
             for k in 0..d {
                 let col_in = &cols_in[k][row0 + start..row0 + end];
@@ -1132,6 +1158,42 @@ mod tests {
                     "threads = {threads}, batch_rows = {batch_rows:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sharded_columnar_repair_matches_whole_archive() {
+        let data = research(36, 400);
+        let archive = research(37, 1_000);
+        let cols = ColumnarDataset::from_dataset(&archive);
+        let plan = RepairPlanner::new(RepairConfig::with_n_q(30))
+            .design(&data)
+            .unwrap();
+        let whole = plan.repair_columnar_par(&cols, 99).unwrap();
+        let (_, whole_oob) = plan.repair_columnar_shard(&cols, 99, 0).unwrap();
+        // Any contiguous shard layout, reassembled in index order,
+        // reproduces the whole-archive bytes — the serving contract.
+        for shards in [1usize, 2, 7] {
+            let mut rebuilt: Vec<Vec<f64>> = vec![Vec::new(); cols.dim()];
+            let mut oob_total = 0u64;
+            let base = cols.len() / shards;
+            let rem = cols.len() % shards;
+            let mut start = 0usize;
+            for sh in 0..shards {
+                let len = base + usize::from(sh < rem);
+                let slice = cols.slice_rows(start..start + len).unwrap();
+                let (out, oob) = plan
+                    .repair_columnar_shard(&slice, 99, start as u64)
+                    .unwrap();
+                for (k, col) in rebuilt.iter_mut().enumerate() {
+                    col.extend_from_slice(out.feature_column(k).unwrap());
+                }
+                oob_total += oob;
+                start += len;
+            }
+            let rebuilt = cols.with_feature_columns(rebuilt).unwrap();
+            assert_eq!(rebuilt, whole, "shards = {shards}");
+            assert_eq!(oob_total, whole_oob, "shards = {shards}");
         }
     }
 

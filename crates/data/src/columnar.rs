@@ -298,6 +298,53 @@ impl ColumnarDataset {
             groups: self.groups.clone(),
         })
     }
+
+    /// Copy out the contiguous row range `range` as its own data set —
+    /// the sharding primitive of the repair service: a server splits an
+    /// incoming archive into contiguous row shards with this, repairs
+    /// each shard keyed by its absolute start row, and reassembles in
+    /// index order. Row order, labels, and exact `f64` bits are
+    /// preserved; group-index lists are rebuilt shard-local (indices
+    /// relative to `range.start`).
+    ///
+    /// # Errors
+    /// Rejects ranges that are descending or extend past `len()`.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Result<Self> {
+        if range.start > range.end || range.end > self.len() {
+            return Err(DataError::Shape(format!(
+                "row range {}..{} out of bounds for {} rows",
+                range.start,
+                range.end,
+                self.len()
+            )));
+        }
+        let features = self
+            .features
+            .iter()
+            .map(|col| col[range.clone()].to_vec())
+            .collect();
+        let s = self.s[range.clone()].to_vec();
+        let u = self.u[range.clone()].to_vec();
+        let mut groups: [Vec<usize>; 4] = Default::default();
+        for (local, i) in range.enumerate() {
+            // Invariant: every stored row has binary labels.
+            if let Some(slot) = (GroupKey {
+                u: self.u[i],
+                s: self.s[i],
+            })
+            .slot()
+            {
+                groups[slot].push(local);
+            }
+        }
+        Ok(Self {
+            dim: self.dim,
+            features,
+            s,
+            u,
+            groups,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +455,30 @@ mod tests {
         assert!(c
             .with_feature_columns(vec![vec![0.0; 5], vec![f64::NAN; 5]])
             .is_err());
+    }
+
+    #[test]
+    fn slice_rows_preserves_bits_and_rebuilds_groups() {
+        let c = ColumnarDataset::from_dataset(&small());
+        let mid = c.slice_rows(1..4).unwrap();
+        assert_eq!(mid.len(), 3);
+        assert_eq!(mid.feature_column(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(mid.s(), &[1, 0, 1]);
+        assert_eq!(mid.u(), &[0, 1, 1]);
+        // Group lists are shard-local (relative to the slice start).
+        assert_eq!(mid.group_indices(GroupKey { u: 0, s: 1 }), &[0]);
+        assert_eq!(mid.group_indices(GroupKey { u: 1, s: 0 }), &[1]);
+        assert_eq!(mid.group_indices(GroupKey { u: 1, s: 1 }), &[2]);
+        // A slice is a self-consistent data set (round trips).
+        assert_eq!(ColumnarDataset::from_dataset(&mid.to_dataset()), mid);
+        // Whole-range and empty slices are fine; overruns are not.
+        assert_eq!(c.slice_rows(0..c.len()).unwrap(), c);
+        assert!(c.slice_rows(2..2).unwrap().is_empty());
+        assert!(c.slice_rows(3..6).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert!(c.slice_rows(3..2).is_err());
+        }
     }
 
     #[test]

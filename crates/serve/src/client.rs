@@ -1,0 +1,248 @@
+//! A blocking `otrepaird` client: one frame out, one frame back, in
+//! order. This is the client the CLI's `otrepair client` subcommands
+//! wrap and the integration suite drives; any other implementation of
+//! `docs/protocol.md` is equally valid.
+
+use std::io::Read;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use otr_data::ColumnarDataset;
+
+use crate::protocol::{
+    decode_header, write_frame, ErrorCode, PlanInfo, PlanKind, ProtoError, Request, Response,
+    ServerInfo, HEADER_LEN,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a protocol frame.
+    Proto(ProtoError),
+    /// The server answered with an error frame.
+    Server { code: u16, message: String },
+    /// The server answered with the wrong (but well-formed) response
+    /// type for the request.
+    Unexpected(String),
+}
+
+impl ClientError {
+    /// The server-reported error code, when that's what this is.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            Self::Server { code, .. } => ErrorCode::from_u16(*code),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport: {e}"),
+            Self::Proto(e) => write!(f, "protocol: {e}"),
+            Self::Server { code, message } => match ErrorCode::from_u16(*code) {
+                Some(known) => write!(f, "server error {known:?}: {message}"),
+                None => write!(f, "server error code {code}: {message}"),
+            },
+            Self::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        Self::Proto(e)
+    }
+}
+
+/// A repaired archive as returned by [`Client::repair`].
+#[derive(Debug, Clone)]
+pub struct Repaired {
+    /// Out-of-range feature count (0 for joint plans).
+    pub out_of_range: u64,
+    /// Repaired feature columns, bit-exact, in archive row order.
+    pub columns: Vec<Vec<f64>>,
+}
+
+/// One connection to an `otrepaird` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Send one request and read the matching response frame.
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let (t, p) = req.encode();
+        write_frame(&mut self.stream, t, &p)?;
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let (msg_type, payload_len) = decode_header(&header)?;
+        let mut payload = vec![0u8; payload_len];
+        self.stream.read_exact(&mut payload)?;
+        Ok(Response::decode(msg_type, &payload)?)
+    }
+
+    /// Like [`Self::round_trip`], but error frames become
+    /// [`ClientError::Server`].
+    fn expect(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.round_trip(req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Ping"))),
+        }
+    }
+
+    /// Load a plan artifact into the server's registry as
+    /// `name@version`.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors (e.g.
+    /// [`ErrorCode::PlanInvalid`], [`ErrorCode::VersionCollision`]).
+    pub fn load_plan(
+        &mut self,
+        kind: PlanKind,
+        name: &str,
+        version: u32,
+        json: &str,
+    ) -> Result<(), ClientError> {
+        let req = Request::LoadPlan {
+            kind,
+            name: name.into(),
+            version,
+            json: json.into(),
+        };
+        match self.expect(&req)? {
+            Response::PlanLoaded => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to LoadPlan"))),
+        }
+    }
+
+    /// List the server's registered plans (name-then-version order).
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors.
+    pub fn list_plans(&mut self) -> Result<Vec<PlanInfo>, ClientError> {
+        match self.expect(&Request::ListPlans)? {
+            Response::PlanList(entries) => Ok(entries),
+            other => Err(ClientError::Unexpected(format!("{other:?} to ListPlans"))),
+        }
+    }
+
+    /// Evict `name@version` from the server's registry.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors
+    /// ([`ErrorCode::UnknownPlan`] when absent).
+    pub fn evict_plan(&mut self, name: &str, version: u32) -> Result<(), ClientError> {
+        let req = Request::EvictPlan {
+            name: name.into(),
+            version,
+        };
+        match self.expect(&req)? {
+            Response::PlanEvicted => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?} to EvictPlan"))),
+        }
+    }
+
+    /// Repair an archive through `name@version` (`version = 0` = the
+    /// server's latest) with the given base seed. The returned columns
+    /// are byte-identical to an offline `otrepair apply` with the same
+    /// plan and seed, whatever the server's shard/thread policy.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors
+    /// ([`ErrorCode::RepairFailed`] on e.g. dimension mismatch).
+    pub fn repair(
+        &mut self,
+        name: &str,
+        version: u32,
+        seed: u64,
+        archive: &ColumnarDataset,
+    ) -> Result<Repaired, ClientError> {
+        let req = Request::Repair {
+            name: name.into(),
+            version,
+            seed,
+            archive: archive.clone(),
+        };
+        match self.expect(&req)? {
+            Response::Repaired {
+                out_of_range,
+                columns,
+            } => {
+                if columns.len() != archive.dim()
+                    || columns.iter().any(|c| c.len() != archive.len())
+                {
+                    return Err(ClientError::Unexpected(
+                        "repaired shape disagrees with the submitted archive".into(),
+                    ));
+                }
+                Ok(Repaired {
+                    out_of_range,
+                    columns,
+                })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?} to Repair"))),
+        }
+    }
+
+    /// Repair and rebuild the full archive (labels from the submitted
+    /// archive, features from the server).
+    ///
+    /// # Errors
+    /// Same as [`Self::repair`].
+    pub fn repair_archive(
+        &mut self,
+        name: &str,
+        version: u32,
+        seed: u64,
+        archive: &ColumnarDataset,
+    ) -> Result<ColumnarDataset, ClientError> {
+        let repaired = self.repair(name, version, seed, archive)?;
+        archive
+            .with_feature_columns(repaired.columns)
+            .map_err(|e| ClientError::Unexpected(format!("repaired columns rejected: {e}")))
+    }
+
+    /// Fetch the server's state/policy snapshot.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.expect(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Info"))),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The daemon entry point shared by the `otrepaird` binary and the
+//! `otrepair serve` subcommand: flag parsing, startup logging, and the
+//! blocking serve loop. Knob semantics are documented in
+//! `docs/operations.md`.
+
+use std::path::PathBuf;
+
+use crate::server::{ServeConfig, Server};
+
+/// Parsed daemon command line.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonArgs {
+    /// The server configuration assembled from flags.
+    pub config: ServeConfig,
+    /// Where to write the bound `host:port` once listening (`--port-file`);
+    /// how scripts and tests discover an OS-assigned port 0.
+    pub port_file: Option<PathBuf>,
+}
+
+/// One-line-per-flag usage text (shared by both binaries' `--help`).
+pub const USAGE: &str = "\
+Options:
+  --bind <addr>        listen address (default 127.0.0.1:7878; port 0 = OS-assigned)
+  --plans <dir>        preload every *.json plan artifact in <dir>
+                       (name.json loads as name@1, name@3.json as name@3)
+  --threads <n>        worker threads for sharded repair (default 0 = auto:
+                       OTR_THREADS if set, else available parallelism)
+  --shards <n>         row shards per repair request (default 0 = auto: the
+                       resolved thread count)
+  --batch-rows <n>     columnar kernel batch size (default 0 = auto:
+                       OTR_BATCH_ROWS if set, else the library default)
+  --port-file <path>   write the bound host:port to <path> once listening
+  --help               print this help";
+
+impl DaemonArgs {
+    /// Parse daemon flags (everything after the binary/subcommand name).
+    ///
+    /// # Errors
+    /// A human-readable message for unknown flags, missing values, and
+    /// unparsable numbers.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs {what}"))
+            };
+            match flag.as_str() {
+                "--bind" => out.config.bind = value("an address")?,
+                "--plans" => out.config.plans_dir = Some(PathBuf::from(value("a directory")?)),
+                "--threads" => {
+                    out.config.threads = parse_num(flag, &value("a thread count")?)?;
+                }
+                "--shards" => {
+                    out.config.shards = parse_num(flag, &value("a shard count")?)?;
+                }
+                "--batch-rows" => {
+                    let n: usize = parse_num(flag, &value("a batch size")?)?;
+                    out.config.batch_rows = (n != 0).then_some(n);
+                }
+                "--port-file" => out.port_file = Some(PathBuf::from(value("a path")?)),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn parse_num(flag: &str, raw: &str) -> Result<usize, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: {raw:?} is not a non-negative integer"))
+}
+
+/// Bind, announce, and serve until killed (or until a test's
+/// [`crate::server::ServerHandle::shutdown`] — obtained before calling
+/// this — fires).
+///
+/// # Errors
+/// Bind/preload failures and fatal accept-loop errors.
+pub fn run(args: &DaemonArgs) -> std::io::Result<()> {
+    let server = Server::bind(&args.config)?;
+    announce(&server, args)?;
+    server.run()
+}
+
+/// Print the startup banner and write the port file. Split from
+/// [`run`] so the CLI can bind and announce, then serve on its own
+/// terms.
+///
+/// # Errors
+/// Port-file write failures.
+pub fn announce(server: &Server, args: &DaemonArgs) -> std::io::Result<()> {
+    let addr = server.local_addr()?;
+    println!(
+        "otrepaird listening on {addr} ({} plans loaded)",
+        server.registry().len()
+    );
+    if let Some(path) = &args.port_file {
+        // Write-then-rename so a polling reader never sees a partial
+        // address.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, addr.to_string())?;
+        std::fs::rename(&tmp, path)?;
+    }
+    Ok(())
+}

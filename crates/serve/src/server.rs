@@ -1,0 +1,451 @@
+//! The `otrepaird` server: a TCP accept loop, a shared
+//! [`PlanRegistry`], and the sharded repair executor.
+//!
+//! # Determinism under sharding
+//!
+//! Every `Repair` request is split into `shards` contiguous row chunks
+//! (the same `base + (c < rem)` bounds `otr-par` uses for its own
+//! chunking), each repaired through
+//! [`RegisteredPlan::repair_shard`](crate::registry::RegisteredPlan::repair_shard)
+//! with its **start row as the RNG offset**, and reassembled in
+//! shard-index order. Because row `i`
+//! always draws from `splitmix_seed(seed, i)` no matter which shard it
+//! lands in, the response bytes are a pure function of
+//! `(plan, seed, archive)` — shard count, worker threads, and client
+//! interleaving are unobservable. `docs/determinism.md` derives this
+//! contract; `tests/serve.rs` pins it against the offline CLI.
+//!
+//! # Connection model
+//!
+//! One thread per connection, frames handled strictly in order per
+//! connection (so a client's own requests never race each other),
+//! connections independent. Reads poll a shared stop flag every
+//! `POLL_INTERVAL` so [`ServerHandle::shutdown`] interrupts idle
+//! connections promptly; [`Server::run`]'s accept loop is woken by a
+//! self-connection.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use otr_data::ColumnarDataset;
+use otr_par::{thread_count, try_par_map_indexed};
+
+use crate::protocol::{
+    decode_header, write_frame, ErrorCode, Request, Response, ServerInfo, HEADER_LEN,
+    PROTOCOL_VERSION,
+};
+use crate::registry::PlanRegistry;
+
+/// How often blocked reads wake to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Deployment knobs for [`Server::bind`]. Execution policy only: no
+/// field affects repaired bytes (the serving determinism contract).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 lets the OS pick — read the
+    /// real address back from [`Server::local_addr`]).
+    pub bind: String,
+    /// Worker threads for sharded repair (`0` = auto: `OTR_THREADS` if
+    /// set, else available parallelism).
+    pub threads: usize,
+    /// Contiguous row shards per repair request (`0` = auto: the
+    /// resolved thread count).
+    pub shards: usize,
+    /// Row-batch size of the columnar kernels inside each shard
+    /// (`None` = auto: `OTR_BATCH_ROWS` if set, else the library
+    /// default).
+    pub batch_rows: Option<usize>,
+    /// Directory of plan artifacts to preload at startup
+    /// (`name.json` → `name@1`, `name@v.json` → `name@v`).
+    pub plans_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:7878".into(),
+            threads: 0,
+            shards: 0,
+            batch_rows: None,
+            plans_dir: None,
+        }
+    }
+}
+
+/// Counters and the stop flag, shared by every connection thread.
+#[derive(Debug, Default)]
+struct Shared {
+    stop: AtomicBool,
+    requests: AtomicU64,
+    rows_repaired: AtomicU64,
+}
+
+/// A bound (but not yet serving) `otrepaird` instance.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<PlanRegistry>,
+    shared: Arc<Shared>,
+    threads: usize,
+    shards: usize,
+}
+
+/// A remote control for a running [`Server`]: stats and shutdown.
+/// Cheap to clone; safe to use from any thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Ask the server to stop: in-flight frames finish, idle
+    /// connections close within one read-poll interval (200 ms), and
+    /// [`Server::run`] returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop may be parked in accept(); a throwaway
+        // connection wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Requests handled so far (all message types).
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Archive rows repaired so far.
+    pub fn rows_repaired(&self) -> u64 {
+        self.shared.rows_repaired.load(Ordering::Relaxed)
+    }
+}
+
+impl Server {
+    /// Bind the listen socket, resolve the thread/shard policy, and
+    /// preload `plans_dir` (if configured). No connections are accepted
+    /// until [`Server::run`].
+    ///
+    /// # Errors
+    /// Bind failures and unloadable preload directories.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let threads = thread_count(config.threads);
+        let shards = if config.shards == 0 {
+            threads
+        } else {
+            config.shards
+        };
+        // Shards run concurrently on the server's own pool, so each
+        // registered plan executes single-threaded: two multiplying
+        // levels of parallelism would oversubscribe the machine.
+        let registry = Arc::new(PlanRegistry::new(1, config.batch_rows));
+        if let Some(dir) = &config.plans_dir {
+            registry
+                .load_dir(dir)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+        Ok(Self {
+            listener,
+            registry,
+            shared: Arc::new(Shared::default()),
+            threads,
+            shards,
+        })
+    }
+
+    /// The bound address (the real port when `bind` asked for 0).
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's plan registry (shared with all connections).
+    pub fn registry(&self) -> &Arc<PlanRegistry> {
+        &self.registry
+    }
+
+    /// A [`ServerHandle`] for stats and shutdown from other threads.
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Accept and serve connections until [`ServerHandle::shutdown`].
+    /// Blocks the calling thread; spawn it if you need to keep going
+    /// (as `tests/serve.rs` and the CLI's `--port-file` flow do).
+    ///
+    /// # Errors
+    /// Fatal accept-loop failures only; per-connection errors are
+    /// answered on the wire (or logged to stderr) and do not stop the
+    /// server.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("otrepaird: accept failed: {e}");
+                    continue;
+                }
+            };
+            let ctx = ConnCtx {
+                registry: Arc::clone(&self.registry),
+                shared: Arc::clone(&self.shared),
+                threads: self.threads,
+                shards: self.shards,
+            };
+            workers.push(std::thread::spawn(move || {
+                if let Err(e) = handle_conn(stream, &ctx) {
+                    eprintln!("otrepaird: connection error: {e}");
+                }
+            }));
+            // Reap finished connection threads so a long-lived daemon
+            // doesn't accumulate handles.
+            workers.retain(|h| !h.is_finished());
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Everything one connection thread needs.
+struct ConnCtx {
+    registry: Arc<PlanRegistry>,
+    shared: Arc<Shared>,
+    threads: usize,
+    shards: usize,
+}
+
+/// Fill `buf` from the stream, polling the stop flag between timeouts.
+///
+/// Returns `Ok(false)` on a clean end — EOF or shutdown observed
+/// *between* frames (`mid_frame = false`) — and errors on EOF or
+/// shutdown with a frame half-read, where silently dropping bytes
+/// would corrupt the session.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], ctx: &ConnCtx) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if ctx.shared.stop.load(Ordering::SeqCst) {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "server shutting down mid-frame",
+            ));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Serve one connection: read frames in order, answer each.
+fn handle_conn(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        if !read_full(&mut stream, &mut header, ctx)? {
+            return Ok(()); // clean EOF or shutdown between frames
+        }
+        let (msg_type, payload_len) = match decode_header(&header) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                ctx.shared.requests.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: err.code().as_u16(),
+                    message: err.message().into(),
+                };
+                let (t, p) = resp.encode();
+                write_frame(&mut stream, t, &p)?;
+                if err.is_fatal() {
+                    // Framing is gone; resynchronization is impossible.
+                    return Ok(());
+                }
+                // UnsupportedVersion: framing is intact, so skip the
+                // payload and keep serving this connection.
+                let mut skip = vec![0u8; decode_payload_len(&header)];
+                if !read_full(&mut stream, &mut skip, ctx)? {
+                    return Ok(());
+                }
+                continue;
+            }
+        };
+        let mut payload = vec![0u8; payload_len];
+        if payload_len > 0 && !read_full(&mut stream, &mut payload, ctx)? {
+            return Ok(());
+        }
+        ctx.shared.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match Request::decode(msg_type, &payload) {
+            Ok(req) => dispatch(req, ctx),
+            Err(err) => Response::Error {
+                code: err.code().as_u16(),
+                message: err.message().into(),
+            },
+        };
+        let (t, p) = resp.encode();
+        write_frame(&mut stream, t, &p)?;
+    }
+}
+
+/// The payload length field alone (valid even when the version byte is
+/// not): used to skip past frames we answered with an error.
+fn decode_payload_len(h: &[u8; HEADER_LEN]) -> usize {
+    u32::from_be_bytes([h[8], h[9], h[10], h[11]]) as usize
+}
+
+/// Execute one decoded request against the registry.
+fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::LoadPlan {
+            kind,
+            name,
+            version,
+            json,
+        } => match ctx.registry.load(&name, version, kind, &json) {
+            Ok(_) => Response::PlanLoaded,
+            Err(e) => Response::Error {
+                code: e.code().as_u16(),
+                message: e.to_string(),
+            },
+        },
+        Request::ListPlans => Response::PlanList(ctx.registry.list()),
+        Request::EvictPlan { name, version } => match ctx.registry.evict(&name, version) {
+            Ok(()) => Response::PlanEvicted,
+            Err(e) => Response::Error {
+                code: e.code().as_u16(),
+                message: e.to_string(),
+            },
+        },
+        Request::Repair {
+            name,
+            version,
+            seed,
+            archive,
+        } => match ctx.registry.get(&name, version) {
+            Ok(plan) => match repair_sharded(plan.as_ref(), &archive, seed, ctx) {
+                Ok((out_of_range, columns)) => {
+                    ctx.shared
+                        .rows_repaired
+                        .fetch_add(archive.len() as u64, Ordering::Relaxed);
+                    Response::Repaired {
+                        out_of_range,
+                        columns,
+                    }
+                }
+                Err(msg) => Response::Error {
+                    code: ErrorCode::RepairFailed.as_u16(),
+                    message: msg,
+                },
+            },
+            Err(e) => Response::Error {
+                code: e.code().as_u16(),
+                message: e.to_string(),
+            },
+        },
+        Request::Info => Response::Info(ServerInfo {
+            protocol_version: PROTOCOL_VERSION,
+            plans: ctx.registry.len() as u32,
+            requests: ctx.shared.requests.load(Ordering::Relaxed),
+            rows_repaired: ctx.shared.rows_repaired.load(Ordering::Relaxed),
+            shards: ctx.shards as u32,
+            threads: ctx.threads as u32,
+        }),
+    }
+}
+
+/// Start row of shard `c` when `n` rows split into `chunks` contiguous
+/// shards (first `n % chunks` shards get one extra row — the same
+/// layout `otr-par` itself chunks by).
+fn shard_start(n: usize, chunks: usize, c: usize) -> usize {
+    let base = n / chunks;
+    let rem = n % chunks;
+    c * base + c.min(rem)
+}
+
+/// Shard the archive, repair every shard at its absolute row offset,
+/// and reassemble in index order.
+fn repair_sharded(
+    plan: &crate::registry::RegisteredPlan,
+    archive: &ColumnarDataset,
+    seed: u64,
+    ctx: &ConnCtx,
+) -> Result<(u64, Vec<Vec<f64>>), String> {
+    let n = archive.len();
+    let shards = ctx.shards.clamp(1, n.max(1));
+    let parts = try_par_map_indexed(shards, ctx.threads, |c| {
+        let (start, end) = (shard_start(n, shards, c), shard_start(n, shards, c + 1));
+        let shard = archive.slice_rows(start..end).map_err(|e| e.to_string())?;
+        // `start` is the shard's absolute row offset: row i of this
+        // shard draws the stream of archive row start + i, which is
+        // what makes the shard layout unobservable in the output.
+        plan.repair_shard(&shard, seed, start as u64)
+    })
+    .map_err(|e| e.to_string())?;
+
+    // Index-ordered reassembly: parts[c] holds rows start(c)..start(c+1),
+    // so straight concatenation restores archive row order exactly.
+    let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n); archive.dim()];
+    let mut out_of_range = 0u64;
+    for (part_cols, oob) in parts {
+        out_of_range += oob;
+        for (col, part) in columns.iter_mut().zip(part_cols) {
+            col.extend_from_slice(&part);
+        }
+    }
+    Ok((out_of_range, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for n in [0usize, 1, 2, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 7, 16] {
+                assert_eq!(shard_start(n, chunks, 0), 0);
+                assert_eq!(shard_start(n, chunks, chunks), n);
+                for c in 0..chunks {
+                    let len = shard_start(n, chunks, c + 1) - shard_start(n, chunks, c);
+                    assert!(len >= n / chunks && len <= n / chunks + 1, "n={n} c={c}");
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,8 @@ fn main() -> ExitCode {
         Some("design") => cmd_design(&args[1..]),
         Some("apply") => cmd_apply(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -62,6 +64,9 @@ fn print_usage() {
            otrepair apply    --joint --plan <plan.json> --data <csv> --out <csv>\n\
                              [--seed N] [--threads N]\n\
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
+           otrepair serve    [--bind ADDR] [--plans DIR] [--threads N] [--shards N]\n\
+                             [--batch-rows N] [--port-file PATH]\n\
+           otrepair client   <ping|info|plans|load|evict|repair> --addr HOST:PORT …\n\
          \n\
          CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features.\n\
          \n\
@@ -99,7 +104,20 @@ fn print_usage() {
            produce byte-identical output at a given --seed. --batch-rows\n\
            sets the columnar row-batch size (default: the OTR_BATCH_ROWS\n\
            environment variable if set, else 8192); batch size is pure\n\
-           blocking policy and never changes the output."
+           blocking policy and never changes the output.\n\
+         \n\
+         SERVING:\n\
+           `otrepair serve` runs the otrepaird daemon in-process (same flags;\n\
+           see `otrepaird --help` and docs/operations.md). `otrepair client`\n\
+           talks to a running daemon:\n\
+             client ping|info|plans             --addr HOST:PORT\n\
+             client load   --addr A --plan <json> --name N [--version V] [--joint]\n\
+             client evict  --addr A --name N --version V\n\
+             client repair --addr A --name N --data <csv> --out <csv>\n\
+                           [--version V] [--seed N]\n\
+           Served repair output is byte-identical to an offline\n\
+           `otrepair apply` with the same plan and --seed, whatever the\n\
+           server's shard or thread policy (docs/determinism.md)."
     );
 }
 
@@ -446,6 +464,110 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
             println!("  joint 2-D E = {joint:.6}");
         } else {
             eprintln!("--joint requires 2-feature data; skipped");
+        }
+    }
+    Ok(())
+}
+
+/// `otrepair serve`: the otrepaird daemon, in-process (identical flags).
+fn cmd_serve(args: &[String]) -> CliResult {
+    use ot_fair_repair::serve::daemon;
+    if has_flag(args, "--help") {
+        println!(
+            "otrepair serve — run the otrepaird daemon\n\n{}",
+            daemon::USAGE
+        );
+        return Ok(());
+    }
+    let parsed = daemon::DaemonArgs::parse(args)?;
+    daemon::run(&parsed)?;
+    Ok(())
+}
+
+/// `otrepair client <action>`: one scripted round trip per invocation.
+fn cmd_client(args: &[String]) -> CliResult {
+    use ot_fair_repair::serve::{Client, PlanKind};
+
+    let action = args
+        .first()
+        .map(String::as_str)
+        .ok_or("client needs an action: ping | info | plans | load | evict | repair")?;
+    let rest = &args[1..];
+    let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    match action {
+        "ping" => {
+            client.ping()?;
+            println!("pong from {addr}");
+        }
+        "info" => {
+            let info = client.info()?;
+            println!(
+                "otrepaird at {addr}: protocol v{}, {} plans, {} requests handled, \
+                 {} rows repaired, {} shards x {} threads",
+                info.protocol_version,
+                info.plans,
+                info.requests,
+                info.rows_repaired,
+                info.shards,
+                info.threads
+            );
+        }
+        "plans" => {
+            let plans = client.list_plans()?;
+            if plans.is_empty() {
+                println!("no plans registered");
+            }
+            for p in plans {
+                println!("{}@{}  {}  dim={}  nQ={}", p.name, p.version, p.kind, p.dim, p.n_q);
+            }
+        }
+        "load" => {
+            let plan_path = required(rest, "--plan")?;
+            let name = required(rest, "--name")?;
+            let version: u32 = opt(rest, "--version").map_or(Ok(1), str::parse)?;
+            let kind = if has_flag(rest, "--joint") {
+                PlanKind::Joint
+            } else {
+                PlanKind::Scalar
+            };
+            let json = std::fs::read_to_string(plan_path)
+                .map_err(|e| format!("cannot read {plan_path}: {e}"))?;
+            client.load_plan(kind, name, version, &json)?;
+            println!("loaded {name}@{version} ({kind})");
+        }
+        "evict" => {
+            let name = required(rest, "--name")?;
+            let version: u32 = required(rest, "--version")?.parse()?;
+            client.evict_plan(name, version)?;
+            println!("evicted {name}@{version}");
+        }
+        "repair" => {
+            let name = required(rest, "--name")?;
+            let data_path = required(rest, "--data")?;
+            let out_path = required(rest, "--out")?;
+            let version: u32 = opt(rest, "--version").map_or(Ok(0), str::parse)?;
+            let seed: u64 = opt(rest, "--seed").map_or(Ok(0), str::parse)?;
+            let file =
+                File::open(data_path).map_err(|e| format!("cannot open {data_path}: {e}"))?;
+            let archive = ot_fair_repair::data::read_labelled_csv_columnar(BufReader::new(file))?;
+            eprintln!(
+                "repairing {} rows via {name}@{} at {addr} (seed {seed})",
+                archive.len(),
+                if version == 0 { "latest".into() } else { version.to_string() }
+            );
+            let repaired = client.repair_archive(name, version, seed, &archive)?;
+            let out =
+                File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+            ot_fair_repair::data::write_labelled_csv_columnar(BufWriter::new(out), &repaired)?;
+            let damage = dataset_damage_columnar(&archive, &repaired)?;
+            eprintln!("wrote {out_path}; mean RMSE displacement {:.4}", damage.mean_rmse());
+        }
+        other => {
+            return Err(format!(
+                "unknown client action `{other}` (expected ping | info | plans | load | evict | repair)"
+            )
+            .into())
         }
     }
     Ok(())

@@ -1,0 +1,44 @@
+//! `otrepaird` — the long-running repair server.
+//!
+//! Holds validated repair plans hot in a named/versioned registry and
+//! repairs archives over a minimal length-prefixed binary protocol,
+//! sharding each request across a worker pool. Same seed + same plan ⇒
+//! same bytes, whatever the shard layout or client interleaving — and
+//! byte-identical to an offline `otrepair apply`.
+//!
+//! ```text
+//! otrepaird --bind 127.0.0.1:7878 --plans ./plans
+//! otrepair client ping --addr 127.0.0.1:7878
+//! ```
+//!
+//! Knobs and lifecycle: `docs/operations.md`. Wire format:
+//! `docs/protocol.md`.
+
+use std::process::ExitCode;
+
+use ot_fair_repair::serve::daemon::{self, DaemonArgs};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "otrepaird — repair-as-a-service daemon\n\nUSAGE:\n  otrepaird [options]\n\n{}",
+            daemon::USAGE
+        );
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match DaemonArgs::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("otrepaird: error: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match daemon::run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("otrepaird: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`repair`] — the paper's contribution: distributional repair-plan
 //!   design (Algorithm 1), off-sample archival repair (Algorithm 2), and
 //!   the geometric on-sample baseline ([`otr_core`]).
+//! * [`serve`] — repair-as-a-service: the `otrepaird` daemon, its plan
+//!   registry, and the wire protocol ([`otr_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use otr_core as repair;
 pub use otr_data as data;
 pub use otr_fairness as fairness;
 pub use otr_ot as ot;
+pub use otr_serve as serve;
 pub use otr_stats as stats;
 
 /// Convenience prelude pulling in the types used by almost every caller.

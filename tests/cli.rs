@@ -446,6 +446,128 @@ fn helpful_errors_for_bad_inputs() {
     assert!(String::from_utf8_lossy(&parse.stderr).contains("header"));
 }
 
+/// Full service round trip through the binaries: boot `otrepaird` on a
+/// loopback port, load a plan through `otrepair client`, repair an
+/// archive over the wire, and require the CSV to be **byte-identical**
+/// to an offline `otrepair apply` with the same plan and seed — the
+/// serving determinism contract, end to end through real processes.
+#[test]
+fn served_repair_matches_offline_apply_byte_for_byte() {
+    let daemon = env!("CARGO_BIN_EXE_otrepaird");
+    let dir = tmp_dir("serve");
+    let (research, archive) = write_csvs(&dir, 7);
+    let plan = dir.join("plan.json").to_string_lossy().into_owned();
+    let offline = dir.join("offline.csv").to_string_lossy().into_owned();
+    let served = dir.join("served.csv").to_string_lossy().into_owned();
+    let port_file = dir.join("port");
+
+    assert!(Command::new(bin())
+        .args([
+            "design",
+            "--research",
+            &research,
+            "--out",
+            &plan,
+            "--nq",
+            "24"
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(bin())
+        .args(["apply", "--plan", &plan, "--data", &archive, "--out", &offline, "--seed", "13"])
+        .status()
+        .unwrap()
+        .success());
+
+    // Port 0 + --port-file: the daemon picks a free port and tells us.
+    let mut child = Command::new(daemon)
+        .args([
+            "--bind",
+            "127.0.0.1:0",
+            "--shards",
+            "7",
+            "--port-file",
+            &port_file.to_string_lossy(),
+        ])
+        .spawn()
+        .unwrap();
+    let addr = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                break addr;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "otrepaird never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    };
+
+    let run = |args: &[&str]| {
+        let out = Command::new(bin())
+            .args(["client", args[0], "--addr", &addr])
+            .args(&args[1..])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "client {} failed: {}",
+            args[0],
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    assert!(run(&["ping"]).contains("pong"));
+    run(&[
+        "load",
+        "--plan",
+        &plan,
+        "--name",
+        "cli-plan",
+        "--version",
+        "2",
+    ]);
+    assert!(run(&["plans"]).contains("cli-plan@2"));
+    run(&[
+        "repair", "--name", "cli-plan", "--data", &archive, "--out", &served, "--seed", "13",
+    ]);
+    assert!(run(&["info"]).contains("1 plans"));
+    run(&["evict", "--name", "cli-plan", "--version", "2"]);
+    assert!(run(&["plans"]).contains("no plans registered"));
+
+    // A client error is an exit failure with the server's code named.
+    let missing = Command::new(bin())
+        .args([
+            "client",
+            "repair",
+            "--addr",
+            &addr,
+            "--name",
+            "ghost",
+            "--data",
+            &archive,
+            "--out",
+            "/dev/null",
+        ])
+        .output()
+        .unwrap();
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("UnknownPlan"));
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    assert_eq!(
+        std::fs::read(&offline).unwrap(),
+        std::fs::read(&served).unwrap(),
+        "served CSV must be byte-identical to offline apply"
+    );
+}
+
 #[test]
 fn help_prints_usage() {
     let out = Command::new(bin()).args(["--help"]).output().unwrap();
@@ -462,6 +584,9 @@ fn help_prints_usage() {
         "--eps-scaling",
         "OTR_THREADS",
         "OTR_KERNEL_CELLS",
+        "serve",
+        "client",
+        "docs/operations.md",
     ] {
         assert!(text.contains(word), "usage missing {word}");
     }
