@@ -14,7 +14,7 @@
 //! * default (`cargo bench --bench repair_throughput`) — criterion
 //!   groups: throughput vs `nQ`, plan-design cost vs `nQ`, and
 //!   sequential-vs-parallel dataset repair on a 100k-row archive;
-//! * `--quick` — the CI perf-smoke gate, four legs written to JSON
+//! * `--quick` — the CI perf-smoke gate, five legs written to JSON
 //!   and (when `OTR_BENCH_BASELINE` names the committed baseline)
 //!   gated at a 25% regression margin:
 //!   1. **archival throughput** (`BENCH_throughput.json`): sequential
@@ -41,7 +41,13 @@
 //!      through a live `otrepaird` on loopback under concurrent
 //!      clients (wire framing + sharded repair + index-ordered
 //!      reassembly), with served-vs-offline byte-identity asserted
-//!      before any timing.
+//!      before any timing;
+//!   5. **`d = 3` joint repair** (`BENCH_joint3.json`): a 3-feature
+//!      `nQ = 16`-per-axis joint design + repair (4096 product states)
+//!      through the **forced** `SeparableNd` Kronecker kernel — the
+//!      representation that keeps this workload tractable at all (the
+//!      dense kernel would be 16.8M cells / 134 MB per solve) — with
+//!      byte-identity asserted across `OTR_THREADS ∈ {1, 2, 7}`.
 
 use std::time::Instant;
 
@@ -200,6 +206,38 @@ struct JointRepairReport {
     kernel_speedup: Option<f64>,
 }
 
+/// The `d = 3` joint leg: `nQ` points per axis → `nQ³` product states,
+/// designed through the `SeparableNd` (Kronecker) kernel — the only
+/// representation that keeps this leg tractable (`nQ = 16` means a
+/// 16.8M-cell / 134 MB dense kernel vs `3 · nQ³ · nQ` axis-pass work).
+#[derive(Debug, Serialize, Deserialize)]
+struct Joint3Report {
+    /// Grid points **per axis** (`n_q³` product states).
+    n_q: usize,
+    /// Number of jointly repaired features (3 for this leg).
+    dims: usize,
+    research_rows: usize,
+    archive_rows: usize,
+    epsilon: f64,
+    /// Whether the design ran the ε-scaling schedule (the default).
+    #[serde(default)]
+    eps_scaled: bool,
+    /// The resolved Gibbs-kernel representation — asserted
+    /// `"separable"`: this leg forces `kernel = separable`, so a dense
+    /// fallback would mean the n-d factorization seam broke.
+    #[serde(default)]
+    kernel: String,
+    /// Worker threads the runner could actually use.
+    threads_available: usize,
+    /// Design + repair wall time under `OTR_THREADS=1` (byte-identity
+    /// across `OTR_THREADS ∈ {1, 2, 7}` is asserted before timing).
+    t1_secs: f64,
+    /// Why any sub-measurement was skipped, when one was (e.g. the
+    /// dense ablation, pointless at 134 MB per stratum solve).
+    #[serde(default)]
+    note: Option<String>,
+}
+
 /// The serving leg: sustained rows/sec through a live `otrepaird` on
 /// loopback under concurrent clients, wire encode/decode included.
 #[derive(Debug, Serialize, Deserialize)]
@@ -231,6 +269,10 @@ struct BenchBaseline {
     /// disarms the serving gate.
     #[serde(default)]
     serve: Option<ServeReport>,
+    /// `serde(default)` keeps pre-n-d baselines readable; `None`
+    /// disarms the `d = 3` joint gate.
+    #[serde(default)]
+    joint3: Option<Joint3Report>,
 }
 
 /// The workspace root (cargo runs bench binaries with the *package*
@@ -465,6 +507,116 @@ fn quick_joint() -> JointRepairReport {
     report
 }
 
+/// Leg 5 — the `d = 3` joint workload: `nQ = 16` per axis (4096
+/// product states) over a 3-feature synthetic split, designed through
+/// the **forced** `SeparableNd` kernel — at this size the dense
+/// representation is a 16.8M-cell / 134 MB Gibbs matrix per entropic
+/// solve, which is exactly what the Kronecker factorization exists to
+/// avoid, so no dense ablation runs here (the `quick_joint` leg
+/// already measures the dense-vs-separable ratio at `d = 2`, and the
+/// tiny-grid conformance tests pin n-d agreement). Byte-identity of
+/// design + repair across `OTR_THREADS ∈ {1, 2, 7}` is asserted before
+/// any timing is recorded.
+fn quick_joint3() -> Joint3Report {
+    let n_q: usize = std::env::var("OTR_BENCH_JOINT3_NQ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    // 400 rather than the other joint leg's 300: `pr_s0_given_u[1] = 0.1`
+    // leaves the (u = 1, s = 0) group hovering right at `min_group_size`
+    // at 300 rows with this seed.
+    let research_rows = 400;
+    let archive_rows = 2_000;
+    let cfg = JointRepairConfig {
+        n_q,
+        // Forced (not auto): a silent dense fallback would make this
+        // leg measure the wrong thing — and at nQ = 16 likely OOM the
+        // smoke runner's time budget.
+        kernel: KernelChoice::Separable,
+        threads: 0, // auto: driven through OTR_THREADS below
+        ..JointRepairConfig::default()
+    };
+    let states = n_q.pow(3);
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "perf-smoke[joint3]: d = 3, nQ = {n_q}/axis → {states} product states \
+         ({} dense kernel cells factorized to 3 x {} axis-pass cells), eps = {}, \
+         eps-scaled = {}, {threads_available} cores",
+        states * states,
+        states * n_q,
+        cfg.epsilon,
+        cfg.eps_scaling.is_some(),
+    );
+
+    let spec = SimulationSpec {
+        means: [
+            [vec![-1.0, -1.0, -0.5], vec![0.0, 0.0, 0.0]],
+            [vec![1.0, 1.0, 0.5], vec![0.0, 0.0, 0.0]],
+        ],
+        sigma: 1.0,
+        covs: None,
+        pr_u0: 0.5,
+        pr_s0_given_u: [0.3, 0.1],
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = spec
+        .generate(research_rows, archive_rows, &mut rng)
+        .unwrap();
+
+    let saved = std::env::var(otr_par::THREADS_ENV).ok();
+    let run = |threads: &str| {
+        std::env::set_var(otr_par::THREADS_ENV, threads);
+        let start = Instant::now();
+        let (plan, report) = JointRepairPlan::design_with_report(&split.research, cfg).unwrap();
+        let out = plan.repair_dataset_par(&split.archive, 7).unwrap();
+        (start.elapsed().as_secs_f64(), byte_image(&out), report)
+    };
+    let (t1_secs, bytes1, design_report) = run("1");
+    for threads in ["2", "7"] {
+        let (_, bytes, _) = run(threads);
+        assert!(
+            bytes1 == bytes,
+            "d = 3 joint repair output depends on OTR_THREADS={threads} — \
+             determinism contract broken"
+        );
+    }
+    match saved {
+        Some(v) => std::env::set_var(otr_par::THREADS_ENV, v),
+        None => std::env::remove_var(otr_par::THREADS_ENV),
+    }
+    assert_eq!(
+        design_report.kernel, "separable",
+        "forced SeparableNd resolved to {:?} — the n-d factorization seam broke",
+        design_report.kernel
+    );
+    assert_eq!(design_report.dims, 3);
+
+    let report = Joint3Report {
+        n_q,
+        dims: 3,
+        research_rows,
+        archive_rows,
+        epsilon: cfg.epsilon,
+        eps_scaled: cfg.eps_scaling.is_some(),
+        kernel: design_report.kernel,
+        threads_available,
+        t1_secs,
+        note: Some(format!(
+            "dense ablation skipped by design: a dense kernel at nQ = {n_q}, d = 3 is \
+             {} cells (~{} MB) per entropic solve; the d = 2 quick_joint leg carries \
+             the dense-vs-separable ratio and the conformance tests pin n-d agreement",
+            states * states,
+            states * states * 8 / (1024 * 1024),
+        )),
+    };
+    println!(
+        "joint d=3 OTR_THREADS=1: {:.3} s ({} states, {} kernel; byte-identical across \
+         OTR_THREADS {{1, 2, 7}})",
+        report.t1_secs, states, report.kernel
+    );
+    report
+}
+
 /// Leg 4 — repair-as-a-service throughput: a live `otrepaird` on a
 /// loopback socket, a registered plan, and concurrent clients repairing
 /// the same archive, wall-clocked end to end (framing, socket copies,
@@ -566,13 +718,14 @@ fn quick_serve() -> ServeReport {
     report
 }
 
-/// CI perf-smoke mode: measure the four legs, record them, and
+/// CI perf-smoke mode: measure the five legs, record them, and
 /// (optionally) gate against the committed baseline.
 fn quick_gate() {
     let throughput = quick_throughput();
     let plan_design = quick_plan_design();
     let joint_repair = quick_joint();
     let serve = quick_serve();
+    let joint3 = quick_joint3();
 
     for (name, json) in [
         (
@@ -590,6 +743,10 @@ fn quick_gate() {
         (
             "BENCH_serve.json",
             serde_json::to_string_pretty(&serve).unwrap(),
+        ),
+        (
+            "BENCH_joint3.json",
+            serde_json::to_string_pretty(&joint3).unwrap(),
         ),
     ] {
         let out_path = workspace_root().join(name);
@@ -672,6 +829,16 @@ fn quick_gate() {
             serve.rows_per_sec,
             base.rows_per_sec,
             "rows/s",
+        );
+    }
+    // The d = 3 joint floor arms once the baseline records the leg
+    // (pre-n-d baselines deserialize it as None).
+    if let Some(base) = &baseline.joint3 {
+        gate_rate(
+            "joint d=3 design+repair (1 thread)",
+            1.0 / joint3.t1_secs,
+            1.0 / base.t1_secs,
+            "runs/s",
         );
     }
     // Speedup legs only arm when the baseline recorded a genuine

@@ -1,26 +1,35 @@
-//! Joint (bivariate) distributional repair — the extension the paper's
-//! Section VI anticipates for intra-feature correlation structure.
+//! Joint (multivariate) distributional repair — the extension the
+//! paper's Section VI anticipates for intra-feature correlation
+//! structure.
 //!
 //! Algorithm 1's per-feature stratification cannot repair dependence that
 //! lives in the correlation between features: if the `s`-conditionals
 //! share all marginals but differ in correlation sign, every per-feature
-//! plan is (near) the identity. This module lifts Algorithm 1 to the 2-D
-//! product support:
+//! plan is (near) the identity. This module lifts Algorithm 1 to the
+//! `d`-axis product support (`d ≥ 2`; the paper's bivariate setting is
+//! the `d = 2` special case and its designs are byte-for-byte
+//! unchanged):
 //!
-//! 1. product grid `Q² = Q_x × Q_y` over the pooled research range;
-//! 2. bivariate-KDE pmfs `µ_{u,s}` on `Q²` (Equation 11 in 2-D);
-//! 3. entropic fixed-support `W₂` barycentre `ν` on `Q²`
+//! 1. product grid `Q^d = Q_1 × … × Q_d` over the pooled research range;
+//! 2. `d`-variate-KDE pmfs `µ_{u,s}` on `Q^d` (Equation 11 in `d`
+//!    dimensions);
+//! 3. entropic fixed-support `W₂` barycentre `ν` on `Q^d`
 //!    (iterative Bregman projections — the quantile construction has no
-//!    2-D analogue);
+//!    multivariate analogue);
 //! 4. Sinkhorn plans `π*_{u,s} : µ_{u,s} → ν` under squared Euclidean
-//!    cost on `ℝ²`, rounded to exact feasibility;
+//!    cost on `ℝ^d`, rounded to exact feasibility;
 //! 5. repair by nearest-cell lookup + the same multinomial row draw as
 //!    Algorithm 2 (Equation 15), now over joint grid states.
 //!
-//! Cost: the supports grow from `nQ` to `nQ²` states, so this is
-//! practical only at coarse resolutions — exactly the curse-of-dimension
-//! trade-off the paper cites for its per-feature design. The
-//! `ablation_joint` experiment measures both sides.
+//! Cost: the support grows from `nQ` to `nQ^d` states, so the **dense**
+//! design is practical only at coarse resolutions — exactly the
+//! curse-of-dimension trade-off the paper cites for its per-feature
+//! design. The squared-Euclidean cost on a product grid factorizes,
+//! though, so the default (`KernelChoice::Auto`) runs every entropic
+//! matvec as `d` axis passes — `O(nQ^d · d·nQ)` work against the dense
+//! `O(nQ^{2d})` — which is what makes a 3-feature `nQ = 16` design
+//! (16.8M-cell dense kernel) tractable. The `ablation_joint` experiment
+//! measures both sides of the marginal-vs-joint trade.
 
 use std::time::Instant;
 
@@ -30,19 +39,20 @@ use serde::{Deserialize, Serialize};
 
 use otr_data::{Dataset, GroupKey, LabelledPoint};
 use otr_ot::{
-    entropic_barycentre_grid2d, BarycentreConfig, BarycentreDiagnostics, CostMatrix, EpsSchedule,
+    entropic_barycentre_grid_nd, BarycentreConfig, BarycentreDiagnostics, CostMatrix, EpsSchedule,
     KernelChoice, OtPlan, Solver1d as _, SolverBackend,
 };
 use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
-use otr_stats::GaussianKde2d;
+use otr_stats::GaussianKdeNd;
 
 use crate::error::{RepairError, Result};
 
 /// Configuration of the joint repair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JointRepairConfig {
-    /// Grid points **per dimension** (total support = `n_q²` states).
+    /// Grid points **per dimension** (total support = `n_q^d` states
+    /// for `d`-feature data).
     pub n_q: usize,
     /// Entropic regularization of the fixed-support barycentre (the
     /// iterative-Bregman construction is inherently entropic, whatever
@@ -61,7 +71,7 @@ pub struct JointRepairConfig {
     /// product support has no 1-D order.
     #[serde(default)]
     pub solver: Option<SolverBackend>,
-    /// ε-annealing schedule for the design's `nQ⁴`-cell kernels: drives
+    /// ε-annealing schedule for the design's `nQ^{2d}`-cell kernels: drives
     /// the entropic barycentre *and* (when [`solver`](Self::solver) is
     /// `None`) the Sinkhorn plans, warm-starting duals across stages.
     /// **On by default** — at the paper's `ε = 0.05` it cuts joint
@@ -72,14 +82,15 @@ pub struct JointRepairConfig {
     pub eps_scaling: Option<EpsSchedule>,
     /// Gibbs-kernel representation of the design's entropic solves
     /// (barycentre + Sinkhorn plans). The joint cost is squared
-    /// Euclidean on the `nQ × nQ` self-product grid, so it factorizes
-    /// as `Kx ⊗ Ky`: `Auto` (the default; the `OTR_KERNEL` environment
-    /// variable can override it) runs every kernel matvec as two
-    /// `O(nQ³)` axis passes instead of the `O(nQ⁴)` dense sweep —
-    /// the joint design's dominant cost after ε-scaling. Either
-    /// representation stays byte-identical across thread counts; the
-    /// two representations group sums differently, so they agree to
-    /// solver tolerance, not bitwise.
+    /// Euclidean on the `d`-axis self-product grid, so it factorizes
+    /// as `K₁ ⊗ … ⊗ K_d`: `Auto` (the default; the `OTR_KERNEL`
+    /// environment variable can override it) runs every kernel matvec
+    /// as `d` `O(nQ^d · nQ)` axis passes instead of the `O(nQ^{2d})`
+    /// dense sweep — the joint design's dominant cost after ε-scaling,
+    /// and the only representation that fits in memory beyond coarse
+    /// `d = 3` grids. Either representation stays byte-identical across
+    /// thread counts; the two representations group sums differently,
+    /// so they agree to solver tolerance, not bitwise.
     #[serde(default)]
     pub kernel: KernelChoice,
     /// Worker threads for stratum design and parallel dataset repair
@@ -118,13 +129,24 @@ impl JointRepairConfig {
 /// One `u`-stratum of the joint plan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct JointStratum {
-    /// Axis grids.
+    /// Legacy 2-feature axis-grid fields. Still written (and read) for
+    /// `d = 2` plans so artifacts keep round-tripping with older
+    /// readers; empty for `d ≥ 3`. [`JointStratum::compile`] folds them
+    /// into [`axes`](Self::axes) when only they are present.
+    #[serde(default)]
     gx: Vec<f64>,
+    #[serde(default)]
     gy: Vec<f64>,
-    /// Flattened grid points `(x_i, y_j)` in row-major order (derived
-    /// from the axis grids; rebuilt by [`JointStratum::compile`]).
+    /// Axis grids, one per feature (`d ≥ 2` entries). The product
+    /// support is their Cartesian product, flattened row-major with the
+    /// **last axis fastest**.
+    #[serde(default)]
+    axes: Vec<Vec<f64>>,
+    /// Flattened grid-point coordinates, `d` per state, in row-major
+    /// state order (derived from the axis grids; rebuilt by
+    /// [`JointStratum::compile`]).
     #[serde(skip)]
-    points: Vec<(f64, f64)>,
+    points: Vec<f64>,
     /// Per-`s` plans onto the barycentre.
     plans: [OtPlan; 2],
     /// Per-row alias samplers (derived; rebuilt by
@@ -142,14 +164,33 @@ impl JointStratum {
     /// deserialization; `JointRepairPlan::design` and
     /// [`JointRepairPlan::from_json`] do it automatically.
     fn compile(&mut self, u: u8) -> Result<()> {
-        if self.gx.len() < 2 || self.gy.len() < 2 {
+        if self.axes.is_empty() {
+            // Legacy 2-feature plan JSON carries `gx`/`gy` only.
+            if self.gx.is_empty() && self.gy.is_empty() {
+                return Err(RepairError::PlanMismatch(format!(
+                    "joint stratum u={u}: no axis grids (`axes` and legacy `gx`/`gy` all empty)"
+                )));
+            }
+            self.axes = vec![self.gx.clone(), self.gy.clone()];
+        } else if self.axes.len() == 2 && self.gx.is_empty() && self.gy.is_empty() {
+            // Keep the legacy pair coherent for 2-feature plans, so a
+            // re-serialized plan stays readable by older tooling.
+            self.gx = self.axes[0].clone();
+            self.gy = self.axes[1].clone();
+        }
+        if self.axes.len() < 2 {
             return Err(RepairError::PlanMismatch(format!(
-                "joint stratum u={u}: axis grids need at least 2 states, got {}×{}",
-                self.gx.len(),
-                self.gy.len()
+                "joint stratum u={u}: needs at least 2 feature axes, got {}",
+                self.axes.len()
             )));
         }
-        let n = self.gx.len() * self.gy.len();
+        if let Some((k, g)) = self.axes.iter().enumerate().find(|(_, g)| g.len() < 2) {
+            return Err(RepairError::PlanMismatch(format!(
+                "joint stratum u={u}: axis {k} needs at least 2 states, got {}",
+                g.len()
+            )));
+        }
+        let n: usize = self.axes.iter().map(Vec::len).product();
         for (s, plan) in self.plans.iter().enumerate() {
             if plan.rows() != n || plan.cols() != n {
                 return Err(RepairError::PlanMismatch(format!(
@@ -159,11 +200,21 @@ impl JointStratum {
                 )));
             }
         }
-        self.points = self
-            .gx
-            .iter()
-            .flat_map(|&x| self.gy.iter().map(move |&y| (x, y)))
-            .collect();
+        let d = self.axes.len();
+        self.points = Vec::with_capacity(n * d);
+        let mut idx = vec![0usize; d];
+        for _ in 0..n {
+            for (a, &i) in idx.iter().enumerate() {
+                self.points.push(self.axes[a][i]);
+            }
+            for a in (0..d).rev() {
+                idx[a] += 1;
+                if idx[a] < self.axes[a].len() {
+                    break;
+                }
+                idx[a] = 0;
+            }
+        }
         for s in 0..2usize {
             let mut rows = Vec::with_capacity(self.plans[s].rows());
             for i in 0..self.plans[s].rows() {
@@ -215,8 +266,10 @@ pub struct JointStratumReport {
 /// job as a workflow artifact.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JointDesignReport {
-    /// Grid points per dimension (`n_q²` product states).
+    /// Grid points per dimension (`n_q^dims` product states).
     pub n_q: usize,
+    /// Number of features repaired jointly (product-support axes).
+    pub dims: usize,
     /// The design's entropic regularization.
     pub epsilon: f64,
     /// The ε-annealing schedule in effect (barycentre + default solver).
@@ -233,8 +286,8 @@ pub struct JointDesignReport {
     pub strata: Vec<JointStratumReport>,
 }
 
-/// A designed joint repair for 2-feature data. Serializable like the
-/// per-feature [`crate::RepairPlan`] (`to_json` / `from_json`), so a
+/// A designed joint repair for `d ≥ 2`-feature data. Serializable like
+/// the per-feature [`crate::RepairPlan`] (`to_json` / `from_json`), so a
 /// joint design is a deployable artifact too.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JointRepairPlan {
@@ -243,10 +296,11 @@ pub struct JointRepairPlan {
 }
 
 impl JointRepairPlan {
-    /// Design the joint plan from research data (2-D Algorithm 1).
+    /// Design the joint plan from research data (`d`-dimensional
+    /// Algorithm 1 over all of the data's features).
     ///
     /// # Errors
-    /// Requires `dim == 2`, valid config, adequately sized groups, and
+    /// Requires `dim ≥ 2`, valid config, adequately sized groups, and
     /// non-degenerate feature spreads.
     pub fn design(research: &Dataset, config: JointRepairConfig) -> Result<Self> {
         Self::design_with_report(research, config).map(|(plan, _)| plan)
@@ -262,9 +316,9 @@ impl JointRepairPlan {
         research: &Dataset,
         config: JointRepairConfig,
     ) -> Result<(Self, JointDesignReport)> {
-        if research.dim() != 2 {
+        if research.dim() < 2 {
             return Err(RepairError::PlanMismatch(format!(
-                "joint repair needs d = 2, got d = {}",
+                "joint repair needs d ≥ 2, got d = {}",
                 research.dim()
             )));
         }
@@ -315,6 +369,7 @@ impl JointRepairPlan {
         }
         let report = JointDesignReport {
             n_q: config.n_q,
+            dims: research.dim(),
             epsilon: config.epsilon,
             eps_scaling: config.eps_scaling,
             solver: config.plan_solver().to_string(),
@@ -336,10 +391,11 @@ impl JointRepairPlan {
         u: u8,
         config: &JointRepairConfig,
     ) -> Result<(JointStratum, JointStratumReport)> {
-        let mut cols: [[Vec<f64>; 2]; 2] = Default::default();
+        let d = research.dim();
+        let mut cols: [Vec<Vec<f64>>; 2] = Default::default();
         for s in 0..2u8 {
-            for k in 0..2usize {
-                cols[s as usize][k] = research.feature_column(GroupKey { u, s }, k)?;
+            for k in 0..d {
+                cols[s as usize].push(research.feature_column(GroupKey { u, s }, k)?);
             }
             if cols[s as usize][0].len() < config.min_group_size {
                 return Err(RepairError::InsufficientResearchData {
@@ -371,14 +427,15 @@ impl JointRepairPlan {
                 .map(|i| lo + (hi - lo) * i as f64 / (config.n_q - 1) as f64)
                 .collect())
         };
-        let gx = axis(0)?;
-        let gy = axis(1)?;
+        let axes = (0..d).map(axis).collect::<Result<Vec<Vec<f64>>>>()?;
+        let axis_refs: Vec<&[f64]> = axes.iter().map(Vec::as_slice).collect();
 
-        // 2-D KDE pmfs with a positivity floor (cf. plan.rs).
+        // d-variate KDE pmfs with a positivity floor (cf. plan.rs).
         let mut pmfs: Vec<Vec<f64>> = Vec::with_capacity(2);
         for s in 0..2usize {
-            let kde = GaussianKde2d::fit(&cols[s][0], &cols[s][1])?;
-            let mut pmf = kde.pmf_on_grid(&gx, &gy)?;
+            let col_refs: Vec<&[f64]> = cols[s].iter().map(Vec::as_slice).collect();
+            let kde = GaussianKdeNd::fit(&col_refs)?;
+            let mut pmf = kde.pmf_on_grid(&axis_refs)?;
             let floor = pmf.iter().copied().fold(0.0, f64::max) * 1e-12;
             for p in &mut pmf {
                 *p = p.max(floor);
@@ -392,15 +449,14 @@ impl JointRepairPlan {
 
         // Entropic W2 barycentre on the fixed product support (iterative
         // Bregman projections, annealed along the configured ε-schedule
-        // — see otr_ot::barycentre). The grid2d entry point lets the
-        // kernel choice factorize the Gibbs matvecs as two O(nQ³) axis
-        // passes (`auto`, the default) instead of O(nQ⁴) dense sweeps,
-        // chunked over config.threads either way.
-        let (bary, diagnostics) = entropic_barycentre_grid2d(
+        // — see otr_ot::barycentre). The grid_nd entry point lets the
+        // kernel choice factorize the Gibbs matvecs as d O(nQ^d·nQ)
+        // axis passes (`auto`, the default) instead of O(nQ^{2d}) dense
+        // sweeps, chunked over config.threads either way.
+        let (bary, diagnostics) = entropic_barycentre_grid_nd(
             &[&pmfs[0], &pmfs[1]],
             &[1.0 - config.t, config.t],
-            &gx,
-            &gy,
+            &axis_refs,
             &BarycentreConfig {
                 eps: config.epsilon,
                 max_iters: 5_000,
@@ -412,13 +468,13 @@ impl JointRepairPlan {
             },
         )?;
 
-        // Plans µ_s -> ν under squared Euclidean cost on R², through the
+        // Plans µ_s -> ν under squared Euclidean cost on R^d, through the
         // configured backend (the seam rejects backends that need 1-D
         // structure and owns the Sinkhorn fallback policy); the solver's
         // in-kernel scaling updates ride the same thread setting, and
         // the product-grid cost constructor records the axis grids so
         // the entropic backend can factorize its kernel too.
-        let cost = CostMatrix::squared_euclidean_grid2d(&gx, &gy)?;
+        let cost = CostMatrix::squared_euclidean_grid_nd(&axis_refs)?;
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
         let mut plan_transport_cost = [0.0f64; 2];
         for (s, pmf) in pmfs.iter().enumerate() {
@@ -435,8 +491,13 @@ impl JointRepairPlan {
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
 
         let mut stratum = JointStratum {
-            gx,
-            gy,
+            // The legacy 2-feature fields stay populated at d = 2 so
+            // plan artifacts keep their old shape; compile() would
+            // back-fill them anyway, but being explicit here keeps the
+            // designed struct equal to its JSON round trip.
+            gx: if d == 2 { axes[0].clone() } else { Vec::new() },
+            gy: if d == 2 { axes[1].clone() } else { Vec::new() },
+            axes,
             points: Vec::new(), // derived; compile() rebuilds it
             plans,
             samplers: [Vec::new(), Vec::new()],
@@ -469,6 +530,12 @@ impl JointRepairPlan {
     /// The per-dimension grid size.
     pub fn n_q(&self) -> usize {
         self.config.n_q
+    }
+
+    /// Number of features the plan repairs jointly (product-support
+    /// axes per stratum).
+    pub fn dims(&self) -> usize {
+        self.strata[0].axes.len()
     }
 
     /// The configuration the plan was designed under.
@@ -524,11 +591,8 @@ impl JointRepairPlan {
             )));
         }
         let stratum = &self.strata[u as usize];
-        let cost = CostMatrix::from_fn(&stratum.points, &stratum.points, |a, b| {
-            let dx = a.0 - b.0;
-            let dy = a.1 - b.1;
-            dx * dx + dy * dy
-        })?;
+        let axis_refs: Vec<&[f64]> = stratum.axes.iter().map(Vec::as_slice).collect();
+        let cost = CostMatrix::squared_euclidean_grid_nd(&axis_refs)?;
         Ok(stratum.plans[s as usize].transport_cost(&cost)?)
     }
 
@@ -541,12 +605,6 @@ impl JointRepairPlan {
         point: &LabelledPoint,
         rng: &mut R,
     ) -> Result<LabelledPoint> {
-        if point.x.len() != 2 {
-            return Err(RepairError::PlanMismatch(format!(
-                "joint repair needs d = 2, got d = {}",
-                point.x.len()
-            )));
-        }
         if point.u > 1 || point.s > 1 {
             return Err(RepairError::PlanMismatch(format!(
                 "labels (s={}, u={}) outside {{0,1}}",
@@ -554,6 +612,13 @@ impl JointRepairPlan {
             )));
         }
         let stratum = &self.strata[point.u as usize];
+        let d = stratum.axes.len();
+        if point.x.len() != d {
+            return Err(RepairError::PlanMismatch(format!(
+                "joint repair needs d = {d}, got d = {}",
+                point.x.len()
+            )));
+        }
         let cell = |grid: &[f64], v: f64| -> usize {
             let n = grid.len();
             if v <= grid[0] {
@@ -565,13 +630,13 @@ impl JointRepairPlan {
             let step = (grid[n - 1] - grid[0]) / (n - 1) as f64;
             (((v - grid[0]) / step) + 0.5).floor() as usize % n
         };
-        let i = cell(&stratum.gx, point.x[0]);
-        let j = cell(&stratum.gy, point.x[1]);
-        let row = i * stratum.gy.len() + j;
+        let mut row = 0usize;
+        for (g, &v) in stratum.axes.iter().zip(&point.x) {
+            row = row * g.len() + cell(g, v);
+        }
         let target = stratum.samplers[point.s as usize][row].sample(rng);
-        let (x, y) = stratum.points[target];
         Ok(LabelledPoint {
-            x: vec![x, y],
+            x: stratum.points[target * d..(target + 1) * d].to_vec(),
             s: point.s,
             u: point.u,
         })
@@ -699,8 +764,12 @@ mod tests {
         assert_eq!(repaired.len(), split.archive.len());
         for p in repaired.points().iter().take(100) {
             let stratum = &plan.strata[p.u as usize];
-            assert!(stratum.gx.iter().any(|&g| (g - p.x[0]).abs() < 1e-9));
-            assert!(stratum.gy.iter().any(|&g| (g - p.x[1]).abs() < 1e-9));
+            for (g, &v) in stratum.axes.iter().zip(&p.x) {
+                assert!(g.iter().any(|&q| (q - v).abs() < 1e-9));
+            }
+            // The legacy pair mirrors the axes at d = 2.
+            assert_eq!(stratum.gx, stratum.axes[0]);
+            assert_eq!(stratum.gy, stratum.axes[1]);
         }
     }
 
@@ -821,6 +890,7 @@ mod tests {
         let mut stratum = JointStratum {
             gx: vec![0.0, 1.0],
             gy: vec![0.0, 1.0],
+            axes: Vec::new(),
             points: Vec::new(),
             plans: [plan3.clone(), plan3],
             samplers: [Vec::new(), Vec::new()],
@@ -834,12 +904,27 @@ mod tests {
         let mut stratum = JointStratum {
             gx: vec![0.0],
             gy: vec![0.0, 1.0],
+            axes: Vec::new(),
             points: Vec::new(),
             plans: [plan2.clone(), plan2],
             samplers: [Vec::new(), Vec::new()],
         };
         assert!(matches!(
             stratum.compile(1),
+            Err(RepairError::PlanMismatch(_))
+        ));
+        // No grids at all — neither `axes` nor the legacy pair.
+        let plan2 = OtPlan::from_dense(2, 2, vec![0.25; 4]).unwrap();
+        let mut stratum = JointStratum {
+            gx: Vec::new(),
+            gy: Vec::new(),
+            axes: Vec::new(),
+            points: Vec::new(),
+            plans: [plan2.clone(), plan2],
+            samplers: [Vec::new(), Vec::new()],
+        };
+        assert!(matches!(
+            stratum.compile(0),
             Err(RepairError::PlanMismatch(_))
         ));
     }
@@ -928,6 +1013,141 @@ mod tests {
             }
             assert_eq!(&rebuilt[..], whole.points(), "shards = {shards}");
         }
+    }
+
+    /// Three features whose pairwise correlation on the first two axes
+    /// flips sign with `s` — invisible to per-feature repair, and now
+    /// representable by the d-axis joint design.
+    fn correlation_spec_3d() -> SimulationSpec {
+        let cov = |rho: f64| {
+            Matrix::from_rows(3, 3, vec![1.0, rho, 0.0, rho, 1.0, 0.0, 0.0, 0.0, 1.0]).unwrap()
+        };
+        SimulationSpec {
+            means: [[vec![0.0; 3], vec![0.0; 3]], [vec![0.0; 3], vec![0.0; 3]]],
+            sigma: 1.0,
+            covs: Some([[cov(0.8), cov(-0.8)], [cov(0.8), cov(-0.8)]]),
+            pr_u0: 0.5,
+            pr_s0_given_u: [0.4, 0.4],
+        }
+    }
+
+    #[test]
+    fn three_feature_joint_design_repairs_onto_product_grid() {
+        let spec = correlation_spec_3d();
+        let mut rng = StdRng::seed_from_u64(21);
+        let split = spec.generate(900, 400, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 5; // 125 product states keeps the n_q³ solves cheap
+        let (plan, report) = JointRepairPlan::design_with_report(&split.research, cfg).unwrap();
+        assert_eq!(plan.dims(), 3);
+        assert_eq!(report.dims, 3);
+        assert_eq!(report.n_q, 5);
+        let repaired = plan.repair_dataset_par(&split.archive, 17).unwrap();
+        assert_eq!(repaired.len(), split.archive.len());
+        for p in repaired.points() {
+            let stratum = &plan.strata[p.u as usize];
+            // The legacy 2-feature grid pair is not faked at d = 3.
+            assert!(stratum.gx.is_empty() && stratum.gy.is_empty());
+            assert_eq!(stratum.axes.len(), 3);
+            for (g, &v) in stratum.axes.iter().zip(&p.x) {
+                assert!(g.iter().any(|&q| (q - v).abs() < 1e-9));
+            }
+        }
+        for u in 0..2u8 {
+            for s in 0..2u8 {
+                let c = plan.expected_transport_cost(u, s).unwrap();
+                assert!(c > 0.0 && c.is_finite(), "(u={u}, s={s}): {c}");
+            }
+        }
+        // A 2-feature point is rejected against a 3-feature plan.
+        let bad = LabelledPoint {
+            x: vec![0.0, 0.0],
+            s: 0,
+            u: 0,
+        };
+        assert!(plan.repair_point(&bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn three_feature_repair_identical_across_thread_counts() {
+        let spec = correlation_spec_3d();
+        let mut rng = StdRng::seed_from_u64(22);
+        let split = spec.generate(700, 300, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 4; // 64 product states keep the n_q³ solves cheap
+        let mut plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let mut reference: Option<Dataset> = None;
+        for threads in [1usize, 2, 7] {
+            plan.set_threads(threads);
+            let out = plan.repair_dataset_par(&split.archive, 19).unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(out.points(), r.points(), "threads = {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn three_feature_plan_json_round_trip_preserves_repair() {
+        let spec = correlation_spec_3d();
+        let mut rng = StdRng::seed_from_u64(23);
+        let split = spec.generate(700, 300, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 4;
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let json = plan.to_json().unwrap();
+        let back = JointRepairPlan::from_json(&json).unwrap();
+        assert_eq!(back.dims(), 3);
+        assert_eq!(back.n_q(), plan.n_q());
+        let a = plan.repair_dataset_par(&split.archive, 33).unwrap();
+        let b = back.repair_dataset_par(&split.archive, 33).unwrap();
+        for (x, y) in a.points().iter().zip(b.points()) {
+            for (xa, xb) in x.x.iter().zip(&y.x) {
+                assert!((xa - xb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_plan_json_without_axes_field_still_loads() {
+        // Pre-n-d joint plan artifacts carry `gx`/`gy` per stratum and
+        // no `axes` key. Strip the new key from a freshly designed
+        // 2-feature plan's JSON to reproduce that shape, and check the
+        // loaded plan repairs identically.
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(24);
+        let split = spec.generate(500, 300, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 6;
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let mut v: serde_json::Value = serde_json::from_str(&plan.to_json().unwrap()).unwrap();
+        let serde_json::Value::Obj(entries) = &mut v else {
+            panic!("plan JSON must be an object");
+        };
+        let strata = &mut entries.iter_mut().find(|(k, _)| k == "strata").unwrap().1;
+        let serde_json::Value::Arr(items) = strata else {
+            panic!("strata must be an array");
+        };
+        for stratum in items {
+            let serde_json::Value::Obj(fields) = stratum else {
+                panic!("stratum must be an object");
+            };
+            let before = fields.len();
+            fields.retain(|(k, _)| k != "axes");
+            assert_eq!(
+                fields.len(),
+                before - 1,
+                "freshly designed plans carry `axes`"
+            );
+            assert!(fields.iter().any(|(k, _)| k == "gx"));
+            assert!(fields.iter().any(|(k, _)| k == "gy"));
+        }
+        let legacy = serde_json::to_string(&v).unwrap();
+        let back = JointRepairPlan::from_json(&legacy).unwrap();
+        assert_eq!(back.dims(), 2);
+        let a = plan.repair_dataset_par(&split.archive, 41).unwrap();
+        let b = back.repair_dataset_par(&split.archive, 41).unwrap();
+        assert_eq!(a.points(), b.points());
     }
 
     #[test]

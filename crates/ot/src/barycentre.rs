@@ -317,20 +317,35 @@ pub fn entropic_barycentre_grid2d(
     gy: &[f64],
     config: &BarycentreConfig,
 ) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
-    if gx.is_empty() || gy.is_empty() {
+    entropic_barycentre_grid_nd(marginals, lambda, &[gx, gy], config)
+}
+
+/// Entropic barycentre of pmfs on the **d-axis self-product grid**
+/// `axes[0] × … × axes[d−1]` (flattened row-major, last axis fastest)
+/// under squared-Euclidean cost — the ≥3-feature joint-repair hot path.
+/// On this support the Gibbs kernel factorizes as `K₁ ⊗ … ⊗ K_d`, so
+/// the default `Auto` choice runs every matvec as d `O(n·nᵢ)` axis
+/// passes instead of one `O(n²)` dense sweep; at d = 3 the dense kernel
+/// (`nQ⁶` cells) is infeasible beyond toy sizes, so the separable
+/// representation is what makes deeper joint design possible at all.
+/// Either representation is bit-identical for any
+/// [`BarycentreConfig::threads`] setting; the d = 2 call (what
+/// [`entropic_barycentre_grid2d`] now delegates to) is bitwise-equal to
+/// the original two-axis implementation under both kernels.
+///
+/// # Errors
+/// As [`entropic_barycentre_points2d`]; every marginal must have one
+/// mass per product-grid cell.
+pub fn entropic_barycentre_grid_nd(
+    marginals: &[&[f64]],
+    lambda: &[f64],
+    axes: &[&[f64]],
+    config: &BarycentreConfig,
+) -> Result<(Vec<f64>, BarycentreDiagnostics)> {
+    if axes.is_empty() || axes.iter().any(|g| g.is_empty()) {
         return Err(OtError::EmptyInput("barycentre grid axis"));
     }
-    if !config.kernel.resolve(true) {
-        // The dense representation of this support IS the points2d
-        // solve — delegate rather than duplicate (the bitwise-equality
-        // test pins the two entry points to each other).
-        let points: Vec<(f64, f64)> = gx
-            .iter()
-            .flat_map(|&x| gy.iter().map(move |&y| (x, y)))
-            .collect();
-        return entropic_barycentre_points2d(marginals, lambda, &points, config);
-    }
-    let n = gx.len() * gy.len();
+    let n: usize = axes.iter().map(|g| g.len()).product();
     for m in marginals {
         if m.len() != n {
             return Err(OtError::LengthMismatch {
@@ -341,9 +356,37 @@ pub fn entropic_barycentre_grid2d(
         }
     }
     let lambda = validated_lambda(marginals.len(), lambda, config)?;
-    let work = n * (gx.len() + gy.len());
-    bregman_barycentre(marginals, &lambda, n, config, work, |eps, _| {
-        KernelRep::separable_grid2d(gx, gy, eps)
+    if config.kernel.resolve(true) {
+        let work = n * axes.iter().map(|g| g.len()).sum::<usize>();
+        return bregman_barycentre(marginals, &lambda, n, config, work, |eps, _| {
+            KernelRep::separable_grid_nd(axes, eps)
+        });
+    }
+    // Dense fallback: decode the flattened multi-indices once and feed
+    // the axis-ordered squared distance (at d = 2 this is the exact
+    // `dx² + dy²` of the points2d build, bitwise — pinned by
+    // `grid2d_dense_path_bitwise_matches_points2d`).
+    let d = axes.len();
+    let mut coords = vec![0.0f64; n * d];
+    for i in 0..n {
+        let mut r = i;
+        for a in (0..d).rev() {
+            let na = axes[a].len();
+            coords[i * d + a] = axes[a][r % na];
+            r /= na;
+        }
+    }
+    bregman_barycentre(marginals, &lambda, n, config, n * n, |eps, threads| {
+        KernelRep::dense_square(n, eps, threads, |i, j| {
+            let ci = &coords[i * d..(i + 1) * d];
+            let cj = &coords[j * d..(j + 1) * d];
+            let mut acc = 0.0;
+            for (x, y) in ci.iter().zip(cj) {
+                let dd = x - y;
+                acc += dd * dd;
+            }
+            acc
+        })
     })
 }
 
@@ -868,6 +911,106 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "threads = {threads}");
             }
         }
+    }
+
+    /// Unnormalized d-D Gaussian pmf on the product grid (row-major,
+    /// last axis fastest), floored to strict positivity.
+    fn gaussian_nd_on(axes: &[&[f64]], means: &[f64], sd: f64) -> Vec<f64> {
+        let n: usize = axes.iter().map(|g| g.len()).product();
+        let d = axes.len();
+        let mut pmf = vec![0.0f64; n];
+        for (i, p) in pmf.iter_mut().enumerate() {
+            let mut r = i;
+            let mut e = 0.0;
+            for a in (0..d).rev() {
+                let g = axes[a];
+                e += ((g[r % g.len()] - means[a]) / sd).powi(2);
+                r /= g.len();
+            }
+            *p = (-0.5 * e).exp();
+        }
+        let total: f64 = pmf.iter().sum();
+        for p in &mut pmf {
+            *p = (*p / total).max(1e-14);
+        }
+        pmf
+    }
+
+    #[test]
+    fn grid_nd_separable_agrees_with_dense_at_d3() {
+        // Tiny 5×4×3 per-axis support, where the dense kernel is still
+        // representable — the cross-kernel agreement that pins the
+        // d-axis contraction passes to the ground truth.
+        let g1 = grid(-1.5, 1.5, 5);
+        let g2 = grid(-1.2, 1.8, 4);
+        let g3 = grid(-0.8, 0.8, 3);
+        let axes: Vec<&[f64]> = vec![&g1, &g2, &g3];
+        let a = gaussian_nd_on(&axes, &[-0.5, -0.2, 0.1], 0.6);
+        let b = gaussian_nd_on(&axes, &[0.6, 0.9, -0.3], 0.5);
+        let base = BarycentreConfig {
+            tol: 1e-12,
+            ..BarycentreConfig::new(0.15, 20_000)
+        };
+        let dense_cfg = BarycentreConfig {
+            kernel: KernelChoice::Dense,
+            ..base
+        };
+        let sep_cfg = BarycentreConfig {
+            kernel: KernelChoice::Separable,
+            ..base
+        };
+        let (dense, _) =
+            entropic_barycentre_grid_nd(&[&a, &b], &[0.5, 0.5], &axes, &dense_cfg).unwrap();
+        let (sep, diag) =
+            entropic_barycentre_grid_nd(&[&a, &b], &[0.5, 0.5], &axes, &sep_cfg).unwrap();
+        assert!(diag.final_delta < base.tol);
+        let l1: f64 = dense.iter().zip(&sep).map(|(x, y)| (x - y).abs()).sum();
+        assert!(l1 < 1e-9, "d=3 separable vs dense barycentre L1 = {l1:e}");
+    }
+
+    #[test]
+    fn grid_nd_separable_parallel_bit_identical_to_sequential() {
+        let g1 = grid(-1.0, 1.0, 5);
+        let g2 = grid(-0.5, 1.5, 4);
+        let g3 = grid(0.0, 1.0, 3);
+        let axes: Vec<&[f64]> = vec![&g1, &g2, &g3];
+        let a = gaussian_nd_on(&axes, &[-0.3, 0.1, 0.4], 0.5);
+        let b = gaussian_nd_on(&axes, &[0.4, 0.6, 0.2], 0.4);
+        let seq_cfg = BarycentreConfig {
+            kernel: KernelChoice::Separable,
+            eps_scaling: Some(EpsSchedule::geometric(0.8, 0.3)),
+            threads: 1,
+            parallel_min_cells: Some(1),
+            ..BarycentreConfig::new(0.1, 5_000)
+        };
+        let (seq, seq_diag) =
+            entropic_barycentre_grid_nd(&[&a, &b], &[0.4, 0.6], &axes, &seq_cfg).unwrap();
+        for threads in [2usize, 3, 7] {
+            let cfg = BarycentreConfig { threads, ..seq_cfg };
+            let (par, diag) =
+                entropic_barycentre_grid_nd(&[&a, &b], &[0.4, 0.6], &axes, &cfg).unwrap();
+            assert_eq!(diag, seq_diag, "threads = {threads}");
+            for (x, y) in par.iter().zip(&seq) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_nd_rejects_bad_shapes() {
+        let g1 = grid(0.0, 1.0, 4);
+        let g2 = grid(0.0, 1.0, 3);
+        let g3 = grid(0.0, 1.0, 2);
+        let ok = vec![1.0 / 24.0; 24];
+        let short = vec![0.5; 6];
+        let cfg = BarycentreConfig::default();
+        let axes: Vec<&[f64]> = vec![&g1, &g2, &g3];
+        assert!(entropic_barycentre_grid_nd(&[&ok, &short], &[0.5, 0.5], &axes, &cfg).is_err());
+        assert!(entropic_barycentre_grid_nd(&[&ok, &ok], &[0.5, 0.5], &[], &cfg).is_err());
+        assert!(
+            entropic_barycentre_grid_nd(&[&ok, &ok], &[0.5, 0.5], &[&g1, &[], &g3], &cfg).is_err()
+        );
+        assert!(entropic_barycentre_grid_nd(&[&ok], &[1.0], &axes, &cfg).is_err());
     }
 
     #[test]

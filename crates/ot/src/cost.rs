@@ -11,14 +11,14 @@ pub struct CostMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
-    /// Axis grids `(gx, gy)` when this cost is the squared-Euclidean
-    /// distance of a self-product grid (see
-    /// [`CostMatrix::squared_euclidean_grid2d`]) — the structural hint
+    /// Axis grids when this cost is the squared-Euclidean distance of a
+    /// d-axis self-product grid (see
+    /// [`CostMatrix::squared_euclidean_grid_nd`]) — the structural hint
     /// the entropic solvers need to factorize their Gibbs kernel as
-    /// `Kx ⊗ Ky`. Runtime metadata, not part of the serialized cost
-    /// (deserialized costs simply lose the hint and solve dense).
+    /// `K₁ ⊗ … ⊗ K_d`. Runtime metadata, not part of the serialized
+    /// cost (deserialized costs simply lose the hint and solve dense).
     #[serde(skip)]
-    grid2d: Option<(Vec<f64>, Vec<f64>)>,
+    grid: Option<Vec<Vec<f64>>>,
 }
 
 impl CostMatrix {
@@ -56,7 +56,7 @@ impl CostMatrix {
             rows: source.len(),
             cols: target.len(),
             data,
-            grid2d: None,
+            grid: None,
         })
     }
 
@@ -80,35 +80,88 @@ impl CostMatrix {
     /// # Errors
     /// Requires at least one point per axis and finite grid values.
     pub fn squared_euclidean_grid2d(gx: &[f64], gy: &[f64]) -> Result<Self> {
-        if gx.is_empty() || gy.is_empty() {
+        Self::squared_euclidean_grid_nd(&[gx, gy])
+    }
+
+    /// Squared-Euclidean cost of the **d-axis self-product grid**
+    /// `axes[0] × … × axes[d−1]` (both sides the same flattened
+    /// row-major support, last axis fastest):
+    /// `C[i,j] = Σ_a (g_a[i_a] − g_a[j_a])²`, accumulated over axes in
+    /// order (so the d = 2 bytes are bitwise-identical to the original
+    /// `dx² + dy²` spelling). The dense matrix is what
+    /// [`CostMatrix::from_fn`] over the flattened points would build,
+    /// but the axes are recorded as [`CostMatrix::grid_nd`] metadata,
+    /// which lets the entropic solvers factorize their Gibbs kernel as
+    /// `K₁ ⊗ … ⊗ K_d` (d `O(n·nᵢ)` axis passes instead of one `O(n²)`
+    /// dense matvec).
+    ///
+    /// # Errors
+    /// Requires at least one axis, at least one point per axis, and
+    /// finite grid values.
+    pub fn squared_euclidean_grid_nd(axes: &[&[f64]]) -> Result<Self> {
+        if axes.is_empty() || axes.iter().any(|g| g.is_empty()) {
             return Err(OtError::EmptyInput("cost matrix grid axis"));
         }
-        if gx.iter().chain(gy).any(|x| !x.is_finite()) {
+        if axes.iter().flat_map(|g| g.iter()).any(|x| !x.is_finite()) {
             return Err(OtError::InvalidParameter {
                 name: "support",
                 reason: "contains non-finite points".into(),
             });
         }
-        let points: Vec<(f64, f64)> = gx
-            .iter()
-            .flat_map(|&x| gy.iter().map(move |&y| (x, y)))
-            .collect();
-        let mut cost = Self::from_fn(&points, &points, |a, b| {
-            let dx = a.0 - b.0;
-            let dy = a.1 - b.1;
-            dx * dx + dy * dy
-        })?;
-        cost.grid2d = Some((gx.to_vec(), gy.to_vec()));
-        Ok(cost)
+        let d = axes.len();
+        let n: usize = axes.iter().map(|g| g.len()).product();
+        // Flattened point coordinates (row i = the d coordinates of
+        // support point i), decoded once instead of per cell.
+        let mut coords = vec![0.0f64; n * d];
+        for i in 0..n {
+            let mut r = i;
+            for a in (0..d).rev() {
+                let na = axes[a].len();
+                coords[i * d + a] = axes[a][r % na];
+                r /= na;
+            }
+        }
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            let ci = &coords[i * d..(i + 1) * d];
+            for j in 0..n {
+                let cj = &coords[j * d..(j + 1) * d];
+                let mut acc = 0.0;
+                for (x, y) in ci.iter().zip(cj) {
+                    let dd = x - y;
+                    acc += dd * dd;
+                }
+                data.push(acc);
+            }
+        }
+        Ok(Self {
+            rows: n,
+            cols: n,
+            data,
+            grid: Some(axes.iter().map(|g| g.to_vec()).collect()),
+        })
     }
 
-    /// The axis grids of a self-product squared-Euclidean cost, when
-    /// this matrix was built by [`CostMatrix::squared_euclidean_grid2d`]
-    /// (the hint that a Gibbs kernel over it factorizes).
+    /// The axis grids of a 2-axis self-product squared-Euclidean cost,
+    /// when this matrix was built by
+    /// [`CostMatrix::squared_euclidean_grid2d`] (the hint that a Gibbs
+    /// kernel over it factorizes as `Kx ⊗ Ky`). `None` for costs of any
+    /// other shape, including deeper product grids — d-axis callers use
+    /// [`CostMatrix::grid_nd`].
     pub fn grid2d(&self) -> Option<(&[f64], &[f64])> {
-        self.grid2d
-            .as_ref()
-            .map(|(gx, gy)| (gx.as_slice(), gy.as_slice()))
+        match self.grid.as_deref() {
+            Some([gx, gy]) => Some((gx.as_slice(), gy.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// The axis grids of a d-axis self-product squared-Euclidean cost,
+    /// when this matrix was built by
+    /// [`CostMatrix::squared_euclidean_grid_nd`] (or the grid2d
+    /// convenience wrapper) — the hint that a Gibbs kernel over it
+    /// factorizes as `K₁ ⊗ … ⊗ K_d`.
+    pub fn grid_nd(&self) -> Option<&[Vec<f64>]> {
+        self.grid.as_deref()
     }
 
     /// Build from an arbitrary pairwise cost function on d-dimensional
@@ -141,7 +194,7 @@ impl CostMatrix {
             rows: source.len(),
             cols: target.len(),
             data,
-            grid2d: None,
+            grid: None,
         })
     }
 
@@ -258,6 +311,64 @@ mod tests {
         // Degenerate axes are rejected.
         assert!(CostMatrix::squared_euclidean_grid2d(&[], &gy).is_err());
         assert!(CostMatrix::squared_euclidean_grid2d(&[f64::NAN], &gy).is_err());
+    }
+
+    #[test]
+    fn grid_nd_cost_matches_from_fn_and_records_axes() {
+        let g1 = [0.0, 1.0, 3.0];
+        let g2 = [-1.0, 0.5];
+        let g3 = [2.0, 2.5];
+        let c = CostMatrix::squared_euclidean_grid_nd(&[&g1, &g2, &g3]).unwrap();
+        let n = g1.len() * g2.len() * g3.len();
+        assert_eq!(c.rows(), n);
+        assert_eq!(c.cols(), n);
+        // Flattened points, last axis fastest.
+        let mut points: Vec<[f64; 3]> = Vec::with_capacity(n);
+        for &x in &g1 {
+            for &y in &g2 {
+                for &z in &g3 {
+                    points.push([x, y, z]);
+                }
+            }
+        }
+        let dense = CostMatrix::from_fn(&points, &points, |a, b| {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        })
+        .unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c.get(i, j).to_bits(), dense.get(i, j).to_bits());
+            }
+        }
+        let axes = c.grid_nd().unwrap();
+        assert_eq!(axes.len(), 3);
+        assert_eq!(axes[0], &g1);
+        assert_eq!(axes[1], &g2);
+        assert_eq!(axes[2], &g3);
+        // A 3-axis grid is not a 2-axis grid.
+        assert!(c.grid2d().is_none());
+        // The grid hint is runtime metadata, lost over serde.
+        let back: CostMatrix = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert!(back.grid_nd().is_none());
+        // Degenerate axes are rejected.
+        assert!(CostMatrix::squared_euclidean_grid_nd(&[]).is_err());
+        assert!(CostMatrix::squared_euclidean_grid_nd(&[&g1, &[]]).is_err());
+        assert!(CostMatrix::squared_euclidean_grid_nd(&[&[f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn grid2d_is_the_two_axis_special_case_of_grid_nd() {
+        let gx = [0.0, 1.0, 3.0];
+        let gy = [-1.0, 0.5];
+        let via_2d = CostMatrix::squared_euclidean_grid2d(&gx, &gy).unwrap();
+        let via_nd = CostMatrix::squared_euclidean_grid_nd(&[&gx, &gy]).unwrap();
+        for i in 0..via_2d.rows() {
+            for j in 0..via_2d.cols() {
+                assert_eq!(via_2d.get(i, j).to_bits(), via_nd.get(i, j).to_bits());
+            }
+        }
+        assert!(via_2d.grid2d().is_some());
+        assert_eq!(via_nd.grid_nd().unwrap().len(), 2);
     }
 
     #[test]

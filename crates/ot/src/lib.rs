@@ -65,15 +65,16 @@ pub mod solvers;
 pub mod wasserstein;
 
 pub use barycentre::{
-    entropic_barycentre, entropic_barycentre_grid2d, entropic_barycentre_points2d,
-    entropic_barycentre_with, quantile_barycentre, BarycentreConfig, BarycentreDiagnostics,
+    entropic_barycentre, entropic_barycentre_grid2d, entropic_barycentre_grid_nd,
+    entropic_barycentre_points2d, entropic_barycentre_with, quantile_barycentre, BarycentreConfig,
+    BarycentreDiagnostics,
 };
 pub use cost::CostMatrix;
 pub use coupling::OtPlan;
 pub use discrete::DiscreteDistribution;
 pub use error::OtError;
 pub use interp::MidpointCdf;
-pub use kernel::{KernelChoice, KernelRep, KERNEL_ENV};
+pub use kernel::{AxisKernel, KernelChoice, KernelRep, KERNEL_ENV};
 pub use solvers::backend::{Solver1d, SolverBackend};
 pub use solvers::monotone::solve_monotone_1d;
 pub use solvers::simplex::solve_transportation_simplex;

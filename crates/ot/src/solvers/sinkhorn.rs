@@ -389,14 +389,16 @@ pub fn sinkhorn_warm(
     // cost is grid-separable AND no zero-mass filtering narrowed the
     // support (filtering breaks the product structure); the kernel
     // choice then still gets the last word. Its per-matvec work is
-    // `n·(nx+ny)` cells, so it resolves its own threshold.
+    // `n·Σnᵢ` cells, so it resolves its own threshold.
     let separable = cost
-        .grid2d()
-        .filter(|(gx, gy)| np == n && mp == m && n == m && gx.len() * gy.len() == n)
+        .grid_nd()
+        .filter(|axes| {
+            np == n && mp == m && n == m && axes.iter().map(|g| g.len()).product::<usize>() == n
+        })
         .filter(|_| config.kernel.resolve(true))
-        .map(|(gx, gy)| (gx.to_vec(), gy.to_vec()));
-    let sep_threads = separable.as_ref().map_or(1, |(gx, gy)| {
-        config.kernel_threads(np * (gx.len() + gy.len()))
+        .map(|axes| axes.to_vec());
+    let sep_threads = separable.as_ref().map_or(1, |axes: &Vec<Vec<f64>>| {
+        config.kernel_threads(np * axes.iter().map(|g| g.len()).sum::<usize>())
     });
 
     // Negated cost -C on the positive sub-support (ε-free, so one build
@@ -516,37 +518,46 @@ struct SubProblem {
     /// Column phase reads a transposed kernel copy (true once the
     /// kernel crosses the [`otr_par::kernel_cells`] threshold).
     transposed: bool,
-    /// Axis grids `(gx, gy)` when the standard domain runs against the
-    /// factorized kernel `Kx ⊗ Ky` (grid-separable cost, unfiltered
-    /// support, kernel choice resolved to separable); `None` = dense.
-    separable: Option<(Vec<f64>, Vec<f64>)>,
+    /// Axis grids when the standard domain runs against the factorized
+    /// kernel `K₁ ⊗ … ⊗ K_d` (grid-separable cost, unfiltered support,
+    /// kernel choice resolved to separable); `None` = dense.
+    separable: Option<Vec<Vec<f64>>>,
     /// Effective worker threads of the separable passes (thresholded on
-    /// their own `n·(nx+ny)` work measure; 1 when `separable` is
-    /// `None`).
+    /// their own `n·Σnᵢ` work measure; 1 when `separable` is `None`).
     sep_threads: usize,
 }
 
 impl SubProblem {
     /// The negated cost `-C`, row-major `np × mp` — eager for dense
     /// solves, reconstructed from the separable axis grids on first use
-    /// (bit-identical to the eager build: same `dx·dx + dy·dy` ops in
-    /// the same order, then negated).
+    /// (bit-identical to the eager build: the squared axis distances
+    /// are accumulated in the same forward axis order, then negated).
     fn neg_c(&self) -> &[f64] {
         self.neg_c.get_or_init(|| {
-            let (gx, gy) = self
+            let axes = self
                 .separable
                 .as_ref()
                 .expect("dense sub-problems build neg_c eagerly");
-            let ny = gy.len();
+            let d = axes.len();
+            // suffix[a] = Π axes[a..].len(), for decoding the flattened
+            // (last-axis-fastest) multi-indices.
+            let mut suffix = vec![1usize; d + 1];
+            for a in (0..d).rev() {
+                suffix[a] = suffix[a + 1] * axes[a].len();
+            }
             let m = self.mp;
             let mut dense = vec![0.0f64; self.np * m];
             par_chunks_mut(&mut dense, self.threads, |start, chunk| {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let idx = start + off;
                     let (r, c) = (idx / m, idx % m);
-                    let dx = gx[r / ny] - gx[c / ny];
-                    let dy = gy[r % ny] - gy[c % ny];
-                    *slot = -(dx * dx + dy * dy);
+                    let mut acc = 0.0;
+                    for (a, g) in axes.iter().enumerate() {
+                        let na = g.len();
+                        let dd = g[(r / suffix[a + 1]) % na] - g[(c / suffix[a + 1]) % na];
+                        acc += dd * dd;
+                    }
+                    *slot = -acc;
                 }
             });
             dense
@@ -587,9 +598,9 @@ impl SubProblem {
     }
 
     /// Standard-domain Sinkhorn against the **factorized** kernel
-    /// `Kx ⊗ Ky` of a grid-separable cost: every scaling update
-    /// contracts one axis at a time (two `O(nQ³)` passes through
-    /// [`KernelRep::matvec`]) instead of sweeping the `O(nQ⁴)` dense
+    /// `K₁ ⊗ … ⊗ K_d` of a grid-separable cost: every scaling update
+    /// contracts one axis at a time (d `O(n·nᵢ)` passes through
+    /// [`KernelRep::matvec`]) instead of sweeping the `O(n²)` dense
     /// kernel.
     ///
     /// Unlike [`SubProblem::iterate_standard`] this domain cannot
@@ -612,8 +623,9 @@ impl SubProblem {
         psi: &mut [f64],
         materialize: bool,
     ) -> StandardOutcome {
-        let (gx, gy) = self.separable.as_ref().expect("separable axes");
-        let kernel = KernelRep::separable_grid2d(gx, gy, eps);
+        let axes = self.separable.as_ref().expect("separable axes");
+        let axis_refs: Vec<&[f64]> = axes.iter().map(Vec::as_slice).collect();
+        let kernel = KernelRep::separable_grid_nd(&axis_refs, eps);
         let n = self.np;
         let threads = self.sep_threads;
         const FLOOR: f64 = 1e-300;
@@ -708,19 +720,30 @@ impl SubProblem {
     /// iteration savings of the axis-pass matvecs), chunk-parallel and
     /// elementwise pure, so bit-identical for any thread count.
     fn materialize_separable(&self, kernel: &KernelRep, u: &[f64], v: &[f64]) -> Vec<f64> {
-        let KernelRep::Separable { kx, ky, nx: _, ny } = kernel else {
+        let KernelRep::SeparableNd { axes } = kernel else {
             unreachable!("separable materialization needs a factorized kernel")
         };
-        let (n, ny) = (self.np, *ny);
-        let nx = n / ny;
+        let n = self.np;
+        let d = axes.len();
+        // suffix[a] = Π axes[a..].n for the multi-index decode; the
+        // axis factors multiply left-to-right so the d = 2 product is
+        // the exact `u·kx·ky·v` association of the 2-axis original.
+        let mut suffix = vec![1usize; d + 1];
+        for a in (0..d).rev() {
+            suffix[a] = suffix[a + 1] * axes[a].n;
+        }
         let mut plan = vec![0.0f64; n * n];
         par_chunks_mut(&mut plan, self.sep_threads, |start, chunk| {
             for (off, slot) in chunk.iter_mut().enumerate() {
                 let idx = start + off;
                 let (r, c) = (idx / n, idx % n);
-                let (ix, iy) = (r / ny, r % ny);
-                let (jx, jy) = (c / ny, c % ny);
-                *slot = u[r] * kx[ix * nx + jx] * ky[iy * ny + jy] * v[c];
+                let mut acc = u[r];
+                for (a, ax) in axes.iter().enumerate() {
+                    let ia = (r / suffix[a + 1]) % ax.n;
+                    let ja = (c / suffix[a + 1]) % ax.n;
+                    acc *= ax.k[ia * ax.n + ja];
+                }
+                *slot = acc * v[c];
             }
         });
         plan
@@ -1620,6 +1643,113 @@ mod tests {
         }
     }
 
+    /// A 3-axis grid-separable problem: pmfs on the `g1 × g2 × g3`
+    /// self-product support (strictly positive, unfiltered).
+    fn product_grid_problem_3d() -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, CostMatrix) {
+        let g1: Vec<f64> = (0..5).map(|i| -1.0 + 0.4 * i as f64).collect();
+        let g2: Vec<f64> = (0..4).map(|i| 0.1 + 0.35 * i as f64).collect();
+        let g3: Vec<f64> = (0..3).map(|i| -0.2 + 0.5 * i as f64).collect();
+        let n = g1.len() * g2.len() * g3.len();
+        let a: Vec<f64> = (0..n).map(|i| 0.2 + ((i * 7) % 5) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| 0.3 + ((i * 3) % 4) as f64).collect();
+        let cost = CostMatrix::squared_euclidean_grid_nd(&[&g1, &g2, &g3]).unwrap();
+        (vec![g1, g2, g3], a, b, cost)
+    }
+
+    #[test]
+    fn separable_kernel_agrees_with_dense_on_3d_product_grids() {
+        let (_, a, b, cost) = product_grid_problem_3d();
+        let base = SinkhornConfig {
+            epsilon: 0.1,
+            tol: 1e-9,
+            eps_scaling: Some(EpsSchedule::default()),
+            ..SinkhornConfig::default()
+        };
+        let dense = sinkhorn(
+            &a,
+            &b,
+            &cost,
+            SinkhornConfig {
+                kernel: KernelChoice::Dense,
+                ..base
+            },
+        )
+        .unwrap();
+        let sep = sinkhorn(
+            &a,
+            &b,
+            &cost,
+            SinkhornConfig {
+                kernel: KernelChoice::Separable,
+                ..base
+            },
+        )
+        .unwrap();
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                assert!(
+                    (dense.get(i, j) - sep.get(i, j)).abs() < 1e-7,
+                    "cell ({i}, {j}): dense {} vs separable {}",
+                    dense.get(i, j),
+                    sep.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn separable_kernel_3d_bit_identical_across_thread_counts() {
+        let (_, a, b, cost) = product_grid_problem_3d();
+        let cfg = |threads| SinkhornConfig {
+            epsilon: 0.08,
+            eps_scaling: Some(EpsSchedule::default()),
+            threads,
+            parallel_min_cells: Some(1),
+            kernel: KernelChoice::Separable,
+            ..SinkhornConfig::default()
+        };
+        let sequential = sinkhorn(&a, &b, &cost, cfg(1)).unwrap();
+        for threads in [2usize, 7] {
+            let parallel = sinkhorn(&a, &b, &cost, cfg(threads)).unwrap();
+            for i in 0..a.len() {
+                for j in 0..b.len() {
+                    assert_eq!(
+                        parallel.get(i, j).to_bits(),
+                        sequential.get(i, j).to_bits(),
+                        "threads = {threads}, cell ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_neg_c_3d_reconstruction_bitwise_matches_eager_build() {
+        let (axes, a, b, cost) = product_grid_problem_3d();
+        let n = a.len();
+        let lazy = SubProblem {
+            np: n,
+            mp: b.len(),
+            neg_c: std::sync::OnceLock::new(),
+            a_pos: a.clone(),
+            b_pos: b.clone(),
+            threads: 1,
+            transposed: false,
+            separable: Some(axes),
+            sep_threads: 1,
+        };
+        let got = lazy.neg_c();
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(
+                    got[r * n + c].to_bits(),
+                    (-cost.get(r, c)).to_bits(),
+                    "cell ({r}, {c})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn lazy_neg_c_reconstruction_bitwise_matches_eager_build() {
         // A separable sub-problem defers its O(n²) negated-cost build;
@@ -1636,7 +1766,7 @@ mod tests {
             b_pos: b.clone(),
             threads: 1,
             transposed: false,
-            separable: Some((gx, gy)),
+            separable: Some(vec![gx, gy]),
             sep_threads: 1,
         };
         let got = lazy.neg_c();

@@ -103,7 +103,7 @@ impl RegisteredPlan {
     pub fn dim(&self) -> usize {
         match self {
             Self::Scalar(p) => p.dim,
-            Self::Joint(_) => 2,
+            Self::Joint(p) => p.dims(),
         }
     }
 

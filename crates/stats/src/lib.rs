@@ -51,6 +51,7 @@ pub mod error;
 pub mod histogram;
 pub mod kde;
 pub mod kde2d;
+pub mod kde_nd;
 pub mod linalg;
 pub mod quantile;
 pub mod special;
@@ -66,5 +67,6 @@ pub use error::StatsError;
 pub use histogram::Histogram;
 pub use kde::{Bandwidth, GaussianKde};
 pub use kde2d::GaussianKde2d;
+pub use kde_nd::GaussianKdeNd;
 pub use linalg::Matrix;
 pub use quantile::{empirical_quantile, pmf_quantile_fn};

@@ -137,6 +137,49 @@ fn joint_repair_byte_identical_across_otr_threads_env() {
     std::env::remove_var("OTR_THREADS");
 }
 
+/// The joint contract at `d = 3`: a 3-feature `nQ = 8` joint design
+/// (512 product states) under the **auto** kernel choice — so CI's
+/// `OTR_KERNEL=dense` and `OTR_KERNEL=separable` legs both drive this
+/// test through their representation — and the repaired archive must be
+/// byte-identical across `OTR_THREADS ∈ {1, 2, 7}`. Env-mutating, so
+/// serialized on [`OTR_THREADS_ENV_LOCK`].
+#[test]
+fn joint_3feature_repair_byte_identical_across_otr_threads_env() {
+    let _env = OTR_THREADS_ENV_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let spec = SimulationSpec {
+        means: [
+            [vec![-1.0, -1.0, -0.5], vec![0.0, 0.0, 0.0]],
+            [vec![1.0, 1.0, 0.5], vec![0.0, 0.0, 0.0]],
+        ],
+        sigma: 1.0,
+        covs: None,
+        pr_u0: 0.5,
+        pr_s0_given_u: [0.3, 0.1],
+    };
+    let mut rng = StdRng::seed_from_u64(19);
+    let split = spec.generate(300, 400, &mut rng).unwrap();
+    let cfg = JointRepairConfig {
+        n_q: 8,
+        epsilon: 0.25,
+        eps_scaling: Some(EpsSchedule::geometric(1.0, 0.5)),
+        threads: 0, // auto: defer to OTR_THREADS
+        ..JointRepairConfig::default()
+    };
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in ["1", "2", "7"] {
+        std::env::set_var("OTR_THREADS", threads);
+        let plan = JointRepairPlan::design(&split.research, cfg).unwrap();
+        let out = byte_image(&plan.repair_dataset_par(&split.archive, 31).unwrap());
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "OTR_THREADS = {threads}"),
+        }
+    }
+    std::env::remove_var("OTR_THREADS");
+}
+
 /// The columnar (SoA) kernel satisfies the same contract: for every
 /// `OTR_THREADS` setting, `repair_columnar_par` is **byte-identical**
 /// to the sequential row-path reference `repair_dataset_seeded`, for

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ot_fair_repair::data::{ColumnarDataset, Dataset, SimulationSpec};
+use ot_fair_repair::prelude::EpsSchedule;
 use ot_fair_repair::repair::{
     JointRepairConfig, JointRepairPlan, RepairConfig, RepairPlan, RepairPlanner,
 };
@@ -151,6 +152,90 @@ fn served_joint_repair_matches_offline() {
     // Labels pass through repair untouched.
     assert_eq!(served.s(), archive.s());
     assert_eq!(served.u(), archive.u());
+}
+
+/// The `d = 3` joint path through the service, end to end: a 3-feature
+/// joint plan is (a) preloaded from a `plans_dir` — exercising the
+/// registry's kind-sniffing loader (scalar parse first, joint on
+/// fallthrough) on the n-d plan schema — and (b) loaded over the wire,
+/// and both must serve bytes byte-identical to offline
+/// `repair_dataset_par` (the `apply --joint` path). The registry
+/// listing must report the plan's true dimensionality, not assume
+/// joint means 2.
+#[test]
+fn served_3feature_joint_repair_matches_offline_and_sniffs_kind() {
+    let spec = SimulationSpec {
+        means: [
+            [vec![-1.0, -1.0, -0.5], vec![0.0, 0.0, 0.0]],
+            [vec![1.0, 1.0, 0.5], vec![0.0, 0.0, 0.0]],
+        ],
+        sigma: 1.0,
+        covs: None,
+        pr_u0: 0.5,
+        pr_s0_given_u: [0.3, 0.1],
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let split = spec.generate(300, 250, &mut rng).unwrap();
+    let archive = ColumnarDataset::from_dataset(&split.archive);
+    let config = JointRepairConfig {
+        n_q: 6,
+        epsilon: 0.25,
+        eps_scaling: Some(EpsSchedule::geometric(1.0, 0.5)),
+        ..JointRepairConfig::default()
+    };
+    let plan = JointRepairPlan::design(&split.research, config).unwrap();
+    let json = plan.to_json().unwrap();
+    let seed = 5u64;
+    let offline = ColumnarDataset::from_dataset(
+        &plan
+            .repair_dataset_par(&archive.to_dataset(), seed)
+            .unwrap(),
+    );
+
+    // (a) plans_dir preload: the loader must sniff the n-d artifact as
+    // a joint plan without being told its kind.
+    let dir = std::env::temp_dir().join(format!("otrepaird-joint3-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("joint3.json"), &json).unwrap();
+    let server = TestServer::start(ServeConfig {
+        shards: 3,
+        plans_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+    let plans = client.list_plans().unwrap();
+    assert_eq!(plans.len(), 1);
+    assert_eq!(
+        (
+            plans[0].name.as_str(),
+            plans[0].kind,
+            plans[0].dim,
+            plans[0].n_q
+        ),
+        ("joint3", PlanKind::Joint, 3, 6),
+        "kind sniffing or dim reporting broke on the d = 3 schema"
+    );
+    let served = client.repair_archive("joint3", 0, seed, &archive).unwrap();
+    assert_eq!(
+        bits(served.feature_columns()),
+        bits(offline.feature_columns()),
+        "preloaded d = 3 joint plan served different bytes than offline repair"
+    );
+    assert_eq!(served.s(), archive.s());
+    assert_eq!(served.u(), archive.u());
+
+    // (b) the same artifact loaded over the wire serves the same bytes.
+    client
+        .load_plan(PlanKind::Joint, "wire3", 1, &json)
+        .unwrap();
+    let served = client.repair_archive("wire3", 1, seed, &archive).unwrap();
+    assert_eq!(
+        bits(served.feature_columns()),
+        bits(offline.feature_columns()),
+        "wire-loaded d = 3 joint plan served different bytes than offline repair"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
