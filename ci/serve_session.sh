@@ -19,9 +19,12 @@ SEED=13
 
 WORK=$(mktemp -d)
 PID=""
+PID2=""
 cleanup() {
-    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
-    [ -n "$PID" ] && wait "$PID" 2>/dev/null || true
+    for p in "$PID" "$PID2"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+        [ -n "$p" ] && wait "$p" 2>/dev/null || true
+    done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -71,4 +74,48 @@ kill "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""
 
-echo "serve session OK: lifecycle clean, served output byte-identical to offline apply"
+echo "== overload probe: connections past --max-conns are rejected politely =="
+"$DAEMON" --bind 127.0.0.1:0 --max-conns 2 --port-file "$WORK/port2" &
+PID2=$!
+for _ in $(seq 100); do
+    [ -s "$WORK/port2" ] && break
+    if ! kill -0 "$PID2" 2>/dev/null; then
+        echo "overload-probe otrepaird exited before publishing its port" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$WORK/port2" ] || { echo "timed out waiting for port2 file" >&2; exit 1; }
+ADDR2=$(cat "$WORK/port2")
+HOST2=${ADDR2%:*}
+PORT2=${ADDR2##*:}
+echo "overload-probe daemon is listening on $ADDR2"
+
+# Pin both governor slots with idle raw connections (max-conns + 1 total
+# once the client connects), then assert the client's connection is
+# rejected with the polite Overloaded error frame rather than hanging.
+exec 3<>"/dev/tcp/$HOST2/$PORT2"
+exec 4<>"/dev/tcp/$HOST2/$PORT2"
+sleep 0.3 # let the daemon's accept loop account for both holds
+if "$BIN" client ping --addr "$ADDR2" --retries 0 2>"$WORK/err2"; then
+    echo "ping past --max-conns unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -qi 'Overloaded' "$WORK/err2"
+
+# Release the holds; the retrying client must ride out the slot-release
+# lag and the session must still complete end to end.
+exec 3<&- 3>&-
+exec 4<&- 4>&-
+"$BIN" client ping --addr "$ADDR2" --retries 5 | grep -q pong
+"$BIN" client load --addr "$ADDR2" --plan "$WORK/plan.json" --name ov-plan
+"$BIN" client repair --addr "$ADDR2" --name ov-plan \
+    --data "$FIXTURES/archive.csv" --out "$WORK/served-ov.csv" --seed "$SEED"
+cmp "$WORK/offline.csv" "$WORK/served-ov.csv"
+"$BIN" client info --addr "$ADDR2" | grep -q 'rejected overloaded'
+
+kill "$PID2"
+wait "$PID2" 2>/dev/null || true
+PID2=""
+
+echo "serve session OK: lifecycle clean, overload handled politely, served output byte-identical to offline apply"

@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use crate::server::{ServeConfig, Server};
+use crate::server::{ServeConfig, Server, ServerHandle};
 
 /// Parsed daemon command line.
 #[derive(Debug, Clone, Default)]
@@ -13,7 +13,8 @@ pub struct DaemonArgs {
     /// The server configuration assembled from flags.
     pub config: ServeConfig,
     /// Where to write the bound `host:port` once listening (`--port-file`);
-    /// how scripts and tests discover an OS-assigned port 0.
+    /// how scripts and tests discover an OS-assigned port 0. Removed on
+    /// clean shutdown so it can't dangle at a dead port.
     pub port_file: Option<PathBuf>,
 }
 
@@ -29,7 +30,14 @@ Options:
                        resolved thread count)
   --batch-rows <n>     columnar kernel batch size (default 0 = auto:
                        OTR_BATCH_ROWS if set, else the library default)
+  --max-conns <n>      connection cap: connections past <n> are rejected
+                       with an Overloaded error frame (default 256; 0 = off)
+  --deadline-ms <n>    per-frame deadline: a frame's bytes (and each
+                       response write) must progress within <n> ms or the
+                       connection is killed DeadlineExceeded
+                       (default 30000; 0 = off)
   --port-file <path>   write the bound host:port to <path> once listening
+                       (removed again on clean shutdown)
   --help               print this help";
 
 impl DaemonArgs {
@@ -60,6 +68,13 @@ impl DaemonArgs {
                     let n: usize = parse_num(flag, &value("a batch size")?)?;
                     out.config.batch_rows = (n != 0).then_some(n);
                 }
+                "--max-conns" => {
+                    out.config.max_conns = parse_num(flag, &value("a connection cap")?)?;
+                }
+                "--deadline-ms" => {
+                    out.config.deadline_ms =
+                        parse_num(flag, &value("a millisecond count")?)? as u64;
+                }
                 "--port-file" => out.port_file = Some(PathBuf::from(value("a path")?)),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -73,16 +88,36 @@ fn parse_num(flag: &str, raw: &str) -> Result<usize, String> {
         .map_err(|_| format!("{flag}: {raw:?} is not a non-negative integer"))
 }
 
-/// Bind, announce, and serve until killed (or until a test's
-/// [`crate::server::ServerHandle::shutdown`] — obtained before calling
-/// this — fires).
+/// Bind, announce, and serve until killed (or until a
+/// [`ServerHandle::shutdown`] fires). On a *clean* return the
+/// `--port-file` is removed so it can't dangle at a dead port; a
+/// `SIGKILL`'d daemon can't clean up, which is why readers should
+/// treat a connection-refused port file as stale.
 ///
 /// # Errors
 /// Bind/preload failures and fatal accept-loop errors.
 pub fn run(args: &DaemonArgs) -> std::io::Result<()> {
+    run_with_handle(args, |_| {})
+}
+
+/// Like [`run`], but hands the server's [`ServerHandle`] to `on_ready`
+/// just before the blocking serve loop starts — how in-process callers
+/// (tests, embedders) arrange their own shutdown trigger.
+///
+/// # Errors
+/// Bind/preload failures and fatal accept-loop errors.
+pub fn run_with_handle(
+    args: &DaemonArgs,
+    on_ready: impl FnOnce(ServerHandle),
+) -> std::io::Result<()> {
     let server = Server::bind(&args.config)?;
     announce(&server, args)?;
-    server.run()
+    on_ready(server.handle()?);
+    let result = server.run();
+    if result.is_ok() {
+        cleanup(args);
+    }
+    result
 }
 
 /// Print the startup banner and write the port file. Split from
@@ -105,4 +140,15 @@ pub fn announce(server: &Server, args: &DaemonArgs) -> std::io::Result<()> {
         std::fs::rename(&tmp, path)?;
     }
     Ok(())
+}
+
+/// Remove the `--port-file` after a clean shutdown (best-effort: a
+/// missing file is fine, and the serve result matters more than the
+/// unlink). Callers that bind/announce/serve by hand (the CLI's
+/// foreground path) should call this themselves once `Server::run`
+/// returns.
+pub fn cleanup(args: &DaemonArgs) {
+    if let Some(path) = &args.port_file {
+        let _ = std::fs::remove_file(path);
+    }
 }

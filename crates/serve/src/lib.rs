@@ -28,11 +28,13 @@
 
 pub mod client;
 pub mod daemon;
+pub mod faults;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientError, Repaired};
+pub use client::{Client, ClientError, Repaired, RetryPolicy, RetryingClient};
+pub use faults::{Fault, FaultProxy, Span};
 pub use protocol::{ErrorCode, PlanInfo, PlanKind, ProtoError, ServerInfo, PROTOCOL_VERSION};
 pub use registry::{PlanRegistry, RegisteredPlan, RegistryError};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! offset 0  4 bytes   magic "OTRP" (0x4F 0x54 0x52 0x50)
-//! offset 4  u8        protocol version (currently 1)
+//! offset 4  u8        protocol version (currently 2)
 //! offset 5  u8        message type
 //! offset 6  u16 BE    reserved, must be zero
 //! offset 8  u32 BE    payload length N (≤ 1 GiB)
@@ -25,8 +25,11 @@ use otr_data::ColumnarDataset;
 
 /// Frame magic: the ASCII bytes `OTRP`.
 pub const MAGIC: [u8; 4] = *b"OTRP";
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The protocol version this build speaks. Version 2 extended the
+/// `ServerInfo` payload with the hardening counters (versioning rule V3
+/// requires a bump for any schema change to an existing message; see
+/// the version history in `docs/protocol.md`).
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 12;
 /// Maximum payload size (1 GiB): anything larger is a [`ErrorCode::BadFrame`].
@@ -80,6 +83,18 @@ pub enum ErrorCode {
     VersionCollision = 7,
     /// The repair itself failed (e.g. archive/plan dimension mismatch).
     RepairFailed = 8,
+    /// The server is at its `--max-conns` connection capacity. Sent as
+    /// an immediate polite rejection on a fresh connection, which is
+    /// then closed; retry with backoff (the condition is transient).
+    Overloaded = 9,
+    /// A frame took longer than the server's per-frame deadline to
+    /// arrive, or a response write stalled past it (slow-loris
+    /// defence). The connection closes after this error.
+    DeadlineExceeded = 10,
+    /// A request panicked inside the server. The panic is isolated to
+    /// this connection (which closes); the daemon and its registry
+    /// stay up.
+    Internal = 11,
 }
 
 impl ErrorCode {
@@ -99,6 +114,9 @@ impl ErrorCode {
             6 => Self::PlanInvalid,
             7 => Self::VersionCollision,
             8 => Self::RepairFailed,
+            9 => Self::Overloaded,
+            10 => Self::DeadlineExceeded,
+            11 => Self::Internal,
             _ => return None,
         })
     }
@@ -171,6 +189,20 @@ pub struct ServerInfo {
     pub shards: u32,
     /// Resolved worker-thread count.
     pub threads: u32,
+    /// Connections accepted since startup (including ones later
+    /// rejected by the governor).
+    pub accepted: u64,
+    /// Connections rejected with [`ErrorCode::Overloaded`] because the
+    /// server was at `--max-conns` capacity.
+    pub rejected_overload: u64,
+    /// Connections killed with [`ErrorCode::DeadlineExceeded`] (a
+    /// frame that never finished arriving, or a response write that
+    /// stalled).
+    pub deadline_kills: u64,
+    /// Request panics caught and isolated to their connection.
+    pub panics_caught: u64,
+    /// The governor's connection cap (0 = unlimited).
+    pub max_conns: u32,
 }
 
 /// A client → server message.
@@ -598,13 +630,18 @@ impl Response {
                 (response_type::REPAIRED, p)
             }
             Self::Info(info) => {
-                let mut p = Vec::with_capacity(29);
+                let mut p = Vec::with_capacity(65);
                 p.push(info.protocol_version);
                 p.extend_from_slice(&info.plans.to_be_bytes());
                 p.extend_from_slice(&info.requests.to_be_bytes());
                 p.extend_from_slice(&info.rows_repaired.to_be_bytes());
                 p.extend_from_slice(&info.shards.to_be_bytes());
                 p.extend_from_slice(&info.threads.to_be_bytes());
+                p.extend_from_slice(&info.accepted.to_be_bytes());
+                p.extend_from_slice(&info.rejected_overload.to_be_bytes());
+                p.extend_from_slice(&info.deadline_kills.to_be_bytes());
+                p.extend_from_slice(&info.panics_caught.to_be_bytes());
+                p.extend_from_slice(&info.max_conns.to_be_bytes());
                 (response_type::SERVER_INFO, p)
             }
             Self::Error { code, message } => {
@@ -683,6 +720,11 @@ impl Response {
                 rows_repaired: r.u64("rows repaired")?,
                 shards: r.u32("shards")?,
                 threads: r.u32("threads")?,
+                accepted: r.u64("accepted count")?,
+                rejected_overload: r.u64("overload rejections")?,
+                deadline_kills: r.u64("deadline kills")?,
+                panics_caught: r.u64("panics caught")?,
+                max_conns: r.u32("max conns")?,
             }),
             response_type::ERROR => Self::Error {
                 code: r.u16("error code")?,
@@ -811,6 +853,11 @@ mod tests {
                 rows_repaired: 12345,
                 shards: 4,
                 threads: 8,
+                accepted: 17,
+                rejected_overload: 3,
+                deadline_kills: 2,
+                panics_caught: 1,
+                max_conns: 256,
             }),
             Response::Error {
                 code: ErrorCode::UnknownPlan.as_u16(),
@@ -919,6 +966,9 @@ mod tests {
             ErrorCode::PlanInvalid,
             ErrorCode::VersionCollision,
             ErrorCode::RepairFailed,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
         }

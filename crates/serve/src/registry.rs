@@ -205,6 +205,18 @@ impl PlanRegistry {
         }
     }
 
+    /// Lock the plan map, recovering from poisoning. The map is only
+    /// mutated by `BTreeMap::insert`/`remove`, which either complete or
+    /// leave the map untouched — a panic mid-critical-section cannot
+    /// leave a half-written entry — so the registry outlives a poisoned
+    /// request (the server isolates such panics per connection and must
+    /// keep serving everyone else).
+    fn plans(&self) -> std::sync::MutexGuard<'_, BTreeMap<(String, u32), Arc<RegisteredPlan>>> {
+        self.plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Enforce the registry name grammar: 1–64 bytes of
     /// `[A-Za-z0-9._-]` (safe in file names, URLs, and logs).
     ///
@@ -262,7 +274,7 @@ impl PlanRegistry {
             dim: plan.dim(),
             n_q: plan.n_q(),
         };
-        let mut plans = self.plans.lock().expect("registry lock poisoned");
+        let mut plans = self.plans();
         let key = (name.to_string(), version);
         if plans.contains_key(&key) {
             return Err(RegistryError::VersionCollision {
@@ -280,7 +292,7 @@ impl PlanRegistry {
     /// # Errors
     /// [`RegistryError::NotFound`] when absent.
     pub fn get(&self, name: &str, version: u32) -> Result<Arc<RegisteredPlan>, RegistryError> {
-        let plans = self.plans.lock().expect("registry lock poisoned");
+        let plans = self.plans();
         let found = if version == 0 {
             plans
                 .range((name.to_string(), 1)..=(name.to_string(), u32::MAX))
@@ -297,9 +309,7 @@ impl PlanRegistry {
 
     /// All registered plans, ordered by name then version.
     pub fn list(&self) -> Vec<PlanInfo> {
-        self.plans
-            .lock()
-            .expect("registry lock poisoned")
+        self.plans()
             .iter()
             .map(|((name, version), plan)| PlanInfo {
                 name: name.clone(),
@@ -313,7 +323,7 @@ impl PlanRegistry {
 
     /// Number of registered plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("registry lock poisoned").len()
+        self.plans().len()
     }
 
     /// Whether the registry is empty.
@@ -330,9 +340,7 @@ impl PlanRegistry {
         if version == 0 {
             return Err(RegistryError::InvalidVersion);
         }
-        self.plans
-            .lock()
-            .expect("registry lock poisoned")
+        self.plans()
             .remove(&(name.to_string(), version))
             .map(|_| ())
             .ok_or_else(|| RegistryError::NotFound {

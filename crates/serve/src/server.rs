@@ -13,23 +13,46 @@
 //! lands in, the response bytes are a pure function of
 //! `(plan, seed, archive)` — shard count, worker threads, and client
 //! interleaving are unobservable. `docs/determinism.md` derives this
-//! contract; `tests/serve.rs` pins it against the offline CLI.
+//! contract; `tests/serve.rs` pins it.
 //!
-//! # Connection model
+//! # Connection model and hardening
 //!
 //! One thread per connection, frames handled strictly in order per
 //! connection (so a client's own requests never race each other),
-//! connections independent. Reads poll a shared stop flag every
-//! `POLL_INTERVAL` so [`ServerHandle::shutdown`] interrupts idle
-//! connections promptly; [`Server::run`]'s accept loop is woken by a
-//! self-connection.
+//! connections independent. Four defences keep a misbehaving peer from
+//! degrading anyone else's service (`docs/operations.md`, "Failure
+//! modes & recovery"):
+//!
+//! * **Governor** — at most [`ServeConfig::max_conns`] connection
+//!   threads exist at once; excess connections get an immediate
+//!   [`ErrorCode::Overloaded`] error frame and are closed instead of
+//!   spawning an unbounded thread.
+//! * **Frame deadlines** — once the first byte of a frame arrives, the
+//!   whole frame must arrive within [`ServeConfig::deadline_ms`], and
+//!   response writes must keep making progress on the same budget. A
+//!   slow-loris peer (header then silence, or a trickle of bytes) is
+//!   killed with [`ErrorCode::DeadlineExceeded`] rather than pinning a
+//!   thread. Idle connections *between* frames may sit forever — that
+//!   is normal keep-alive.
+//! * **Panic isolation** — each request's decode + dispatch runs under
+//!   `catch_unwind`: a poisoned request answers
+//!   [`ErrorCode::Internal`] and closes that socket; the daemon and
+//!   registry stay up.
+//! * **Graceful drain** — shutdown stops accepting, but a frame whose
+//!   first byte already arrived is read to completion (bounded by the
+//!   deadline), answered, and only then is its connection closed — no
+//!   in-flight repair is ever raced by exit.
+//!
+//! Reads poll a shared stop flag every `POLL_INTERVAL` so
+//! [`ServerHandle::shutdown`] interrupts idle connections promptly;
+//! [`Server::run`]'s accept loop is woken by a self-connection.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use otr_data::ColumnarDataset;
 use otr_par::{thread_count, try_par_map_indexed};
@@ -42,6 +65,20 @@ use crate::registry::PlanRegistry;
 
 /// How often blocked reads wake to check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Payloads are read (and allocated) in steps of at most this many
+/// bytes, so a header *claiming* a huge payload cannot balloon memory
+/// before any of it actually arrives.
+const PAYLOAD_CHUNK: usize = 1 << 20;
+
+/// Frame-drain budget during shutdown when no deadline is configured:
+/// a frame caught mid-arrival gets this long to finish before the
+/// connection is dropped anyway.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// How long the accept loop will spend writing an [`ErrorCode::Overloaded`]
+/// rejection before giving up on the peer.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Deployment knobs for [`Server::bind`]. Execution policy only: no
 /// field affects repaired bytes (the serving determinism contract).
@@ -63,6 +100,20 @@ pub struct ServeConfig {
     /// Directory of plan artifacts to preload at startup
     /// (`name.json` → `name@1`, `name@v.json` → `name@v`).
     pub plans_dir: Option<PathBuf>,
+    /// Connection governor: the most connection threads allowed at
+    /// once (`0` = unlimited). Connections past the cap are politely
+    /// rejected with [`ErrorCode::Overloaded`] and closed.
+    pub max_conns: usize,
+    /// Per-frame deadline in milliseconds (`0` = none): from the first
+    /// byte of a frame, the rest must arrive within this budget, and
+    /// each response write must make progress on the same budget.
+    /// Violations are killed with [`ErrorCode::DeadlineExceeded`].
+    pub deadline_ms: u64,
+    /// Chaos-testing hook: a `Repair` request naming this plan panics
+    /// the connection thread deliberately, so the panic-isolation
+    /// contract stays testable end to end. Always `None` in
+    /// production deployments (no daemon flag sets it).
+    pub chaos_panic_plan: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +124,9 @@ impl Default for ServeConfig {
             shards: 0,
             batch_rows: None,
             plans_dir: None,
+            max_conns: 256,
+            deadline_ms: 30_000,
+            chaos_panic_plan: None,
         }
     }
 }
@@ -81,6 +135,11 @@ impl Default for ServeConfig {
 #[derive(Debug, Default)]
 struct Shared {
     stop: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    rejected_overload: AtomicU64,
+    deadline_kills: AtomicU64,
+    panics_caught: AtomicU64,
     requests: AtomicU64,
     rows_repaired: AtomicU64,
 }
@@ -93,6 +152,9 @@ pub struct Server {
     shared: Arc<Shared>,
     threads: usize,
     shards: usize,
+    max_conns: usize,
+    deadline_ms: u64,
+    chaos_panic_plan: Option<String>,
 }
 
 /// A remote control for a running [`Server`]: stats and shutdown.
@@ -104,8 +166,10 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Ask the server to stop: in-flight frames finish, idle
-    /// connections close within one read-poll interval (200 ms), and
+    /// Ask the server to stop. New connections stop being accepted,
+    /// idle connections close within one read-poll interval (200 ms),
+    /// and a frame already mid-arrival is drained — read to completion
+    /// (bounded by the frame deadline), answered, then closed — before
     /// [`Server::run`] returns. Idempotent.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
@@ -122,6 +186,21 @@ impl ServerHandle {
     /// Archive rows repaired so far.
     pub fn rows_repaired(&self) -> u64 {
         self.shared.rows_repaired.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected by the governor so far.
+    pub fn rejected_overload(&self) -> u64 {
+        self.shared.rejected_overload.load(Ordering::Relaxed)
+    }
+
+    /// Connections killed for blowing the frame deadline so far.
+    pub fn deadline_kills(&self) -> u64 {
+        self.shared.deadline_kills.load(Ordering::Relaxed)
+    }
+
+    /// Request panics caught (and isolated) so far.
+    pub fn panics_caught(&self) -> u64 {
+        self.shared.panics_caught.load(Ordering::Relaxed)
     }
 }
 
@@ -155,6 +234,9 @@ impl Server {
             shared: Arc::new(Shared::default()),
             threads,
             shards,
+            max_conns: config.max_conns,
+            deadline_ms: config.deadline_ms,
+            chaos_panic_plan: config.chaos_panic_plan.clone(),
         })
     }
 
@@ -203,13 +285,32 @@ impl Server {
                     continue;
                 }
             };
+            self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+            // The governor: the accept loop is the only thread that
+            // increments `active`, so the load-then-increment below
+            // cannot race past the cap.
+            if self.max_conns > 0 && self.shared.active.load(Ordering::SeqCst) >= self.max_conns {
+                self.shared
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                reject_overloaded(stream, self.max_conns);
+                continue;
+            }
+            self.shared.active.fetch_add(1, Ordering::SeqCst);
             let ctx = ConnCtx {
                 registry: Arc::clone(&self.registry),
                 shared: Arc::clone(&self.shared),
                 threads: self.threads,
                 shards: self.shards,
+                max_conns: self.max_conns,
+                deadline_ms: self.deadline_ms,
+                chaos_panic_plan: self.chaos_panic_plan.clone(),
             };
             workers.push(std::thread::spawn(move || {
+                // Release the governor slot when this thread exits —
+                // Drop runs even if handle_conn panics outside the
+                // per-request catch_unwind.
+                let _slot = SlotGuard(Arc::clone(&ctx.shared));
                 if let Err(e) = handle_conn(stream, &ctx) {
                     eprintln!("otrepaird: connection error: {e}");
                 }
@@ -218,11 +319,37 @@ impl Server {
             // doesn't accumulate handles.
             workers.retain(|h| !h.is_finished());
         }
+        // Drain: every surviving connection thread finishes (and
+        // answers) any frame that was already mid-arrival before the
+        // server exits — bounded by the frame deadline / drain grace.
         for h in workers {
             let _ = h.join();
         }
         Ok(())
     }
+}
+
+/// Decrements the active-connection gauge when a connection thread
+/// exits, however it exits.
+struct SlotGuard(Arc<Shared>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Politely refuse a connection past the governor's cap: best-effort
+/// `Overloaded` error frame (a few dozen bytes — fits any socket
+/// buffer, and bounded by a write timeout regardless), then close.
+fn reject_overloaded(mut stream: TcpStream, max_conns: usize) {
+    let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+    let resp = Response::Error {
+        code: ErrorCode::Overloaded.as_u16(),
+        message: format!("server at --max-conns {max_conns} capacity; retry with backoff"),
+    };
+    let (t, p) = resp.encode();
+    let _ = write_frame(&mut stream, t, &p);
 }
 
 /// Everything one connection thread needs.
@@ -231,37 +358,100 @@ struct ConnCtx {
     shared: Arc<Shared>,
     threads: usize,
     shards: usize,
+    max_conns: usize,
+    deadline_ms: u64,
+    chaos_panic_plan: Option<String>,
 }
 
-/// Fill `buf` from the stream, polling the stop flag between timeouts.
+/// The per-frame deadline clock. Armed by the first byte of a frame,
+/// cleared when the frame has fully arrived; while armed, it also
+/// marks the connection as mid-frame for shutdown-drain purposes.
+struct FrameClock {
+    deadline: Option<Duration>,
+    armed: Option<Instant>,
+}
+
+impl FrameClock {
+    fn new(deadline_ms: u64) -> Self {
+        Self {
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            armed: None,
+        }
+    }
+
+    /// A frame byte arrived: start (or keep) the countdown.
+    fn arm(&mut self) {
+        if self.armed.is_none() {
+            self.armed = Some(Instant::now());
+        }
+    }
+
+    fn mid_frame(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// True once the armed frame has been in flight past the deadline.
+    /// During shutdown a frame with *no* configured deadline still gets
+    /// only [`DRAIN_GRACE`], so drain cannot hang on a stalled peer.
+    fn expired(&self, stopping: bool) -> bool {
+        let Some(since) = self.armed else {
+            return false;
+        };
+        match self.deadline {
+            Some(d) => since.elapsed() >= d,
+            None => stopping && since.elapsed() >= DRAIN_GRACE,
+        }
+    }
+}
+
+/// How a blocking read ended.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Done,
+    /// Clean end between frames: EOF or shutdown with no frame bytes
+    /// pending.
+    CleanClose,
+    /// The frame deadline expired mid-frame.
+    Deadline,
+}
+
+/// Fill `buf` from the stream, polling the stop flag between timeouts
+/// and enforcing the frame deadline in `clock`.
 ///
-/// Returns `Ok(false)` on a clean end — EOF or shutdown observed
-/// *between* frames (`mid_frame = false`) — and errors on EOF or
-/// shutdown with a frame half-read, where silently dropping bytes
-/// would corrupt the session.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], ctx: &ConnCtx) -> std::io::Result<bool> {
+/// Mid-frame EOF (peer vanished with a frame half-sent) is an error —
+/// silently dropping bytes would corrupt the session. Shutdown
+/// observed mid-frame does **not** abort the read: the frame is
+/// drained (bounded by the clock) so its request can still be
+/// answered.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    ctx: &ConnCtx,
+    clock: &mut FrameClock,
+) -> std::io::Result<ReadOutcome> {
     let mut filled = 0;
     while filled < buf.len() {
-        if ctx.shared.stop.load(Ordering::SeqCst) {
-            if filled == 0 {
-                return Ok(false);
-            }
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::Interrupted,
-                "server shutting down mid-frame",
-            ));
+        let stopping = ctx.shared.stop.load(Ordering::SeqCst);
+        if stopping && !clock.mid_frame() && filled == 0 {
+            return Ok(ReadOutcome::CleanClose);
+        }
+        if clock.expired(stopping) {
+            return Ok(ReadOutcome::Deadline);
         }
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
-                if filled == 0 {
-                    return Ok(false);
+                if !clock.mid_frame() && filled == 0 {
+                    return Ok(ReadOutcome::CleanClose);
                 }
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "connection closed mid-frame",
                 ));
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                clock.arm();
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -270,17 +460,66 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], ctx: &ConnCtx) -> std::io::
             Err(e) => return Err(e),
         }
     }
-    Ok(true)
+    Ok(ReadOutcome::Done)
+}
+
+/// Read an `len`-byte payload in [`PAYLOAD_CHUNK`] steps, allocating
+/// only as bytes actually arrive — an adversarial length field costs
+/// the peer real bytes, not the server real memory.
+fn read_payload(
+    stream: &mut TcpStream,
+    len: usize,
+    ctx: &ConnCtx,
+    clock: &mut FrameClock,
+) -> std::io::Result<(Vec<u8>, ReadOutcome)> {
+    let mut payload = Vec::new();
+    while payload.len() < len {
+        let start = payload.len();
+        let step = (len - start).min(PAYLOAD_CHUNK);
+        payload.resize(start + step, 0);
+        match read_full(stream, &mut payload[start..], ctx, clock)? {
+            ReadOutcome::Done => {}
+            other => return Ok((payload, other)),
+        }
+    }
+    Ok((payload, ReadOutcome::Done))
+}
+
+/// Best-effort error frame + deadline-kill bookkeeping, then the
+/// caller closes the connection.
+fn kill_deadline(stream: &mut TcpStream, ctx: &ConnCtx) {
+    ctx.shared.deadline_kills.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::Error {
+        code: ErrorCode::DeadlineExceeded.as_u16(),
+        message: format!(
+            "frame did not complete within the {} ms deadline",
+            ctx.deadline_ms
+        ),
+    };
+    let (t, p) = resp.encode();
+    let _ = write_frame(stream, t, &p);
 }
 
 /// Serve one connection: read frames in order, answer each.
 fn handle_conn(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    if ctx.deadline_ms > 0 {
+        // SO_SNDTIMEO is per write call: a reader making *any* progress
+        // never trips it, a stalled reader does — the write-side twin
+        // of the frame deadline.
+        stream.set_write_timeout(Some(Duration::from_millis(ctx.deadline_ms)))?;
+    }
     stream.set_nodelay(true)?;
     loop {
+        let mut clock = FrameClock::new(ctx.deadline_ms);
         let mut header = [0u8; HEADER_LEN];
-        if !read_full(&mut stream, &mut header, ctx)? {
-            return Ok(()); // clean EOF or shutdown between frames
+        match read_full(&mut stream, &mut header, ctx, &mut clock)? {
+            ReadOutcome::Done => {}
+            ReadOutcome::CleanClose => return Ok(()),
+            ReadOutcome::Deadline => {
+                kill_deadline(&mut stream, ctx);
+                return Ok(());
+            }
         }
         let (msg_type, payload_len) = match decode_header(&header) {
             Ok(parsed) => parsed,
@@ -291,35 +530,95 @@ fn handle_conn(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
                     message: err.message().into(),
                 };
                 let (t, p) = resp.encode();
-                write_frame(&mut stream, t, &p)?;
+                write_response(&mut stream, ctx, t, &p)?;
                 if err.is_fatal() {
                     // Framing is gone; resynchronization is impossible.
                     return Ok(());
                 }
                 // UnsupportedVersion: framing is intact, so skip the
                 // payload and keep serving this connection.
-                let mut skip = vec![0u8; decode_payload_len(&header)];
-                if !read_full(&mut stream, &mut skip, ctx)? {
-                    return Ok(());
+                match read_payload(&mut stream, decode_payload_len(&header), ctx, &mut clock)?.1 {
+                    ReadOutcome::Done => continue,
+                    ReadOutcome::CleanClose => return Ok(()),
+                    ReadOutcome::Deadline => {
+                        kill_deadline(&mut stream, ctx);
+                        return Ok(());
+                    }
                 }
-                continue;
             }
         };
-        let mut payload = vec![0u8; payload_len];
-        if payload_len > 0 && !read_full(&mut stream, &mut payload, ctx)? {
-            return Ok(());
+        let (payload, outcome) = read_payload(&mut stream, payload_len, ctx, &mut clock)?;
+        match outcome {
+            ReadOutcome::Done => {}
+            ReadOutcome::CleanClose => return Ok(()),
+            ReadOutcome::Deadline => {
+                kill_deadline(&mut stream, ctx);
+                return Ok(());
+            }
         }
         ctx.shared.requests.fetch_add(1, Ordering::Relaxed);
-        let resp = match Request::decode(msg_type, &payload) {
-            Ok(req) => dispatch(req, ctx),
-            Err(err) => Response::Error {
-                code: err.code().as_u16(),
-                message: err.message().into(),
-            },
+        // Panic isolation: a request that panics answers Internal and
+        // costs its own connection — never the daemon. AssertUnwindSafe
+        // is sound here: the registry recovers poisoned locks
+        // (registry.rs), and all other captured state is either atomic
+        // or owned by this frame.
+        let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match Request::decode(msg_type, &payload) {
+                Ok(req) => dispatch(req, ctx),
+                Err(err) => Response::Error {
+                    code: err.code().as_u16(),
+                    message: err.message().into(),
+                },
+            }
+        }));
+        let resp = match dispatched {
+            Ok(resp) => resp,
+            Err(_) => {
+                ctx.shared.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    code: ErrorCode::Internal.as_u16(),
+                    message: "request panicked; the panic was isolated to this connection".into(),
+                };
+                let (t, p) = resp.encode();
+                let _ = write_response(&mut stream, ctx, t, &p);
+                return Ok(());
+            }
         };
         let (t, p) = resp.encode();
-        write_frame(&mut stream, t, &p)?;
+        write_response(&mut stream, ctx, t, &p)?;
+        if ctx.shared.stop.load(Ordering::SeqCst) {
+            // Drained: the in-flight frame was answered; close instead
+            // of waiting for another.
+            return Ok(());
+        }
     }
+}
+
+/// Write a response frame, converting a write-timeout stall into a
+/// deadline kill (counted; the caller sees `Err` and closes).
+fn write_response(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx,
+    msg_type: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    write_frame(stream, msg_type, payload).map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ctx.shared.deadline_kills.fetch_add(1, Ordering::Relaxed);
+            std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!(
+                    "response write stalled past the {} ms deadline",
+                    ctx.deadline_ms
+                ),
+            )
+        } else {
+            e
+        }
+    })
 }
 
 /// The payload length field alone (valid even when the version byte is
@@ -357,27 +656,32 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
             version,
             seed,
             archive,
-        } => match ctx.registry.get(&name, version) {
-            Ok(plan) => match repair_sharded(plan.as_ref(), &archive, seed, ctx) {
-                Ok((out_of_range, columns)) => {
-                    ctx.shared
-                        .rows_repaired
-                        .fetch_add(archive.len() as u64, Ordering::Relaxed);
-                    Response::Repaired {
-                        out_of_range,
-                        columns,
+        } => {
+            if ctx.chaos_panic_plan.as_deref() == Some(name.as_str()) {
+                panic!("chaos hook: injected panic for plan {name:?}");
+            }
+            match ctx.registry.get(&name, version) {
+                Ok(plan) => match repair_sharded(plan.as_ref(), &archive, seed, ctx) {
+                    Ok((out_of_range, columns)) => {
+                        ctx.shared
+                            .rows_repaired
+                            .fetch_add(archive.len() as u64, Ordering::Relaxed);
+                        Response::Repaired {
+                            out_of_range,
+                            columns,
+                        }
                     }
-                }
-                Err(msg) => Response::Error {
-                    code: ErrorCode::RepairFailed.as_u16(),
-                    message: msg,
+                    Err(msg) => Response::Error {
+                        code: ErrorCode::RepairFailed.as_u16(),
+                        message: msg,
+                    },
                 },
-            },
-            Err(e) => Response::Error {
-                code: e.code().as_u16(),
-                message: e.to_string(),
-            },
-        },
+                Err(e) => Response::Error {
+                    code: e.code().as_u16(),
+                    message: e.to_string(),
+                },
+            }
+        }
         Request::Info => Response::Info(ServerInfo {
             protocol_version: PROTOCOL_VERSION,
             plans: ctx.registry.len() as u32,
@@ -385,6 +689,11 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
             rows_repaired: ctx.shared.rows_repaired.load(Ordering::Relaxed),
             shards: ctx.shards as u32,
             threads: ctx.threads as u32,
+            accepted: ctx.shared.accepted.load(Ordering::Relaxed),
+            rejected_overload: ctx.shared.rejected_overload.load(Ordering::Relaxed),
+            deadline_kills: ctx.shared.deadline_kills.load(Ordering::Relaxed),
+            panics_caught: ctx.shared.panics_caught.load(Ordering::Relaxed),
+            max_conns: ctx.max_conns as u32,
         }),
     }
 }
@@ -447,5 +756,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn frame_clock_arms_on_first_byte_and_expires() {
+        let mut clock = FrameClock::new(1); // 1 ms deadline
+        assert!(!clock.mid_frame());
+        assert!(!clock.expired(false), "an unarmed clock never expires");
+        clock.arm();
+        assert!(clock.mid_frame());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(clock.expired(false));
+
+        // No deadline configured: never expires outside shutdown...
+        let mut free = FrameClock::new(0);
+        free.arm();
+        assert!(!free.expired(false));
+        // ...and during shutdown gets only the drain grace (not yet
+        // elapsed here).
+        assert!(!free.expired(true));
     }
 }

@@ -65,8 +65,10 @@ fn print_usage() {
                              [--seed N] [--threads N]\n\
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
            otrepair serve    [--bind ADDR] [--plans DIR] [--threads N] [--shards N]\n\
-                             [--batch-rows N] [--port-file PATH]\n\
-           otrepair client   <ping|info|plans|load|evict|repair> --addr HOST:PORT …\n\
+                             [--batch-rows N] [--max-conns N] [--deadline-ms N]\n\
+                             [--port-file PATH]\n\
+           otrepair client   <ping|info|plans|load|evict|repair> --addr HOST:PORT\n\
+                             [--retries N] [--timeout MS] …\n\
          \n\
          CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features.\n\
          \n\
@@ -110,13 +112,21 @@ fn print_usage() {
          \n\
          SERVING:\n\
            `otrepair serve` runs the otrepaird daemon in-process (same flags;\n\
-           see `otrepaird --help` and docs/operations.md). `otrepair client`\n\
-           talks to a running daemon:\n\
+           see `otrepaird --help` and docs/operations.md — --max-conns caps\n\
+           concurrent connections, --deadline-ms bounds each frame's arrival\n\
+           and each response write). `otrepair client` talks to a running\n\
+           daemon:\n\
              client ping|info|plans             --addr HOST:PORT\n\
              client load   --addr A --plan <json> --name N [--version V] [--joint]\n\
              client evict  --addr A --name N --version V\n\
              client repair --addr A --name N --data <csv> --out <csv>\n\
                            [--version V] [--seed N]\n\
+           Every client action retries transient failures (connection\n\
+           drops, Overloaded, DeadlineExceeded) with exponential backoff:\n\
+           --retries N bounds the retries (default 3; 0 = single attempt)\n\
+           and --timeout MS bounds the whole call across attempts\n\
+           (default 0 = unbounded). Retrying is safe because served repair\n\
+           is bit-deterministic in (plan, seed, archive).\n\
            Served repair output is byte-identical to an offline\n\
            `otrepair apply` with the same plan and --seed, whatever the\n\
            server's shard or thread policy (docs/determinism.md)."
@@ -489,9 +499,13 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `otrepair client <action>`: one scripted round trip per invocation.
+/// `otrepair client <action>`: one scripted round trip per invocation,
+/// through the retrying client (transient failures — connection drops,
+/// `Overloaded`, `DeadlineExceeded` — are retried with exponential
+/// backoff; permanent errors fail immediately).
 fn cmd_client(args: &[String]) -> CliResult {
-    use ot_fair_repair::serve::{Client, PlanKind};
+    use ot_fair_repair::serve::{PlanKind, RetryPolicy, RetryingClient};
+    use std::time::Duration;
 
     let action = args
         .first()
@@ -499,10 +513,18 @@ fn cmd_client(args: &[String]) -> CliResult {
         .ok_or("client needs an action: ping | info | plans | load | evict | repair")?;
     let rest = &args[1..];
     let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7878");
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut policy = RetryPolicy::default();
+    if let Some(retries) = opt(rest, "--retries") {
+        policy.retries = retries.parse()?;
+    }
+    let timeout_ms: u64 = opt(rest, "--timeout").map_or(Ok(0), str::parse)?;
+    if timeout_ms > 0 {
+        policy.call_deadline = Some(Duration::from_millis(timeout_ms));
+    }
+    let client = RetryingClient::new(addr, policy);
     match action {
         "ping" => {
-            client.ping()?;
+            client.ping().map_err(|e| format!("cannot reach {addr}: {e}"))?;
             println!("pong from {addr}");
         }
         "info" => {
@@ -516,6 +538,19 @@ fn cmd_client(args: &[String]) -> CliResult {
                 info.rows_repaired,
                 info.shards,
                 info.threads
+            );
+            println!(
+                "  lifetime: {} conns accepted, {} rejected overloaded (cap {}), \
+                 {} deadline kills, {} panics caught",
+                info.accepted,
+                info.rejected_overload,
+                if info.max_conns == 0 {
+                    "off".into()
+                } else {
+                    info.max_conns.to_string()
+                },
+                info.deadline_kills,
+                info.panics_caught
             );
         }
         "plans" => {

@@ -586,6 +586,10 @@ fn help_prints_usage() {
         "OTR_KERNEL_CELLS",
         "serve",
         "client",
+        "--max-conns",
+        "--deadline-ms",
+        "--retries",
+        "--timeout",
         "docs/operations.md",
     ] {
         assert!(text.contains(word), "usage missing {word}");

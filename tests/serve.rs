@@ -544,6 +544,207 @@ fn read_error_frame(stream: &mut TcpStream) -> (u16, String) {
     (code, String::from_utf8_lossy(&payload[2..]).into_owned())
 }
 
+/// Raw-socket abuse: slow loris, adversarial length prefixes, and a
+/// zero-length frame. Each must cost exactly its own connection — a
+/// healthy client working the same server throughout must never notice.
+#[test]
+fn raw_socket_abuse_is_contained_to_its_own_connection() {
+    let (research, archive) = split_data(18, 350, 200);
+    let json = scalar_plan(&research, 16).to_json().unwrap();
+    let server = TestServer::start(ServeConfig {
+        deadline_ms: 300,
+        ..ServeConfig::default()
+    });
+    let mut healthy = server.client();
+    healthy.load_plan(PlanKind::Scalar, "p", 1, &json).unwrap();
+    let reference = bits(&healthy.repair("p", 1, 4, &archive).unwrap().columns);
+
+    // 1. Slow loris: a complete header announcing a payload, then
+    // silence. The frame deadline must kill the connection with
+    // DeadlineExceeded instead of pinning a worker forever.
+    let mut loris = TcpStream::connect(&server.addr).unwrap();
+    loris
+        .write_all(&protocol::encode_header(request_type::PING, 64))
+        .unwrap();
+    let (code, msg) = read_error_frame(&mut loris);
+    assert_eq!(
+        ErrorCode::from_u16(code),
+        Some(ErrorCode::DeadlineExceeded),
+        "{msg}"
+    );
+    let mut probe = [0u8; 1];
+    assert!(
+        matches!(loris.read(&mut probe), Ok(0) | Err(_)),
+        "deadline-killed connection must be closed"
+    );
+
+    // 2. Length prefix just OVER MAX_PAYLOAD: unframeable, BadFrame,
+    // closed — and the server must not have tried to allocate it.
+    let mut oversized = TcpStream::connect(&server.addr).unwrap();
+    let mut header = protocol::encode_header(request_type::PING, 0);
+    header[8..].copy_from_slice(&((protocol::MAX_PAYLOAD as u32) + 1).to_be_bytes());
+    oversized.write_all(&header).unwrap();
+    let (code, _) = read_error_frame(&mut oversized);
+    assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::BadFrame));
+
+    // 3. Length prefix just UNDER the cap (exactly MAX_PAYLOAD), then
+    // silence: a legal header, so the server must wait — but
+    // progressively, allocating only as bytes arrive, until the
+    // deadline kills it. (If the server pre-allocated the announced
+    // size this test would cost 1 GiB.)
+    let mut huge = TcpStream::connect(&server.addr).unwrap();
+    let mut header = protocol::encode_header(request_type::PING, 0);
+    header[8..].copy_from_slice(&(protocol::MAX_PAYLOAD as u32).to_be_bytes());
+    huge.write_all(&header).unwrap();
+    let (code, _) = read_error_frame(&mut huge);
+    assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::DeadlineExceeded));
+
+    // 4. Zero-length REPAIR frame: structurally valid framing with an
+    // impossible payload → BadPayload, and the connection survives.
+    let mut empty = TcpStream::connect(&server.addr).unwrap();
+    empty
+        .write_all(&protocol::encode_header(request_type::REPAIR, 0))
+        .unwrap();
+    let (code, _) = read_error_frame(&mut empty);
+    assert_eq!(ErrorCode::from_u16(code), Some(ErrorCode::BadPayload));
+    empty
+        .write_all(&protocol::encode_header(request_type::PING, 0))
+        .unwrap();
+    let mut pong = [0u8; protocol::HEADER_LEN];
+    empty.read_exact(&mut pong).unwrap();
+    assert_eq!(pong[5], protocol::response_type::PONG);
+
+    // The healthy client never noticed any of it, and the served bytes
+    // still match.
+    assert_eq!(
+        bits(&healthy.repair("p", 1, 4, &archive).unwrap().columns),
+        reference,
+        "abuse on other connections changed a healthy client's bytes"
+    );
+    let info = healthy.info().unwrap();
+    assert!(
+        info.deadline_kills >= 2,
+        "loris + under-cap silence must both be counted, got {}",
+        info.deadline_kills
+    );
+}
+
+/// The connection governor: connections past `--max-conns` get an
+/// immediate polite `Overloaded` error frame; once a slot frees, new
+/// connections are served again.
+#[test]
+fn governor_rejects_past_max_conns_and_recovers() {
+    let server = TestServer::start(ServeConfig {
+        max_conns: 2,
+        ..ServeConfig::default()
+    });
+    // Two idle connections pin both slots (connections hold their slot
+    // until closed, not just while a request is in flight).
+    let hold_a = TcpStream::connect(&server.addr).unwrap();
+    let hold_b = TcpStream::connect(&server.addr).unwrap();
+    // The governor decision happens at accept; wait until both holds
+    // are accounted for before probing.
+    let mut rejected = None;
+    for _ in 0..50 {
+        let mut probe = TcpStream::connect(&server.addr).unwrap();
+        probe
+            .write_all(&protocol::encode_header(request_type::PING, 0))
+            .unwrap();
+        let mut header = [0u8; protocol::HEADER_LEN];
+        probe.read_exact(&mut header).unwrap();
+        if header[5] == protocol::response_type::ERROR {
+            let len = u32::from_be_bytes([header[8], header[9], header[10], header[11]]) as usize;
+            let mut payload = vec![0u8; len];
+            probe.read_exact(&mut payload).unwrap();
+            rejected = Some(u16::from_be_bytes([payload[0], payload[1]]));
+            break;
+        }
+        // The holds' accept may still be racing ours; give it a beat.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(
+        rejected.map(ErrorCode::from_u16),
+        Some(Some(ErrorCode::Overloaded)),
+        "third concurrent connection was never rejected"
+    );
+    assert!(server.handle.rejected_overload() >= 1);
+
+    // Release a slot; the next connection must be served normally.
+    drop(hold_a);
+    let mut ok = false;
+    for _ in 0..50 {
+        let mut client = server.client();
+        if client.ping().is_ok() {
+            ok = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(ok, "governor never recovered after a slot freed");
+    drop(hold_b);
+}
+
+/// A request that panics must cost its own connection an `Internal`
+/// error and nothing else: the daemon keeps serving and the registry
+/// keeps its plans.
+#[test]
+fn panicking_request_is_isolated_to_its_connection() {
+    let (research, archive) = split_data(19, 350, 200);
+    let json = scalar_plan(&research, 16).to_json().unwrap();
+    let server = TestServer::start(ServeConfig {
+        chaos_panic_plan: Some("poison".into()),
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+    client.load_plan(PlanKind::Scalar, "p", 1, &json).unwrap();
+
+    let mut victim = server.client();
+    let err = victim.repair("poison", 0, 1, &archive).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Internal), "{err}");
+    // That connection is dead...
+    assert!(victim.ping().is_err());
+    // ...but the daemon, the registry, and other connections are fine.
+    assert_eq!(client.list_plans().unwrap().len(), 1);
+    client.repair("p", 1, 1, &archive).unwrap();
+    assert_eq!(server.handle.panics_caught(), 1);
+}
+
+/// Satellite fix: the daemon removes its `--port-file` on clean
+/// shutdown, so scripts can't discover a dead port from a stale file.
+#[test]
+fn daemon_removes_port_file_on_clean_shutdown() {
+    use ot_fair_repair::serve::daemon::{self, DaemonArgs};
+
+    let dir = std::env::temp_dir().join(format!("otrepaird-portfile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let port_file = dir.join("port");
+    let args = DaemonArgs {
+        config: ServeConfig {
+            bind: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+        port_file: Some(port_file.clone()),
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let thread = {
+        let args = args.clone();
+        std::thread::spawn(move || daemon::run_with_handle(&args, move |h| tx.send(h).unwrap()))
+    };
+    let handle = rx.recv().unwrap();
+    // While serving, the file holds a connectable address.
+    let addr = std::fs::read_to_string(&port_file).unwrap();
+    Client::connect(&addr).unwrap().ping().unwrap();
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+    assert!(
+        !port_file.exists(),
+        "clean shutdown must remove the port file"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn client_surfaces_transport_and_server_errors_distinctly() {
     let server = TestServer::start(ServeConfig::default());
