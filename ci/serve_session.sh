@@ -20,8 +20,9 @@ SEED=13
 WORK=$(mktemp -d)
 PID=""
 PID2=""
+PID3=""
 cleanup() {
-    for p in "$PID" "$PID2"; do
+    for p in "$PID" "$PID2" "$PID3"; do
         [ -n "$p" ] && kill "$p" 2>/dev/null || true
         [ -n "$p" ] && wait "$p" 2>/dev/null || true
     done
@@ -118,4 +119,67 @@ kill "$PID2"
 wait "$PID2" 2>/dev/null || true
 PID2=""
 
-echo "serve session OK: lifecycle clean, overload handled politely, served output byte-identical to offline apply"
+echo "== drift lifecycle probe: watch / trip / hot-swap / audit =="
+mkdir "$WORK/plans"
+"$DAEMON" --bind 127.0.0.1:0 --plans "$WORK/plans" --port-file "$WORK/port3" &
+PID3=$!
+for _ in $(seq 100); do
+    [ -s "$WORK/port3" ] && break
+    if ! kill -0 "$PID3" 2>/dev/null; then
+        echo "drift-probe otrepaird exited before publishing its port" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$WORK/port3" ] || { echo "timed out waiting for port3 file" >&2; exit 1; }
+ADDR3=$(cat "$WORK/port3")
+echo "drift-probe daemon is listening on $ADDR3"
+
+"$BIN" client load --addr "$ADDR3" --plan "$WORK/plan.json" --name drift-plan --version 1
+# A plan loaded over the wire must land in --plans too.
+[ -f "$WORK/plans/drift-plan@1.json" ] || {
+    echo "wire-loaded plan was not persisted to --plans" >&2
+    exit 1
+}
+"$BIN" client watch --addr "$ADDR3" --name drift-plan \
+    --threshold 0.2 --trips 2 --check-every 100 --min-rows 200 | grep -q 'watching drift-plan@1'
+
+# Shift the archive fixture hard enough that the cumulative stratum
+# histograms leave the plan's research marginals behind.
+"$BIN" drift --data "$FIXTURES/archive.csv" --out "$WORK/drifted.csv" --mean-shift 3,3
+
+# Stream the drifted archive through the watched plan until the monitor
+# trips and the daemon hot-swaps (bounded rounds; each round feeds 600
+# drifted rows past deterministic row-count checkpoints).
+SWAPPED=""
+for _ in $(seq 5); do
+    "$BIN" client repair --addr "$ADDR3" --name drift-plan \
+        --data "$WORK/drifted.csv" --out "$WORK/drift-served.csv" --seed "$SEED"
+    if "$BIN" client drift --addr "$ADDR3" --name drift-plan | grep -q ', 1 swap(s)'; then
+        SWAPPED=yes
+        break
+    fi
+done
+[ -n "$SWAPPED" ] || { echo "drifted stream never tripped the watch" >&2; exit 1; }
+
+# The swap registered and persisted version 2, and the audit trail
+# names the lineage.
+"$BIN" client plans --addr "$ADDR3" | grep -q 'drift-plan@2'
+"$BIN" client audit --addr "$ADDR3" --name drift-plan | grep -q 'drift-plan@2 <- drift-plan@1'
+[ -f "$WORK/plans/drift-plan@2.json" ] || {
+    echo "hot-swapped version was not persisted to --plans" >&2
+    exit 1
+}
+
+echo "== swapped-in version serves bytes identical to offline apply of its artifact =="
+"$BIN" apply --plan "$WORK/plans/drift-plan@2.json" --data "$FIXTURES/archive.csv" \
+    --out "$WORK/offline-v2.csv" --seed "$SEED"
+"$BIN" client repair --addr "$ADDR3" --name drift-plan --version 2 \
+    --data "$FIXTURES/archive.csv" --out "$WORK/served-v2.csv" --seed "$SEED"
+cmp "$WORK/offline-v2.csv" "$WORK/served-v2.csv"
+
+kill "$PID3"
+wait "$PID3" 2>/dev/null || true
+PID3=""
+
+echo "serve session OK: lifecycle clean, overload handled politely, drift trip hot-swapped and audited, served output byte-identical to offline apply"

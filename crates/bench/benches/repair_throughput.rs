@@ -14,7 +14,7 @@
 //! * default (`cargo bench --bench repair_throughput`) — criterion
 //!   groups: throughput vs `nQ`, plan-design cost vs `nQ`, and
 //!   sequential-vs-parallel dataset repair on a 100k-row archive;
-//! * `--quick` — the CI perf-smoke gate, five legs written to JSON
+//! * `--quick` — the CI perf-smoke gate, six legs written to JSON
 //!   and (when `OTR_BENCH_BASELINE` names the committed baseline)
 //!   gated at a 25% regression margin:
 //!   1. **archival throughput** (`BENCH_throughput.json`): sequential
@@ -47,7 +47,12 @@
 //!      through the **forced** `SeparableNd` Kronecker kernel — the
 //!      representation that keeps this workload tractable at all (the
 //!      dense kernel would be 16.8M cells / 134 MB per solve) — with
-//!      byte-identity asserted across `OTR_THREADS ∈ {1, 2, 7}`.
+//!      byte-identity asserted across `OTR_THREADS ∈ {1, 2, 7}`;
+//!   6. **drift-lifecycle re-design** (`BENCH_redesign.json`): cold
+//!      entropic design on drifted research data vs a warm re-design
+//!      seeded from the stale plan's banked Sinkhorn duals (what
+//!      `otrepaird` runs on a drift trip), warm determinism asserted,
+//!      `warm_speedup` gated self-contained at ≥2x.
 
 use std::time::Instant;
 
@@ -238,6 +243,28 @@ struct Joint3Report {
     note: Option<String>,
 }
 
+/// The drift-lifecycle re-design leg: cold entropic design on drifted
+/// research data vs a warm re-design seeded from the previous plan's
+/// banked Sinkhorn duals (what `otrepaird` runs on a drift trip).
+#[derive(Debug, Serialize, Deserialize)]
+struct RedesignReport {
+    n_q: usize,
+    research_rows: usize,
+    /// The entropic backend both runs share (warm-start is a no-op
+    /// under the exact monotone solver, so this leg forces Sinkhorn
+    /// with the default ε-scaling schedule).
+    solver: String,
+    /// Cold design wall time on the drifted research set (full
+    /// ε-schedule from scratch).
+    cold_secs: f64,
+    /// Warm re-design wall time on the same drifted set, seeded from
+    /// the stale plan's duals (single solve at the final ε).
+    warm_secs: f64,
+    /// `cold_secs / warm_secs` — a within-run ratio, gated
+    /// self-contained at ≥ 2x on any runner.
+    warm_speedup: f64,
+}
+
 /// The serving leg: sustained rows/sec through a live `otrepaird` on
 /// loopback under concurrent clients, wire encode/decode included.
 #[derive(Debug, Serialize, Deserialize)]
@@ -273,6 +300,11 @@ struct BenchBaseline {
     /// disarms the `d = 3` joint gate.
     #[serde(default)]
     joint3: Option<Joint3Report>,
+    /// `serde(default)` keeps pre-lifecycle baselines readable; `None`
+    /// disarms the cold-redesign rate floor (the warm-speedup floor is
+    /// within-run and needs no baseline).
+    #[serde(default)]
+    redesign: Option<RedesignReport>,
 }
 
 /// The workspace root (cargo runs bench binaries with the *package*
@@ -617,6 +649,66 @@ fn quick_joint3() -> Joint3Report {
     report
 }
 
+/// Leg 6 — drift-lifecycle re-design: the work `otrepaird` performs on
+/// a drift trip, measured warm vs cold. A previous plan is designed
+/// under the Sinkhorn backend with the default ε-scaling schedule
+/// (banking converged duals per stratum), the research distribution is
+/// drifted, and the same planner then re-solves the drifted problem
+/// both ways: a cold `design` (full ε-schedule from scratch) and a
+/// warm `redesign` seeded from the stale plan's duals (one solve at
+/// the final ε). Warm determinism — two warm re-designs must agree
+/// byte-for-byte — is asserted before any timing; the warm-vs-cold
+/// speedup is a within-run ratio gated self-contained at ≥ 2x.
+fn quick_redesign() -> RedesignReport {
+    use otr_core::SolverBackend;
+    use otr_data::Drift;
+    use otr_ot::EpsSchedule;
+
+    let n_q: usize = std::env::var("OTR_BENCH_REDESIGN_NQ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let research_rows = 500;
+    let mut cfg = RepairConfig::with_n_q(n_q);
+    cfg.solver = SolverBackend::sinkhorn_scaled(0.05, EpsSchedule::geometric(1.0, 0.25));
+    eprintln!(
+        "perf-smoke[redesign]: nQ = {n_q}, {research_rows} research rows, solver = {}",
+        cfg.solver,
+    );
+
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(6);
+    let research = spec.sample_dataset(research_rows, &mut rng).unwrap();
+    let planner = RepairPlanner::new(cfg);
+    let previous = planner.design(&research).unwrap();
+    let drifted = Drift::MeanShift(vec![0.8, -0.5]).apply(&research).unwrap();
+
+    // Warm re-design is a deterministic function of (config, research,
+    // previous duals): two runs must produce the identical artifact.
+    let warm_a = planner.redesign(&drifted, &previous).unwrap();
+    let warm_b = planner.redesign(&drifted, &previous).unwrap();
+    assert!(
+        warm_a.to_json().unwrap() == warm_b.to_json().unwrap(),
+        "warm re-design is not deterministic"
+    );
+
+    let cold_secs = best_of(3, || planner.design(&drifted).unwrap());
+    let warm_secs = best_of(3, || planner.redesign(&drifted, &previous).unwrap());
+    let report = RedesignReport {
+        n_q,
+        research_rows,
+        solver: planner.config().solver.to_string(),
+        cold_secs,
+        warm_secs,
+        warm_speedup: cold_secs / warm_secs,
+    };
+    println!(
+        "redesign cold: {:.4} s\nredesign warm: {:.4} s — {:.2}x faster seeded from banked duals",
+        report.cold_secs, report.warm_secs, report.warm_speedup
+    );
+    report
+}
+
 /// Leg 4 — repair-as-a-service throughput: a live `otrepaird` on a
 /// loopback socket, a registered plan, and concurrent clients repairing
 /// the same archive, wall-clocked end to end (framing, socket copies,
@@ -726,6 +818,7 @@ fn quick_gate() {
     let joint_repair = quick_joint();
     let serve = quick_serve();
     let joint3 = quick_joint3();
+    let redesign = quick_redesign();
 
     for (name, json) in [
         (
@@ -747,6 +840,10 @@ fn quick_gate() {
         (
             "BENCH_joint3.json",
             serde_json::to_string_pretty(&joint3).unwrap(),
+        ),
+        (
+            "BENCH_redesign.json",
+            serde_json::to_string_pretty(&redesign).unwrap(),
         ),
     ] {
         let out_path = workspace_root().join(name);
@@ -841,6 +938,16 @@ fn quick_gate() {
             "runs/s",
         );
     }
+    // The cold-redesign rate floor arms once the baseline records the
+    // lifecycle leg (pre-lifecycle baselines deserialize it as None).
+    if let Some(base) = &baseline.redesign {
+        gate_rate(
+            "cold redesign",
+            1.0 / redesign.cold_secs,
+            1.0 / base.cold_secs,
+            "designs/s",
+        );
+    }
     // Speedup legs only arm when the baseline recorded a genuine
     // parallel win AND this runner has the threads to reproduce one
     // (a single-core runner can never show a speedup).
@@ -917,6 +1024,23 @@ fn quick_gate() {
         eprintln!(
             "perf gate: columnar-vs-row layout speedup {:.2}x >= 1.5x — ok",
             throughput.layout_speedup
+        );
+    }
+    // The warm re-design floor: seeding from banked duals must keep a
+    // drift-trip re-design ≥2x faster than solving cold. A within-run
+    // ratio like the kernel and layout floors — self-contained on any
+    // runner.
+    if redesign.warm_speedup < 2.0 {
+        eprintln!(
+            "perf regression: warm re-design is only {:.2}x faster than cold (floor 2.0x) \
+             — the dual warm-start path may have degraded",
+            redesign.warm_speedup
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "perf gate: warm-vs-cold redesign speedup {:.2}x >= 2.0x — ok",
+            redesign.warm_speedup
         );
     }
     if failed {

@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 use otr_data::{Dataset, GroupKey, LabelledPoint};
 use otr_ot::{
     entropic_barycentre_grid_nd, BarycentreConfig, BarycentreDiagnostics, CostMatrix, EpsSchedule,
-    KernelChoice, OtPlan, Solver1d as _, SolverBackend,
+    KernelChoice, OtPlan, SinkhornDuals, Solver1d as _, SolverBackend,
 };
 use otr_par::{splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
@@ -149,6 +149,12 @@ struct JointStratum {
     points: Vec<f64>,
     /// Per-`s` plans onto the barycentre.
     plans: [OtPlan; 2],
+    /// Converged Sinkhorn dual potentials of the solves that produced
+    /// `plans` (per `s`; `None` under the simplex backend). Persisted so
+    /// a re-design against drifted data can warm-start; absent in plan
+    /// JSON written before the lifecycle existed (defaults to cold).
+    #[serde(default)]
+    duals: [Option<SinkhornDuals>; 2],
     /// Per-row alias samplers (derived; rebuilt by
     /// [`JointStratum::compile`]).
     #[serde(skip)]
@@ -306,6 +312,37 @@ impl JointRepairPlan {
         Self::design_with_report(research, config).map(|(plan, _)| plan)
     }
 
+    /// Re-design against (typically drifted) research data, warm-starting
+    /// each stratum's per-`s` OT solves from the dual potentials stored
+    /// in `previous` — the joint arm of the drift-aware lifecycle.
+    /// Entropic backends skip their ε-schedule when warm duals of the
+    /// right shape are present (a resolution change degrades to cold);
+    /// the barycentre stage is unchanged. Deterministic: a pure function
+    /// of `(config, research, previous duals)`, bit-identical for any
+    /// thread count.
+    ///
+    /// # Errors
+    /// As [`JointRepairPlan::design`].
+    pub fn redesign(
+        research: &Dataset,
+        config: JointRepairConfig,
+        previous: &Self,
+    ) -> Result<Self> {
+        Self::redesign_with_report(research, config, previous).map(|(plan, _)| plan)
+    }
+
+    /// [`JointRepairPlan::redesign`] returning the design report.
+    ///
+    /// # Errors
+    /// As [`JointRepairPlan::design`].
+    pub fn redesign_with_report(
+        research: &Dataset,
+        config: JointRepairConfig,
+        previous: &Self,
+    ) -> Result<(Self, JointDesignReport)> {
+        Self::design_with_report_warm(research, config, Some(previous))
+    }
+
     /// [`JointRepairPlan::design`] returning the designed plan **and**
     /// its [`JointDesignReport`] (barycentre convergence per stratum,
     /// ε-schedule stage stats, plan transport costs, wall time).
@@ -315,6 +352,14 @@ impl JointRepairPlan {
     pub fn design_with_report(
         research: &Dataset,
         config: JointRepairConfig,
+    ) -> Result<(Self, JointDesignReport)> {
+        Self::design_with_report_warm(research, config, None)
+    }
+
+    fn design_with_report_warm(
+        research: &Dataset,
+        config: JointRepairConfig,
+        previous: Option<&Self>,
     ) -> Result<(Self, JointDesignReport)> {
         if research.dim() < 2 {
             return Err(RepairError::PlanMismatch(format!(
@@ -358,7 +403,10 @@ impl JointRepairPlan {
         // design them concurrently with a deterministic error order.
         let start = Instant::now();
         let designed = try_par_map_indexed(2, config.threads, |u| {
-            Self::design_stratum(research, u as u8, &config)
+            let warm = previous
+                .map(|p| [p.strata[u].duals[0].as_ref(), p.strata[u].duals[1].as_ref()])
+                .unwrap_or([None, None]);
+            Self::design_stratum(research, u as u8, &config, warm)
         })?;
         let design_secs = start.elapsed().as_secs_f64();
         let mut strata = Vec::with_capacity(2);
@@ -390,6 +438,7 @@ impl JointRepairPlan {
         research: &Dataset,
         u: u8,
         config: &JointRepairConfig,
+        warm: [Option<&SinkhornDuals>; 2],
     ) -> Result<(JointStratum, JointStratumReport)> {
         let d = research.dim();
         let mut cols: [Vec<Vec<f64>>; 2] = Default::default();
@@ -476,19 +525,23 @@ impl JointRepairPlan {
         // the entropic backend can factorize its kernel too.
         let cost = CostMatrix::squared_euclidean_grid_nd(&axis_refs)?;
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
+        let mut duals: Vec<Option<SinkhornDuals>> = Vec::with_capacity(2);
         let mut plan_transport_cost = [0.0f64; 2];
         for (s, pmf) in pmfs.iter().enumerate() {
-            let plan = config.plan_solver().solve_with_cost_kernel(
+            let (plan, d) = config.plan_solver().solve_with_cost_warm(
                 pmf,
                 &bary,
                 &cost,
                 config.threads,
                 config.kernel,
+                warm[s],
             )?;
             plan_transport_cost[s] = plan.transport_cost(&cost)?;
             plans.push(plan);
+            duals.push(d);
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
+        let duals: [Option<SinkhornDuals>; 2] = [duals.remove(0), duals.remove(0)];
 
         let mut stratum = JointStratum {
             // The legacy 2-feature fields stay populated at d = 2 so
@@ -500,6 +553,7 @@ impl JointRepairPlan {
             axes,
             points: Vec::new(), // derived; compile() rebuilds it
             plans,
+            duals,
             samplers: [Vec::new(), Vec::new()],
         };
         stratum.compile(u)?;
@@ -831,6 +885,47 @@ mod tests {
     }
 
     #[test]
+    fn joint_warm_redesign_agrees_with_cold_design() {
+        use otr_data::Drift;
+
+        let spec = correlation_spec();
+        let mut rng = StdRng::seed_from_u64(17);
+        let original = spec.sample_dataset(700, &mut rng).unwrap();
+        let mut cfg = JointRepairConfig::default();
+        cfg.n_q = 8;
+        let previous = JointRepairPlan::design(&original, cfg).unwrap();
+        for stratum in &previous.strata {
+            assert!(
+                stratum.duals[0].is_some() && stratum.duals[1].is_some(),
+                "entropic joint design must bank duals"
+            );
+        }
+
+        let drifted = Drift::MeanShift(vec![0.5, -0.5]).apply(&original).unwrap();
+        let cold = JointRepairPlan::design(&drifted, cfg).unwrap();
+        let (warm, _report) =
+            JointRepairPlan::redesign_with_report(&drifted, cfg, &previous).unwrap();
+
+        // Same final ε, same (µ, ν, cost) per stratum: the converged
+        // plans agree within solver tolerance even though the warm path
+        // skipped the ε-schedule.
+        for (c, w) in cold.strata.iter().zip(&warm.strata) {
+            assert_eq!(c.axes, w.axes);
+            let axis_refs: Vec<&[f64]> = c.axes.iter().map(Vec::as_slice).collect();
+            let cost = CostMatrix::squared_euclidean_grid_nd(&axis_refs).unwrap();
+            for s in 0..2usize {
+                let cc = c.plans[s].transport_cost(&cost).unwrap();
+                let wc = w.plans[s].transport_cost(&cost).unwrap();
+                assert!(
+                    (cc - wc).abs() <= 1e-5 * cc.abs().max(1.0),
+                    "s = {s}: cold cost {cc} vs warm cost {wc}"
+                );
+                assert!(w.duals[s].is_some(), "warm redesign dropped duals");
+            }
+        }
+    }
+
+    #[test]
     fn design_report_surfaces_barycentre_convergence() {
         let spec = correlation_spec();
         let mut rng = StdRng::seed_from_u64(9);
@@ -893,6 +988,7 @@ mod tests {
             axes: Vec::new(),
             points: Vec::new(),
             plans: [plan3.clone(), plan3],
+            duals: [None, None],
             samplers: [Vec::new(), Vec::new()],
         };
         assert!(matches!(
@@ -907,6 +1003,7 @@ mod tests {
             axes: Vec::new(),
             points: Vec::new(),
             plans: [plan2.clone(), plan2],
+            duals: [None, None],
             samplers: [Vec::new(), Vec::new()],
         };
         assert!(matches!(
@@ -921,6 +1018,7 @@ mod tests {
             axes: Vec::new(),
             points: Vec::new(),
             plans: [plan2.clone(), plan2],
+            duals: [None, None],
             samplers: [Vec::new(), Vec::new()],
         };
         assert!(matches!(

@@ -72,6 +72,7 @@ pub mod damage;
 pub mod error;
 pub mod geometric;
 pub mod joint;
+pub mod lifecycle;
 pub mod monge;
 pub mod plan;
 pub mod repair;
@@ -85,6 +86,7 @@ pub use geometric::GeometricRepair;
 pub use joint::{
     BarycentreStageStat, JointDesignReport, JointRepairConfig, JointRepairPlan, JointStratumReport,
 };
+pub use lifecycle::{plan_group_divergences, DriftConfig, DriftMonitor, StratumDrift};
 pub use monge::MongeRepair;
 pub use otr_ot::KernelChoice;
 pub use plan::{FeaturePlan, RepairPlan, RepairPlanner};

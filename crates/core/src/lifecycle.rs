@@ -1,0 +1,514 @@
+//! Drift-aware plan lifecycle: a streaming monitor that compares
+//! incoming archival batches against the marginals a [`RepairPlan`]
+//! was designed from.
+//!
+//! The paper's repair is designed once on a research snapshot and then
+//! applied to an archival stream. When the archive's `(s, u)`-stratum
+//! marginals drift away from the research marginals recorded in the
+//! plan, the designed transport maps stop being the right maps. The
+//! [`DriftMonitor`] watches for exactly that: it folds every observed
+//! archival row into per-`(u, k, s)` histograms binned on the plan's
+//! own interpolated support `Q_{u,k}`, and at deterministic row-count
+//! checkpoints evaluates the symmetrized KL divergence between the
+//! cumulative empirical pmf and the plan's recorded marginal — the same
+//! divergence the paper's `E` metric is built from.
+//!
+//! # Determinism
+//!
+//! The monitor's decision path is a pure function of the *row stream*:
+//! checkpoints fire when the cumulative row count crosses multiples of
+//! [`DriftConfig::check_every`], never on wall-clock time or batch
+//! boundaries. Feeding the same rows in the same order trips the
+//! monitor at the same row index, no matter how the stream was chopped
+//! into batches (one call of 10 000 rows and 10 000 calls of 1 row are
+//! indistinguishable). Hysteresis is a consecutive-checkpoint counter:
+//! the monitor only trips after [`DriftConfig::trips`] consecutive
+//! over-threshold checkpoints, and a single healthy checkpoint resets
+//! the streak.
+
+use serde::{Deserialize, Serialize};
+
+use otr_data::Dataset;
+use otr_stats::{sym_kl_divergence, Histogram};
+
+use crate::error::{RepairError, Result};
+use crate::plan::RepairPlan;
+
+/// Thresholds and cadence for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Divergence level (symmetrized KL, nats) above which a checkpoint
+    /// counts as drifted.
+    pub threshold: f64,
+    /// Consecutive over-threshold checkpoints required to trip.
+    pub trips: u32,
+    /// Evaluate a checkpoint every this many observed rows.
+    pub check_every: u64,
+    /// No checkpoint fires before this many rows have been observed
+    /// (early empirical pmfs are noise, not drift).
+    pub min_rows: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.5,
+            trips: 2,
+            check_every: 256,
+            min_rows: 512,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validate the thresholds.
+    ///
+    /// # Errors
+    /// Requires a positive finite threshold, at least one trip, and a
+    /// positive checkpoint cadence.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.threshold > 0.0) || !self.threshold.is_finite() {
+            return Err(RepairError::InvalidParameter {
+                name: "threshold",
+                reason: format!("must be positive and finite, got {}", self.threshold),
+            });
+        }
+        if self.trips == 0 {
+            return Err(RepairError::InvalidParameter {
+                name: "trips",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.check_every == 0 {
+            return Err(RepairError::InvalidParameter {
+                name: "check_every",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Latest per-stratum divergence snapshot, one entry per `(u, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratumDrift {
+    /// Unprotected group.
+    pub u: u8,
+    /// Feature index.
+    pub k: usize,
+    /// Symmetrized KL of the cumulative archive pmf vs the plan's
+    /// research marginal, indexed by `s`. `NaN`-free: strata with no
+    /// observations yet report `0.0`.
+    pub divergence: [f64; 2],
+}
+
+/// One monitored `(u, k)` stratum: the plan's reference marginals and
+/// the cumulative archival histograms on the same support.
+#[derive(Debug, Clone)]
+struct StratumState {
+    u: u8,
+    k: usize,
+    /// Reference pmfs `µ_{u,s,k}` recorded by the plan, indexed by `s`.
+    reference: [Vec<f64>; 2],
+    /// Cumulative archival histograms on the plan support, indexed by `s`.
+    hist: [Histogram; 2],
+    divergence: [f64; 2],
+}
+
+/// Streaming drift monitor for one [`RepairPlan`].
+///
+/// Feed archival batches through [`DriftMonitor::observe`]; poll
+/// [`DriftMonitor::tripped`] after each batch. See the module docs for
+/// the determinism contract.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    dim: usize,
+    strata: Vec<StratumState>,
+    rows_seen: u64,
+    checks: u64,
+    consecutive: u32,
+    tripped: bool,
+    max_divergence: f64,
+}
+
+impl DriftMonitor {
+    /// Arm a monitor against a designed plan: one histogram pair per
+    /// `(u, k)` stratum, binned on that stratum's support grid.
+    ///
+    /// # Errors
+    /// Rejects invalid configs and degenerate plan supports.
+    pub fn for_plan(plan: &RepairPlan, config: DriftConfig) -> Result<Self> {
+        config.validate()?;
+        let mut strata = Vec::with_capacity(plan.feature_plans().len());
+        for fp in plan.feature_plans() {
+            let hist = Histogram::centred_on_grid(&fp.support)?;
+            strata.push(StratumState {
+                u: fp.u,
+                k: fp.k,
+                reference: [
+                    fp.marginals[0].masses().to_vec(),
+                    fp.marginals[1].masses().to_vec(),
+                ],
+                hist: [hist.clone(), hist],
+                divergence: [0.0, 0.0],
+            });
+        }
+        Ok(Self {
+            config,
+            dim: plan.dim,
+            strata,
+            rows_seen: 0,
+            checks: 0,
+            consecutive: 0,
+            tripped: false,
+            max_divergence: 0.0,
+        })
+    }
+
+    /// Fold a batch of archival rows into the monitor, evaluating a
+    /// checkpoint at every `check_every`-row boundary crossed inside
+    /// the batch.
+    ///
+    /// # Errors
+    /// Rejects data whose dimension differs from the monitored plan's.
+    pub fn observe(&mut self, data: &Dataset) -> Result<()> {
+        if data.dim() != self.dim {
+            return Err(RepairError::PlanMismatch(format!(
+                "drift monitor armed for dim {}, observed dim {}",
+                self.dim,
+                data.dim()
+            )));
+        }
+        for p in data.points() {
+            for st in &mut self.strata {
+                if st.u == p.u {
+                    st.hist[p.s as usize].push(p.x[st.k]);
+                }
+            }
+            self.rows_seen += 1;
+            if self.rows_seen >= self.config.min_rows
+                && self.rows_seen.is_multiple_of(self.config.check_every)
+            {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one checkpoint over the cumulative histograms.
+    fn checkpoint(&mut self) -> Result<()> {
+        self.checks += 1;
+        let mut worst = 0.0f64;
+        for st in &mut self.strata {
+            for s in 0..2 {
+                // An empirical KL estimate over B bins carries a
+                // ~(B−1)/2N small-sample bias; below ~8 samples per bin
+                // that bias alone can cross any reasonable threshold.
+                // Subgroups that thin are "not enough evidence yet",
+                // not drift. (A pure count gate — batch invariant.)
+                let counts = st.hist[s].counts();
+                if st.hist[s].total() < 8 * counts.len() as u64 {
+                    st.divergence[s] = 0.0;
+                    continue;
+                }
+                // Jeffreys (α = ½) additive smoothing: a raw empirical
+                // pmf has hard zeros wherever the stream happens not to
+                // have landed yet, and symmetrized KL against the
+                // smooth KDE reference turns each of those into a large
+                // spurious term. The smoothed pmf is still a pure
+                // function of the cumulative counts, so batch-size
+                // invariance is untouched.
+                let denom = st.hist[s].total() as f64 + 0.5 * counts.len() as f64;
+                let pmf: Vec<f64> = counts.iter().map(|&c| (c as f64 + 0.5) / denom).collect();
+                // Blend the reference with 1% uniform mass: the KDE
+                // marginal's tail bins can be ~1e-12, and symmetrized
+                // KL against any finite sample would book those as
+                // drift forever.
+                let b = counts.len() as f64;
+                let reference: Vec<f64> = st.reference[s]
+                    .iter()
+                    .map(|&m| 0.99 * m + 0.01 / b)
+                    .collect();
+                let d = sym_kl_divergence(&pmf, &reference)?;
+                st.divergence[s] = d;
+                worst = worst.max(d);
+            }
+        }
+        self.max_divergence = worst;
+        if worst > self.config.threshold {
+            self.consecutive += 1;
+            if self.consecutive >= self.config.trips {
+                self.tripped = true;
+            }
+        } else {
+            self.consecutive = 0;
+        }
+        Ok(())
+    }
+
+    /// Whether the monitor has tripped (latched until [`Self::reset`]).
+    #[inline]
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Rows observed so far.
+    #[inline]
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Checkpoints evaluated so far.
+    #[inline]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Current consecutive over-threshold checkpoint streak.
+    #[inline]
+    pub fn consecutive(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Worst per-stratum divergence at the latest checkpoint.
+    #[inline]
+    pub fn max_divergence(&self) -> f64 {
+        self.max_divergence
+    }
+
+    /// The armed configuration.
+    #[inline]
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Latest per-stratum divergence snapshot (ordered `u`-major, like
+    /// [`RepairPlan::feature_plans`]).
+    pub fn divergences(&self) -> Vec<StratumDrift> {
+        self.strata
+            .iter()
+            .map(|st| StratumDrift {
+                u: st.u,
+                k: st.k,
+                divergence: st.divergence,
+            })
+            .collect()
+    }
+
+    /// Re-arm against a (re-designed) plan: fresh histograms and
+    /// counters, same config. The observed-row history does not carry
+    /// over — the new plan's marginals are the new baseline.
+    ///
+    /// # Errors
+    /// Same as [`Self::for_plan`].
+    pub fn reset(&mut self, plan: &RepairPlan) -> Result<()> {
+        *self = Self::for_plan(plan, self.config)?;
+        Ok(())
+    }
+}
+
+/// Per-`(u, k)` symmetrized KL between the two protected-group research
+/// marginals a plan recorded — the per-stratum disparity `E` is built
+/// from. The lifecycle audit books this before/after a hot swap so
+/// operators can see what the re-design bought.
+///
+/// # Errors
+/// Propagates divergence failures (degenerate marginals).
+pub fn plan_group_divergences(plan: &RepairPlan) -> Result<Vec<(u8, usize, f64)>> {
+    plan.feature_plans()
+        .iter()
+        .map(|fp| {
+            let d = sym_kl_divergence(fp.marginals[0].masses(), fp.marginals[1].masses())?;
+            Ok((fp.u, fp.k, d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RepairConfig;
+    use crate::plan::RepairPlanner;
+    use otr_data::{Drift, SimulationSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn designed_plan_and_archive() -> (RepairPlan, Dataset) {
+        let spec = SimulationSpec::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(41);
+        let research = spec.sample_dataset(1_500, &mut rng).unwrap();
+        let archive = spec.sample_dataset(3_000, &mut rng).unwrap();
+        let planner = RepairPlanner::new(RepairConfig {
+            n_q: 32,
+            ..RepairConfig::default()
+        });
+        (planner.design(&research).unwrap(), archive)
+    }
+
+    fn chunked_feed(monitor: &mut DriftMonitor, data: &Dataset, chunk: usize) {
+        let pts = data.points();
+        let mut i = 0;
+        while i < pts.len() {
+            let end = (i + chunk).min(pts.len());
+            let batch = Dataset::from_points(pts[i..end].to_vec()).unwrap();
+            monitor.observe(&batch).unwrap();
+            i = end;
+        }
+    }
+
+    #[test]
+    fn in_distribution_stream_never_trips() {
+        let (plan, archive) = designed_plan_and_archive();
+        let mut m = DriftMonitor::for_plan(&plan, DriftConfig::default()).unwrap();
+        m.observe(&archive).unwrap();
+        assert!(!m.tripped(), "max divergence {}", m.max_divergence());
+        assert!(m.checks() > 0);
+        assert_eq!(m.rows_seen(), archive.len() as u64);
+    }
+
+    #[test]
+    fn drifted_stream_trips_at_the_same_row_for_any_batch_size() {
+        let (plan, archive) = designed_plan_and_archive();
+        let drifted = Drift::MeanShift(vec![4.0, 4.0]).apply(&archive).unwrap();
+        let config = DriftConfig {
+            threshold: 0.2,
+            trips: 2,
+            check_every: 100,
+            min_rows: 200,
+        };
+
+        let mut trip_rows = Vec::new();
+        for chunk in [1usize, 7, 64, drifted.len()] {
+            let mut m = DriftMonitor::for_plan(&plan, config).unwrap();
+            // Feed row ranges and record the first tripping row index.
+            let pts = drifted.points();
+            let mut tripped_at = None;
+            let mut i = 0;
+            while i < pts.len() {
+                let end = (i + chunk).min(pts.len());
+                let batch = Dataset::from_points(pts[i..end].to_vec()).unwrap();
+                m.observe(&batch).unwrap();
+                if tripped_at.is_none() && m.tripped() {
+                    // Trip row is a checkpoint boundary inside the batch.
+                    tripped_at = Some(m.checks());
+                }
+                i = end;
+            }
+            assert!(m.tripped(), "chunk {chunk} never tripped");
+            trip_rows.push((chunk, m.checks(), m.consecutive(), m.max_divergence()));
+        }
+        // Full-stream fold must agree exactly with row-at-a-time folds:
+        // same checkpoint count, streak, and divergence bits.
+        let (_, checks0, consec0, div0) = trip_rows[0];
+        for &(chunk, checks, consec, div) in &trip_rows[1..] {
+            assert_eq!(checks, checks0, "chunk {chunk} checkpoint count");
+            assert_eq!(consec, consec0, "chunk {chunk} streak");
+            assert_eq!(div.to_bits(), div0.to_bits(), "chunk {chunk} divergence");
+        }
+    }
+
+    #[test]
+    fn hysteresis_needs_consecutive_checkpoints() {
+        let (plan, archive) = designed_plan_and_archive();
+        let drifted = Drift::MeanShift(vec![4.0, 4.0]).apply(&archive).unwrap();
+        let config = DriftConfig {
+            threshold: 0.2,
+            trips: 1_000_000, // unreachable
+            check_every: 100,
+            min_rows: 100,
+        };
+        let mut m = DriftMonitor::for_plan(&plan, config).unwrap();
+        chunked_feed(&mut m, &drifted, 500);
+        assert!(!m.tripped(), "trips floor ignored");
+        assert!(m.consecutive() > 0, "drift not even counted");
+        assert!(m.max_divergence() > config.threshold);
+    }
+
+    #[test]
+    fn reset_rearms_against_the_new_plan() {
+        let (plan, archive) = designed_plan_and_archive();
+        let drifted = Drift::MeanShift(vec![4.0, 4.0]).apply(&archive).unwrap();
+        let config = DriftConfig {
+            threshold: 0.2,
+            trips: 1,
+            check_every: 100,
+            min_rows: 100,
+        };
+        let mut m = DriftMonitor::for_plan(&plan, config).unwrap();
+        m.observe(&drifted).unwrap();
+        assert!(m.tripped());
+
+        // Re-design on the drifted data and re-arm: the same stream is
+        // now in-distribution.
+        let planner = RepairPlanner::new(plan.config);
+        let new_plan = planner.redesign(&drifted, &plan).unwrap();
+        m.reset(&new_plan).unwrap();
+        assert!(!m.tripped());
+        assert_eq!(m.rows_seen(), 0);
+        m.observe(&drifted).unwrap();
+        assert!(
+            !m.tripped(),
+            "re-designed plan still drifted: {}",
+            m.max_divergence()
+        );
+    }
+
+    #[test]
+    fn redesign_on_drifted_data_shrinks_the_group_divergence_gap_change() {
+        let (plan, archive) = designed_plan_and_archive();
+        let drifted = Drift::GroupShift {
+            s: 0,
+            shift: vec![2.0, 2.0],
+        }
+        .apply(&archive)
+        .unwrap();
+        let before = plan_group_divergences(&plan).unwrap();
+        assert_eq!(before.len(), plan.feature_plans().len());
+        // The plan's own research marginals differ across s by design.
+        assert!(before.iter().all(|(_, _, d)| d.is_finite() && *d >= 0.0));
+        // After a group shift widens the disparity, a redesign on the
+        // drifted data books a larger per-stratum E than the stale plan.
+        let planner = RepairPlanner::new(plan.config);
+        let new_plan = planner.redesign(&drifted, &plan).unwrap();
+        let after = plan_group_divergences(&new_plan).unwrap();
+        assert_eq!(after.len(), before.len());
+        assert!(
+            after.iter().map(|(_, _, d)| d).sum::<f64>()
+                > before.iter().map(|(_, _, d)| d).sum::<f64>(),
+            "group shift should widen the measured disparity"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config_and_dimension_mismatch() {
+        let (plan, _) = designed_plan_and_archive();
+        for bad in [
+            DriftConfig {
+                threshold: 0.0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                trips: 0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                check_every: 0,
+                ..DriftConfig::default()
+            },
+        ] {
+            assert!(DriftMonitor::for_plan(&plan, bad).is_err());
+        }
+        let mut m = DriftMonitor::for_plan(&plan, DriftConfig::default()).unwrap();
+        let spec = SimulationSpec {
+            means: [
+                [vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]],
+                [vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]],
+            ],
+            ..SimulationSpec::paper_defaults()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let three_d = spec.sample_dataset(100, &mut rng).unwrap();
+        assert!(m.observe(&three_d).is_err());
+    }
+}

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use otr_data::{ColumnarDataset, Dataset, GroupKey, LabelledPoint};
-use otr_ot::{quantile_barycentre, DiscreteDistribution, OtPlan, Solver1d as _};
+use otr_ot::{quantile_barycentre, DiscreteDistribution, OtPlan, SinkhornDuals, Solver1d as _};
 use otr_par::{par_cols_mut, splitmix_seed, try_par_map_indexed};
 use otr_stats::dist::Categorical;
 use otr_stats::kde::GaussianKde;
@@ -44,6 +44,13 @@ pub struct FeaturePlan {
     pub barycentre: DiscreteDistribution,
     /// OT plans `π*_{u,s,k} : µ_s → ν`, indexed by `s`.
     pub plans: [OtPlan; 2],
+    /// Converged Sinkhorn dual potentials of the solves that produced
+    /// `plans`, indexed by `s` — `None` under exact backends. Persisted
+    /// so [`RepairPlanner::redesign`] can warm-start a re-design against
+    /// drifted data; absent in plan JSON written before the lifecycle
+    /// existed (defaults to `[None, None]`, which re-designs cold).
+    #[serde(default)]
+    pub duals: [Option<SinkhornDuals>; 2],
     /// Per-row alias samplers for Equation (15), compiled from `plans`
     /// (not serialized; rebuilt by [`FeaturePlan::compile`]).
     #[serde(skip)]
@@ -52,7 +59,8 @@ pub struct FeaturePlan {
 
 impl PartialEq for FeaturePlan {
     fn eq(&self, other: &Self) -> bool {
-        // Samplers are derived state; equality is over the designed plan.
+        // Samplers are derived state, and duals are a solver warm-start
+        // hint; equality is over the designed plan semantics.
         self.u == other.u
             && self.k == other.k
             && self.support == other.support
@@ -798,13 +806,59 @@ impl RepairPlanner {
         })
     }
 
+    /// Re-design the full repair plan against (typically drifted)
+    /// research data, warm-starting every stratum's OT solves from the
+    /// dual potentials stored in `previous` — the continuous-re-planning
+    /// path of the drift-aware lifecycle.
+    ///
+    /// Entropic backends seed their iteration from the previous plan's
+    /// [`FeaturePlan::duals`] and skip any configured ε-schedule (the
+    /// warm duals already are the schedule's product), cutting the
+    /// re-design cost to a fraction of a cold [`Self::design`]; the
+    /// result agrees with a cold design of the same data at the final ε
+    /// within the solver tolerance. Exact backends carry no duals, so
+    /// for them this *is* a cold design. Deterministic: the output is a
+    /// pure function of `(config, research, previous duals)` and
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// As [`Self::design`].
+    pub fn redesign(&self, research: &Dataset, previous: &RepairPlan) -> Result<RepairPlan> {
+        self.config.validate()?;
+        let d = research.dim();
+        let features = try_par_map_indexed(2 * d, self.config.threads, |idx| {
+            let (u, k) = ((idx / d) as u8, idx % d);
+            let warm = previous
+                .feature_plan(u, k)
+                .map(|fp| [fp.duals[0].as_ref(), fp.duals[1].as_ref()])
+                .unwrap_or([None, None]);
+            self.design_feature_warm(research, u, k, warm)
+        })?;
+        Ok(RepairPlan {
+            config: self.config,
+            dim: d,
+            features,
+        })
+    }
+
     /// Design the `(u, k)` stratum (lines 3–11 of Algorithm 1).
     fn design_feature(&self, research: &Dataset, u: u8, k: usize) -> Result<FeaturePlan> {
+        self.design_feature_warm(research, u, k, [None, None])
+    }
+
+    /// [`Self::design_feature`] with warm-start duals per `s`.
+    fn design_feature_warm(
+        &self,
+        research: &Dataset,
+        u: u8,
+        k: usize,
+        warm: [Option<&SinkhornDuals>; 2],
+    ) -> Result<FeaturePlan> {
         let xs: [Vec<f64>; 2] = [
             research.feature_column(GroupKey { u, s: 0 }, k)?,
             research.feature_column(GroupKey { u, s: 1 }, k)?,
         ];
-        self.design_feature_columns(xs, u, k)
+        self.design_feature_columns_warm(xs, u, k, warm)
     }
 
     /// Design one stratum directly from the two `s`-conditional feature
@@ -819,6 +873,21 @@ impl RepairPlanner {
         xs: [Vec<f64>; 2],
         u: u8,
         k: usize,
+    ) -> Result<FeaturePlan> {
+        self.design_feature_columns_warm(xs, u, k, [None, None])
+    }
+
+    /// [`Self::design_feature_columns`] with per-`s` warm-start duals
+    /// (see [`Self::redesign`] for the contract).
+    ///
+    /// # Errors
+    /// Same requirements as [`Self::design`].
+    pub fn design_feature_columns_warm(
+        &self,
+        xs: [Vec<f64>; 2],
+        u: u8,
+        k: usize,
+        warm: [Option<&SinkhornDuals>; 2],
     ) -> Result<FeaturePlan> {
         for (s, col) in xs.iter().enumerate() {
             if col.len() < self.config.min_group_size {
@@ -881,14 +950,17 @@ impl RepairPlanner {
         // threshold, so the per-stratum parallelism of `design` is not
         // oversubscribed.
         let mut plans: Vec<OtPlan> = Vec::with_capacity(2);
-        for m in &marginals {
-            plans.push(
+        let mut duals: Vec<Option<SinkhornDuals>> = Vec::with_capacity(2);
+        for (s, m) in marginals.iter().enumerate() {
+            let (plan, d) =
                 self.config
                     .solver
-                    .solve_1d_threads(m, &barycentre, self.config.threads)?,
-            );
+                    .solve_1d_warm(m, &barycentre, self.config.threads, warm[s])?;
+            plans.push(plan);
+            duals.push(d);
         }
         let plans: [OtPlan; 2] = [plans.remove(0), plans.remove(0)];
+        let duals: [Option<SinkhornDuals>; 2] = [duals.remove(0), duals.remove(0)];
 
         let mut fp = FeaturePlan {
             u,
@@ -897,6 +969,7 @@ impl RepairPlanner {
             marginals,
             barycentre,
             plans,
+            duals,
             samplers: [Vec::new(), Vec::new()],
         };
         fp.compile()?;
@@ -1296,6 +1369,61 @@ mod tests {
                     .unwrap();
             }
         }
+    }
+
+    #[test]
+    fn warm_redesign_agrees_with_cold_design_at_final_epsilon() {
+        use otr_data::Drift;
+        use otr_ot::{CostMatrix, EpsSchedule};
+
+        let mut cfg = RepairConfig::with_n_q(25);
+        cfg.solver = SolverBackend::sinkhorn_scaled(0.05, EpsSchedule::geometric(1.0, 0.25));
+        let planner = RepairPlanner::new(cfg);
+
+        let original = research(31, 500);
+        let previous = planner.design(&original).unwrap();
+        // The entropic design must have banked duals for every solve.
+        for fp in previous.feature_plans() {
+            assert!(fp.duals[0].is_some() && fp.duals[1].is_some());
+        }
+
+        let drifted = Drift::MeanShift(vec![0.6, -0.4]).apply(&original).unwrap();
+        let cold = planner.design(&drifted).unwrap();
+        let warm = planner.redesign(&drifted, &previous).unwrap();
+
+        // Warm and cold solve the identical (µ, ν, cost) problems to the
+        // same final ε, so the converged plans must agree: identical
+        // supports/marginals (design-path, not solver-path) and
+        // transport costs within solver tolerance.
+        for (c, w) in cold.feature_plans().iter().zip(warm.feature_plans()) {
+            assert_eq!(c.support, w.support);
+            assert_eq!(c.marginals, w.marginals);
+            assert_eq!(c.barycentre, w.barycentre);
+            let cost = CostMatrix::squared_euclidean(&c.support, &c.support).unwrap();
+            for s in 0..2usize {
+                let cc = c.plans[s].transport_cost(&cost).unwrap();
+                let wc = w.plans[s].transport_cost(&cost).unwrap();
+                assert!(
+                    (cc - wc).abs() <= 1e-6 * cc.abs().max(1.0),
+                    "(u={}, k={}, s={s}): cold cost {cc} vs warm cost {wc}",
+                    c.u,
+                    c.k
+                );
+                assert!(w.duals[s].is_some(), "warm redesign dropped duals");
+            }
+        }
+    }
+
+    #[test]
+    fn redesign_under_exact_backend_is_a_cold_design() {
+        let planner = RepairPlanner::new(RepairConfig::with_n_q(20));
+        let original = research(33, 400);
+        let previous = planner.design(&original).unwrap();
+        let again = research(34, 400);
+        let re = planner.redesign(&again, &previous).unwrap();
+        let cold = planner.design(&again).unwrap();
+        // Exact monotone carries no duals: redesign == design, exactly.
+        assert_eq!(re, cold);
     }
 
     #[test]

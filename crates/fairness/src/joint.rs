@@ -1,24 +1,27 @@
-//! Joint (bivariate) conditional-dependence measurement.
+//! Joint (multivariate) conditional-dependence measurement.
 //!
 //! The paper's `E` metric and repair are stratified per feature
 //! (Section IV-A), which cannot see `s|u`-dependence that lives purely in
 //! the *correlation structure* between features (Section VI flags this).
 //! This module evaluates the same symmetrized-KLD dependence measure on
-//! the **joint** 2-D `s|u`-conditional densities, estimated by the
-//! bivariate KDE of `otr_stats::kde2d` on a shared product grid.
+//! the **joint** d-variate `s|u`-conditional densities (`d ≥ 2`),
+//! estimated by the product-kernel KDE of `otr_stats::kde_nd` on a
+//! shared product grid. At `d = 2` every value is bitwise identical to
+//! the original bivariate estimator (the n-D KDE pins bitwise equality
+//! to `GaussianKde2d`, and the grid arithmetic here is unchanged).
 
 use serde::{Deserialize, Serialize};
 
 use otr_data::{Dataset, GroupKey};
 use otr_stats::sym_kl_divergence;
-use otr_stats::GaussianKde2d;
+use otr_stats::GaussianKdeNd;
 
 use crate::error::{FairnessError, Result};
 
-/// Configuration for the joint `E` estimator (2-feature data sets only).
+/// Configuration for the joint `E` estimator (`d ≥ 2` feature data sets).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JointDependence {
-    /// Grid points per dimension (total grid = `grid_size²`).
+    /// Grid points per dimension (total grid = `grid_size^d`).
     pub grid_size: usize,
     /// Grid padding in units of the larger per-dimension bandwidth.
     pub padding_bandwidths: f64,
@@ -38,16 +41,20 @@ impl Default for JointDependence {
 
 impl JointDependence {
     /// Evaluate the joint `E = Σ_u Pr[u]·symKL(f(x|0,u) ‖ f(x|1,u))` on a
-    /// 2-feature data set.
+    /// `d ≥ 2`-feature data set.
+    ///
+    /// Mind the grid volume: the shared product grid has `grid_size^d`
+    /// cells, so high-dimensional data wants a smaller `grid_size` than
+    /// the default 64 (e.g. 16–24 at `d = 3`).
     ///
     /// # Errors
-    /// Requires `dim == 2`, adequately sized subgroups, and a grid of at
+    /// Requires `dim >= 2`, adequately sized subgroups, and a grid of at
     /// least 8 points per dimension.
     pub fn evaluate(&self, data: &Dataset) -> Result<f64> {
-        if data.dim() != 2 {
+        if data.dim() < 2 {
             return Err(FairnessError::InvalidParameter {
                 name: "data",
-                reason: format!("joint E needs d = 2, got d = {}", data.dim()),
+                reason: format!("joint E needs d >= 2, got d = {}", data.dim()),
             });
         }
         if self.grid_size < 8 {
@@ -69,10 +76,11 @@ impl JointDependence {
     /// # Errors
     /// Same requirements as [`Self::evaluate`].
     pub fn e_u_joint(&self, data: &Dataset, u: u8) -> Result<f64> {
-        let mut coords: [[Vec<f64>; 2]; 2] = Default::default();
+        let d = data.dim();
+        let mut coords: [Vec<Vec<f64>>; 2] = Default::default();
         for s in 0..2u8 {
-            for k in 0..2usize {
-                coords[s as usize][k] = data.feature_column(GroupKey { u, s }, k)?;
+            for k in 0..d {
+                coords[s as usize].push(data.feature_column(GroupKey { u, s }, k)?);
             }
             if coords[s as usize][0].len() < self.min_group_size {
                 return Err(FairnessError::InsufficientGroup {
@@ -82,8 +90,9 @@ impl JointDependence {
                 });
             }
         }
-        let kde0 = GaussianKde2d::fit(&coords[0][0], &coords[0][1])?;
-        let kde1 = GaussianKde2d::fit(&coords[1][0], &coords[1][1])?;
+        let cols = |s: usize| coords[s].iter().map(Vec::as_slice).collect::<Vec<_>>();
+        let kde0 = GaussianKdeNd::fit(&cols(0))?;
+        let kde1 = GaussianKdeNd::fit(&cols(1))?;
 
         // Shared product grid per dimension, padded by bandwidths.
         let grid_axis = |k: usize, pad: f64| -> Vec<f64> {
@@ -103,13 +112,16 @@ impl JointDependence {
                 .map(|i| lo + (hi - lo) * i as f64 / (self.grid_size - 1) as f64)
                 .collect()
         };
-        let pad_x = self.padding_bandwidths * kde0.bandwidth().0.max(kde1.bandwidth().0);
-        let pad_y = self.padding_bandwidths * kde0.bandwidth().1.max(kde1.bandwidth().1);
-        let gx = grid_axis(0, pad_x);
-        let gy = grid_axis(1, pad_y);
+        let axes: Vec<Vec<f64>> = (0..d)
+            .map(|k| {
+                let pad = self.padding_bandwidths * kde0.bandwidth()[k].max(kde1.bandwidth()[k]);
+                grid_axis(k, pad)
+            })
+            .collect();
+        let axis_refs: Vec<&[f64]> = axes.iter().map(Vec::as_slice).collect();
 
-        let p0 = kde0.evaluate_grid(&gx, &gy);
-        let p1 = kde1.evaluate_grid(&gx, &gy);
+        let p0 = kde0.evaluate_grid(&axis_refs);
+        let p1 = kde1.evaluate_grid(&axis_refs);
         Ok(sym_kl_divergence(&p0, &p1)?)
     }
 }
@@ -167,6 +179,106 @@ mod tests {
         // 2-D KDE plug-in estimators carry more small-sample bias than the
         // 1-D one; 0.1 is comfortably below any real dependence signal.
         assert!(joint < 0.1, "joint E = {joint}");
+    }
+
+    #[test]
+    fn d2_is_bitwise_identical_to_the_bivariate_estimator() {
+        // Replicate the pre-generalization 2-D pipeline with
+        // `GaussianKde2d` verbatim and pin exact equality: routing the
+        // joint E through `GaussianKdeNd` must not move a single bit on
+        // 2-feature data.
+        use otr_data::GroupKey;
+        use otr_stats::GaussianKde2d;
+
+        let spec = correlated_spec(0.6, -0.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = spec.sample_dataset(600, &mut rng).unwrap();
+        let cfg = JointDependence::default();
+
+        let pr_u1 = data.prob_u1();
+        let mut expected = 0.0;
+        for (u, pr_u) in [(0u8, 1.0 - pr_u1), (1u8, pr_u1)] {
+            let mut coords: [[Vec<f64>; 2]; 2] = Default::default();
+            for s in 0..2u8 {
+                for k in 0..2usize {
+                    coords[s as usize][k] = data.feature_column(GroupKey { u, s }, k).unwrap();
+                }
+            }
+            let kde0 = GaussianKde2d::fit(&coords[0][0], &coords[0][1]).unwrap();
+            let kde1 = GaussianKde2d::fit(&coords[1][0], &coords[1][1]).unwrap();
+            let grid_axis = |k: usize, pad: f64| -> Vec<f64> {
+                let lo = coords[0][k]
+                    .iter()
+                    .chain(&coords[1][k])
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+                    - pad;
+                let hi = coords[0][k]
+                    .iter()
+                    .chain(&coords[1][k])
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    + pad;
+                (0..cfg.grid_size)
+                    .map(|i| lo + (hi - lo) * i as f64 / (cfg.grid_size - 1) as f64)
+                    .collect()
+            };
+            let pad_x = cfg.padding_bandwidths * kde0.bandwidth().0.max(kde1.bandwidth().0);
+            let pad_y = cfg.padding_bandwidths * kde0.bandwidth().1.max(kde1.bandwidth().1);
+            let gx = grid_axis(0, pad_x);
+            let gy = grid_axis(1, pad_y);
+            let p0 = kde0.evaluate_grid(&gx, &gy);
+            let p1 = kde1.evaluate_grid(&gx, &gy);
+            expected += pr_u * sym_kl_divergence(&p0, &p1).unwrap();
+        }
+
+        let got = cfg.evaluate(&data).unwrap();
+        assert_eq!(
+            got.to_bits(),
+            expected.to_bits(),
+            "d = 2 joint E moved: {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn evaluates_three_feature_data() {
+        // 3 features; the s|u dependence lives in the x0–x1 correlation
+        // block, the third feature is independent noise. The d = 3 joint
+        // E must still see the dependence.
+        let cov = |rho: f64| {
+            Matrix::from_rows(3, 3, vec![1.0, rho, 0.0, rho, 1.0, 0.0, 0.0, 0.0, 1.0]).unwrap()
+        };
+        let zeros = || vec![0.0, 0.0, 0.0];
+        let spec = SimulationSpec {
+            means: [[zeros(), zeros()], [zeros(), zeros()]],
+            sigma: 1.0,
+            covs: Some([[cov(0.8), cov(-0.8)], [cov(0.8), cov(-0.8)]]),
+            pr_u0: 0.5,
+            pr_s0_given_u: [0.4, 0.4],
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = spec.sample_dataset(2_000, &mut rng).unwrap();
+        let cfg = JointDependence {
+            grid_size: 16,
+            ..JointDependence::default()
+        };
+        let dependent = cfg.evaluate(&data).unwrap();
+        assert!(
+            dependent > 0.1,
+            "d = 3 joint E missed dependence: {dependent}"
+        );
+
+        let same = SimulationSpec {
+            covs: Some([[cov(0.5), cov(0.5)], [cov(0.5), cov(0.5)]]),
+            ..spec
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let null = same.sample_dataset(2_000, &mut rng).unwrap();
+        let independent = cfg.evaluate(&null).unwrap();
+        assert!(
+            dependent > 5.0 * independent.max(0.01),
+            "dependent E ({dependent}) must dominate null E ({independent})"
+        );
     }
 
     #[test]

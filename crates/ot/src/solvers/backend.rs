@@ -31,7 +31,7 @@ use crate::error::{OtError, Result};
 use crate::kernel::KernelChoice;
 use crate::solvers::monotone::solve_monotone_1d;
 use crate::solvers::simplex::solve_transportation_simplex;
-use crate::solvers::sinkhorn::{sinkhorn, EpsSchedule, SinkhornConfig};
+use crate::solvers::sinkhorn::{sinkhorn_warm, EpsSchedule, SinkhornConfig, SinkhornDuals};
 
 /// Which OT solver designs coupling plans.
 ///
@@ -199,6 +199,53 @@ pub trait Solver1d {
         let _ = kernel;
         self.solve_with_cost_threads(mu, nu, cost, threads)
     }
+
+    /// [`Solver1d::solve_with_cost_kernel`], additionally accepting and
+    /// returning entropic dual potentials for warm-started re-solves.
+    ///
+    /// Entropic backends seed their iteration from `warm` when the
+    /// potentials match the problem shape (a mismatch degrades to a cold
+    /// solve — never an error, so callers may pass duals recorded under
+    /// a different grid resolution) and return the converged duals of
+    /// the plan they produce. A caller-provided warm start **replaces**
+    /// any configured ε-schedule: the schedule exists only to warm the
+    /// duals, which the caller has already done, so the solve runs
+    /// directly at the final ε. Exact backends ignore `warm` and return
+    /// `None` duals, which is the default implementation.
+    ///
+    /// # Errors
+    /// As [`Solver1d::solve_with_cost`].
+    fn solve_with_cost_warm(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        cost: &CostMatrix,
+        threads: usize,
+        kernel: KernelChoice,
+        warm: Option<&SinkhornDuals>,
+    ) -> Result<(OtPlan, Option<SinkhornDuals>)> {
+        let _ = warm;
+        Ok((
+            self.solve_with_cost_kernel(mu, nu, cost, threads, kernel)?,
+            None,
+        ))
+    }
+
+    /// [`Solver1d::solve_1d_threads`] with the warm-dual contract of
+    /// [`Solver1d::solve_with_cost_warm`].
+    ///
+    /// # Errors
+    /// As [`Solver1d::solve_1d`].
+    fn solve_1d_warm(
+        &self,
+        mu: &DiscreteDistribution,
+        nu: &DiscreteDistribution,
+        threads: usize,
+        warm: Option<&SinkhornDuals>,
+    ) -> Result<(OtPlan, Option<SinkhornDuals>)> {
+        let _ = warm;
+        Ok((self.solve_1d_threads(mu, nu, threads)?, None))
+    }
 }
 
 impl Solver1d for SolverBackend {
@@ -252,6 +299,19 @@ impl Solver1d for SolverBackend {
         threads: usize,
         kernel: KernelChoice,
     ) -> Result<OtPlan> {
+        self.solve_with_cost_warm(mu, nu, cost, threads, kernel, None)
+            .map(|(plan, _)| plan)
+    }
+
+    fn solve_with_cost_warm(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        cost: &CostMatrix,
+        threads: usize,
+        kernel: KernelChoice,
+        warm: Option<&SinkhornDuals>,
+    ) -> Result<(OtPlan, Option<SinkhornDuals>)> {
         self.validate()?;
         match self {
             SolverBackend::ExactMonotone => Err(OtError::InvalidParameter {
@@ -260,19 +320,24 @@ impl Solver1d for SolverBackend {
                          use `Simplex` or `Sinkhorn` for general cost matrices"
                     .into(),
             }),
-            SolverBackend::Simplex => solve_transportation_simplex(mu, nu, cost),
+            SolverBackend::Simplex => Ok((solve_transportation_simplex(mu, nu, cost)?, None)),
             SolverBackend::Sinkhorn {
                 epsilon,
                 eps_scaling,
             } => {
+                // A shape-compatible warm start replaces the ε-schedule
+                // (the schedule's only job is warming the duals); a
+                // mismatch — duals recorded under a different grid —
+                // degrades to the configured cold solve.
+                let warm = warm.filter(|d| d.f.len() == mu.len() && d.g.len() == nu.len());
                 let config = SinkhornConfig {
                     threads,
-                    eps_scaling: *eps_scaling,
+                    eps_scaling: if warm.is_some() { None } else { *eps_scaling },
                     kernel,
                     ..SinkhornConfig::with_epsilon(*epsilon)
                 };
-                match sinkhorn(mu, nu, cost, config) {
-                    Ok(plan) => Ok(plan),
+                match sinkhorn_warm(mu, nu, cost, config, warm) {
+                    Ok((plan, duals)) => Ok((plan, Some(duals))),
                     // The single home of the Sinkhorn-failure policy: fall
                     // back to the exact simplex rather than surfacing a
                     // convergence error for a solvable problem — but only
@@ -283,10 +348,34 @@ impl Solver1d for SolverBackend {
                     Err(OtError::NoConvergence { .. })
                         if mu.len() * nu.len() <= SIMPLEX_FALLBACK_MAX_CELLS =>
                     {
-                        solve_transportation_simplex(mu, nu, cost)
+                        Ok((solve_transportation_simplex(mu, nu, cost)?, None))
                     }
                     Err(e) => Err(e),
                 }
+            }
+        }
+    }
+
+    fn solve_1d_warm(
+        &self,
+        mu: &DiscreteDistribution,
+        nu: &DiscreteDistribution,
+        threads: usize,
+        warm: Option<&SinkhornDuals>,
+    ) -> Result<(OtPlan, Option<SinkhornDuals>)> {
+        self.validate()?;
+        match self {
+            SolverBackend::ExactMonotone => Ok((solve_monotone_1d(mu, nu)?, None)),
+            SolverBackend::Simplex | SolverBackend::Sinkhorn { .. } => {
+                let cost = CostMatrix::squared_euclidean(mu.support(), nu.support())?;
+                self.solve_with_cost_warm(
+                    mu.masses(),
+                    nu.masses(),
+                    &cost,
+                    threads,
+                    KernelChoice::Auto,
+                    warm,
+                )
             }
         }
     }

@@ -287,7 +287,11 @@ impl SinkhornConfig {
 ///
 /// Because the potentials are stored ε-free, warm-starting across a
 /// *change of ε* is exact: the solver just divides by its own ε.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so repair plans can persist the duals of the solve that
+/// designed them and warm-start a later *re-design* against drifted
+/// data (`RepairPlanner::redesign` in `otr-core`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SinkhornDuals {
     /// Row potential `f`, one entry per source atom.
     pub f: Vec<f64>,

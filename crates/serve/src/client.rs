@@ -20,9 +20,11 @@ use otr_data::ColumnarDataset;
 use otr_par::splitmix_seed;
 
 use crate::protocol::{
-    decode_header, write_frame, ErrorCode, PlanInfo, PlanKind, ProtoError, Request, Response,
-    ServerInfo, HEADER_LEN,
+    decode_header, write_frame, AuditRecord, DriftReport, ErrorCode, PlanInfo, PlanKind,
+    ProtoError, Request, Response, ServerInfo, HEADER_LEN,
 };
+
+use otr_core::DriftConfig;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -289,6 +291,52 @@ impl Client {
             other => Err(ClientError::Unexpected(format!("{other:?} to Info"))),
         }
     }
+
+    /// Arm (or re-arm) a drift watch on the latest version of `name`,
+    /// returning the version the monitor is now armed against.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors ([`ErrorCode::UnknownPlan`]
+    /// for unloaded names, [`ErrorCode::PlanInvalid`] for joint plans).
+    pub fn watch(&mut self, name: &str, config: &DriftConfig) -> Result<u32, ClientError> {
+        let req = Request::Watch {
+            name: name.into(),
+            threshold: config.threshold,
+            trips: config.trips,
+            check_every: config.check_every,
+            min_rows: config.min_rows,
+        };
+        match self.expect(&req)? {
+            Response::Watching { version } => Ok(version),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Watch"))),
+        }
+    }
+
+    /// Fetch the drift watch's live state for `name`.
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors ([`ErrorCode::UnknownPlan`]
+    /// when no watch is armed on `name`).
+    pub fn drift_status(&mut self, name: &str) -> Result<DriftReport, ClientError> {
+        let req = Request::DriftStatus { name: name.into() };
+        match self.expect(&req)? {
+            Response::DriftReport(report) => Ok(report),
+            other => Err(ClientError::Unexpected(format!("{other:?} to DriftStatus"))),
+        }
+    }
+
+    /// Fetch the hot-swap audit trail for `name` (oldest first).
+    ///
+    /// # Errors
+    /// Transport, protocol, or server errors ([`ErrorCode::UnknownPlan`]
+    /// when no watch is armed on `name`).
+    pub fn audit(&mut self, name: &str) -> Result<Vec<AuditRecord>, ClientError> {
+        let req = Request::Audit { name: name.into() };
+        match self.expect(&req)? {
+            Response::AuditRecords(records) => Ok(records),
+            other => Err(ClientError::Unexpected(format!("{other:?} to Audit"))),
+        }
+    }
 }
 
 /// Retry policy for [`RetryingClient`]: bounded attempts, capped
@@ -523,6 +571,31 @@ impl RetryingClient {
     /// The last underlying error once retries or the deadline run out.
     pub fn info(&self) -> Result<ServerInfo, ClientError> {
         self.with_retry(|c| c.info())
+    }
+
+    /// Retrying [`Client::watch`]. Safe to retry: re-arming a watch is
+    /// idempotent (audit trail and swap count are preserved).
+    ///
+    /// # Errors
+    /// The last underlying error once retries or the deadline run out.
+    pub fn watch(&self, name: &str, config: &DriftConfig) -> Result<u32, ClientError> {
+        self.with_retry(|c| c.watch(name, config))
+    }
+
+    /// Retrying [`Client::drift_status`].
+    ///
+    /// # Errors
+    /// The last underlying error once retries or the deadline run out.
+    pub fn drift_status(&self, name: &str) -> Result<DriftReport, ClientError> {
+        self.with_retry(|c| c.drift_status(name))
+    }
+
+    /// Retrying [`Client::audit`].
+    ///
+    /// # Errors
+    /// The last underlying error once retries or the deadline run out.
+    pub fn audit(&self, name: &str) -> Result<Vec<AuditRecord>, ClientError> {
+        self.with_retry(|c| c.audit(name))
     }
 }
 

@@ -35,6 +35,9 @@ pub mod server;
 
 pub use client::{Client, ClientError, Repaired, RetryPolicy, RetryingClient};
 pub use faults::{Fault, FaultProxy, Span};
-pub use protocol::{ErrorCode, PlanInfo, PlanKind, ProtoError, ServerInfo, PROTOCOL_VERSION};
-pub use registry::{PlanRegistry, RegisteredPlan, RegistryError};
+pub use protocol::{
+    AuditRecord, AuditStratum, DriftReport, DriftStratum, ErrorCode, PlanInfo, PlanKind,
+    ProtoError, ServerInfo, PROTOCOL_VERSION,
+};
+pub use registry::{persist_plan, unpersist_plan, PlanRegistry, RegisteredPlan, RegistryError};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! offset 0  4 bytes   magic "OTRP" (0x4F 0x54 0x52 0x50)
-//! offset 4  u8        protocol version (currently 2)
+//! offset 4  u8        protocol version (currently 3)
 //! offset 5  u8        message type
 //! offset 6  u16 BE    reserved, must be zero
 //! offset 8  u32 BE    payload length N (≤ 1 GiB)
@@ -26,10 +26,12 @@ use otr_data::ColumnarDataset;
 /// Frame magic: the ASCII bytes `OTRP`.
 pub const MAGIC: [u8; 4] = *b"OTRP";
 /// The protocol version this build speaks. Version 2 extended the
-/// `ServerInfo` payload with the hardening counters (versioning rule V3
+/// `ServerInfo` payload with the hardening counters; version 3 extended
+/// it again with the drift-lifecycle counters and added the
+/// `Watch`/`DriftStatus`/`Audit` message family (versioning rule V3
 /// requires a bump for any schema change to an existing message; see
 /// the version history in `docs/protocol.md`).
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 12;
 /// Maximum payload size (1 GiB): anything larger is a [`ErrorCode::BadFrame`].
@@ -45,6 +47,9 @@ pub mod request_type {
     pub const EVICT_PLAN: u8 = 0x04;
     pub const REPAIR: u8 = 0x05;
     pub const INFO: u8 = 0x06;
+    pub const WATCH: u8 = 0x07;
+    pub const DRIFT_STATUS: u8 = 0x08;
+    pub const AUDIT: u8 = 0x09;
 }
 
 /// Response message types (server → client).
@@ -55,6 +60,9 @@ pub mod response_type {
     pub const PLAN_EVICTED: u8 = 0x84;
     pub const REPAIRED: u8 = 0x85;
     pub const SERVER_INFO: u8 = 0x86;
+    pub const WATCHING: u8 = 0x87;
+    pub const DRIFT_REPORT: u8 = 0x88;
+    pub const AUDIT_RECORDS: u8 = 0x89;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -203,6 +211,75 @@ pub struct ServerInfo {
     pub panics_caught: u64,
     /// The governor's connection cap (0 = unlimited).
     pub max_conns: u32,
+    /// Drift watches currently armed (protocol v3).
+    pub watches: u32,
+    /// Drift-triggered hot swaps performed since startup (protocol v3).
+    pub swaps: u64,
+}
+
+/// One `(u, k)` stratum's latest drift readout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStratum {
+    /// Unprotected group.
+    pub u: u8,
+    /// Feature index.
+    pub k: u32,
+    /// Symmetrized KL of the cumulative archive pmf vs the watched
+    /// plan's research marginal, indexed by `s`.
+    pub divergence: [f64; 2],
+}
+
+/// The `DriftStatus` response body: the watch's monitor state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Plan version the monitor is armed against.
+    pub version: u32,
+    /// Archive rows folded into the monitor since it was (re-)armed.
+    pub rows_seen: u64,
+    /// Checkpoints evaluated.
+    pub checks: u64,
+    /// Current consecutive over-threshold checkpoint streak.
+    pub consecutive: u32,
+    /// Whether the monitor is tripped right now (a trip is normally
+    /// consumed immediately by a hot swap, so a lasting `true` means
+    /// the re-design failed — see `docs/operations.md`).
+    pub tripped: bool,
+    /// Hot swaps performed on this name so far.
+    pub swaps: u64,
+    /// Per-stratum divergences at the latest checkpoint.
+    pub strata: Vec<DriftStratum>,
+}
+
+/// One `(u, k)` stratum's dependence before/after a hot swap: the
+/// paper's per-stratum `E` (symmetrized KL between the two
+/// `s`-conditional research marginals) under the parent plan's research
+/// snapshot vs the re-designed plan's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditStratum {
+    /// Unprotected group.
+    pub u: u8,
+    /// Feature index.
+    pub k: u32,
+    /// Stratum `E` recorded by the parent plan's marginals.
+    pub e_before: f64,
+    /// Stratum `E` recorded by the re-designed plan's marginals.
+    pub e_after: f64,
+}
+
+/// One hot swap in a plan's audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Version the swap registered.
+    pub version: u32,
+    /// Version the re-design was warm-started from.
+    pub parent: u32,
+    /// Archive rows the monitor had folded when it tripped (the
+    /// re-design's research set).
+    pub rows_observed: u64,
+    /// The monitor's worst per-stratum divergence at the trip.
+    pub trigger_divergence: f64,
+    /// Per-stratum `E` before/after.
+    pub strata: Vec<AuditStratum>,
 }
 
 /// A client → server message.
@@ -232,6 +309,19 @@ pub enum Request {
     },
     /// Server state and policy snapshot.
     Info,
+    /// Arm (or re-arm) a drift watch on the latest version of a scalar
+    /// plan (protocol v3). Fields mirror `otr_core::DriftConfig`.
+    Watch {
+        name: String,
+        threshold: f64,
+        trips: u32,
+        check_every: u64,
+        min_rows: u64,
+    },
+    /// Read a watch's monitor state (protocol v3).
+    DriftStatus { name: String },
+    /// Read a watched plan's hot-swap audit trail (protocol v3).
+    Audit { name: String },
 }
 
 /// A server → client message.
@@ -249,6 +339,14 @@ pub enum Response {
         columns: Vec<Vec<f64>>,
     },
     Info(ServerInfo),
+    /// A watch is armed; the version it monitors (protocol v3).
+    Watching {
+        version: u32,
+    },
+    /// A watch's monitor state (protocol v3).
+    DriftReport(DriftReport),
+    /// A watched plan's audit trail, oldest first (protocol v3).
+    AuditRecords(Vec<AuditRecord>),
     Error {
         code: u16,
         message: String,
@@ -411,6 +509,10 @@ impl<'a> Reader<'a> {
         ]))
     }
 
+    fn f64(&mut self, what: &str) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
     fn str16(&mut self, what: &str) -> Result<String, ProtoError> {
         let n = self.u16(what)? as usize;
         let bytes = self.bytes(n, what)?;
@@ -437,6 +539,10 @@ impl<'a> Reader<'a> {
         }
         Ok(())
     }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_be_bytes());
 }
 
 fn f64_columns_put(out: &mut Vec<u8>, columns: &[Vec<f64>]) {
@@ -536,6 +642,31 @@ impl Request {
                 (request_type::REPAIR, p)
             }
             Self::Info => (request_type::INFO, Vec::new()),
+            Self::Watch {
+                name,
+                threshold,
+                trips,
+                check_every,
+                min_rows,
+            } => {
+                let mut p = Vec::with_capacity(26 + name.len());
+                put_str16(&mut p, name);
+                put_f64(&mut p, *threshold);
+                p.extend_from_slice(&trips.to_be_bytes());
+                p.extend_from_slice(&check_every.to_be_bytes());
+                p.extend_from_slice(&min_rows.to_be_bytes());
+                (request_type::WATCH, p)
+            }
+            Self::DriftStatus { name } => {
+                let mut p = Vec::new();
+                put_str16(&mut p, name);
+                (request_type::DRIFT_STATUS, p)
+            }
+            Self::Audit { name } => {
+                let mut p = Vec::new();
+                put_str16(&mut p, name);
+                (request_type::AUDIT, p)
+            }
         }
     }
 
@@ -586,6 +717,19 @@ impl Request {
                 }
             }
             request_type::INFO => Self::Info,
+            request_type::WATCH => Self::Watch {
+                name: r.str16("plan name")?,
+                threshold: r.f64("drift threshold")?,
+                trips: r.u32("drift trips")?,
+                check_every: r.u64("drift check_every")?,
+                min_rows: r.u64("drift min_rows")?,
+            },
+            request_type::DRIFT_STATUS => Self::DriftStatus {
+                name: r.str16("plan name")?,
+            },
+            request_type::AUDIT => Self::Audit {
+                name: r.str16("plan name")?,
+            },
             other => {
                 return Err(ProtoError::Payload(
                     ErrorCode::UnknownType,
@@ -642,7 +786,45 @@ impl Response {
                 p.extend_from_slice(&info.deadline_kills.to_be_bytes());
                 p.extend_from_slice(&info.panics_caught.to_be_bytes());
                 p.extend_from_slice(&info.max_conns.to_be_bytes());
+                p.extend_from_slice(&info.watches.to_be_bytes());
+                p.extend_from_slice(&info.swaps.to_be_bytes());
                 (response_type::SERVER_INFO, p)
+            }
+            Self::Watching { version } => (response_type::WATCHING, version.to_be_bytes().to_vec()),
+            Self::DriftReport(report) => {
+                let mut p = Vec::with_capacity(33 + report.strata.len() * 21);
+                p.extend_from_slice(&report.version.to_be_bytes());
+                p.extend_from_slice(&report.rows_seen.to_be_bytes());
+                p.extend_from_slice(&report.checks.to_be_bytes());
+                p.extend_from_slice(&report.consecutive.to_be_bytes());
+                p.push(u8::from(report.tripped));
+                p.extend_from_slice(&report.swaps.to_be_bytes());
+                p.extend_from_slice(&(report.strata.len() as u32).to_be_bytes());
+                for st in &report.strata {
+                    p.push(st.u);
+                    p.extend_from_slice(&st.k.to_be_bytes());
+                    put_f64(&mut p, st.divergence[0]);
+                    put_f64(&mut p, st.divergence[1]);
+                }
+                (response_type::DRIFT_REPORT, p)
+            }
+            Self::AuditRecords(records) => {
+                let mut p = Vec::new();
+                p.extend_from_slice(&(records.len() as u32).to_be_bytes());
+                for rec in records {
+                    p.extend_from_slice(&rec.version.to_be_bytes());
+                    p.extend_from_slice(&rec.parent.to_be_bytes());
+                    p.extend_from_slice(&rec.rows_observed.to_be_bytes());
+                    put_f64(&mut p, rec.trigger_divergence);
+                    p.extend_from_slice(&(rec.strata.len() as u32).to_be_bytes());
+                    for st in &rec.strata {
+                        p.push(st.u);
+                        p.extend_from_slice(&st.k.to_be_bytes());
+                        put_f64(&mut p, st.e_before);
+                        put_f64(&mut p, st.e_after);
+                    }
+                }
+                (response_type::AUDIT_RECORDS, p)
             }
             Self::Error { code, message } => {
                 let mut p = Vec::with_capacity(2 + message.len());
@@ -725,7 +907,78 @@ impl Response {
                 deadline_kills: r.u64("deadline kills")?,
                 panics_caught: r.u64("panics caught")?,
                 max_conns: r.u32("max conns")?,
+                watches: r.u32("watch count")?,
+                swaps: r.u64("swap count")?,
             }),
+            response_type::WATCHING => Self::Watching {
+                version: r.u32("watched version")?,
+            },
+            response_type::DRIFT_REPORT => {
+                let version = r.u32("watched version")?;
+                let rows_seen = r.u64("rows seen")?;
+                let checks = r.u64("checkpoint count")?;
+                let consecutive = r.u32("streak")?;
+                let tripped = r.u8("tripped flag")? != 0;
+                let swaps = r.u64("swap count")?;
+                let count = r.u32("stratum count")? as usize;
+                if count > 2 * MAX_DIM {
+                    return Err(ProtoError::Payload(
+                        ErrorCode::BadPayload,
+                        format!("drift stratum count {count} exceeds {}", 2 * MAX_DIM),
+                    ));
+                }
+                let mut strata = Vec::with_capacity(count);
+                for _ in 0..count {
+                    strata.push(DriftStratum {
+                        u: r.u8("stratum u")?,
+                        k: r.u32("stratum k")?,
+                        divergence: [r.f64("divergence s=0")?, r.f64("divergence s=1")?],
+                    });
+                }
+                Self::DriftReport(DriftReport {
+                    version,
+                    rows_seen,
+                    checks,
+                    consecutive,
+                    tripped,
+                    swaps,
+                    strata,
+                })
+            }
+            response_type::AUDIT_RECORDS => {
+                let count = r.u32("audit record count")? as usize;
+                let mut records = Vec::new();
+                for _ in 0..count {
+                    let version = r.u32("audit version")?;
+                    let parent = r.u32("audit parent")?;
+                    let rows_observed = r.u64("audit rows")?;
+                    let trigger_divergence = r.f64("audit trigger")?;
+                    let n = r.u32("audit stratum count")? as usize;
+                    if n > 2 * MAX_DIM {
+                        return Err(ProtoError::Payload(
+                            ErrorCode::BadPayload,
+                            format!("audit stratum count {n} exceeds {}", 2 * MAX_DIM),
+                        ));
+                    }
+                    let mut strata = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        strata.push(AuditStratum {
+                            u: r.u8("stratum u")?,
+                            k: r.u32("stratum k")?,
+                            e_before: r.f64("e before")?,
+                            e_after: r.f64("e after")?,
+                        });
+                    }
+                    records.push(AuditRecord {
+                        version,
+                        parent,
+                        rows_observed,
+                        trigger_divergence,
+                        strata,
+                    });
+                }
+                Self::AuditRecords(records)
+            }
             response_type::ERROR => Self::Error {
                 code: r.u16("error code")?,
                 message: String::from_utf8_lossy(r.rest()).into_owned(),
@@ -815,6 +1068,19 @@ mod tests {
                 seed: u64::MAX,
                 archive: archive(),
             },
+            Request::Watch {
+                name: "census".into(),
+                threshold: 0.5,
+                trips: 2,
+                check_every: 256,
+                min_rows: 512,
+            },
+            Request::DriftStatus {
+                name: "census".into(),
+            },
+            Request::Audit {
+                name: "census".into(),
+            },
         ] {
             assert_eq!(round_trip_request(req.clone()), req);
         }
@@ -858,7 +1124,42 @@ mod tests {
                 deadline_kills: 2,
                 panics_caught: 1,
                 max_conns: 256,
+                watches: 1,
+                swaps: 4,
             }),
+            Response::Watching { version: 7 },
+            Response::DriftReport(DriftReport {
+                version: 7,
+                rows_seen: 4096,
+                checks: 16,
+                consecutive: 1,
+                tripped: false,
+                swaps: 2,
+                strata: vec![
+                    DriftStratum {
+                        u: 0,
+                        k: 0,
+                        divergence: [0.125, 0.75],
+                    },
+                    DriftStratum {
+                        u: 1,
+                        k: 1,
+                        divergence: [0.0, 1e-9],
+                    },
+                ],
+            }),
+            Response::AuditRecords(vec![AuditRecord {
+                version: 8,
+                parent: 7,
+                rows_observed: 4096,
+                trigger_divergence: 1.5,
+                strata: vec![AuditStratum {
+                    u: 1,
+                    k: 0,
+                    e_before: 2.25,
+                    e_after: 0.0625,
+                }],
+            }]),
             Response::Error {
                 code: ErrorCode::UnknownPlan.as_u16(),
                 message: "no plan x@1".into(),

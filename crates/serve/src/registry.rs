@@ -176,6 +176,19 @@ impl RegisteredPlan {
                 .map_err(|e| e.to_string()),
         }
     }
+
+    /// Serialize back to the same JSON artifact schema the offline CLI
+    /// writes, so a hot-swapped version persisted to the plans
+    /// directory round-trips through [`PlanRegistry::load_dir`].
+    ///
+    /// # Errors
+    /// Serialization failures only.
+    pub fn to_json(&self) -> Result<String, String> {
+        match self {
+            Self::Scalar(plan) => plan.to_json().map_err(|e| e.to_string()),
+            Self::Joint(plan) => plan.to_json().map_err(|e| e.to_string()),
+        }
+    }
 }
 
 /// Thread-safe map of `name@version` → validated plan.
@@ -307,6 +320,59 @@ impl PlanRegistry {
         })
     }
 
+    /// Fetch the highest loaded version of `name` together with its
+    /// version number — what a drift watch re-designs from and what a
+    /// hot swap increments past.
+    ///
+    /// # Errors
+    /// [`RegistryError::NotFound`] when no version of `name` is loaded.
+    pub fn latest(&self, name: &str) -> Result<(u32, Arc<RegisteredPlan>), RegistryError> {
+        self.plans()
+            .range((name.to_string(), 1)..=(name.to_string(), u32::MAX))
+            .next_back()
+            .map(|((_, version), plan)| (*version, plan.clone()))
+            .ok_or_else(|| RegistryError::NotFound {
+                name: name.into(),
+                version: 0,
+            })
+    }
+
+    /// Register an already-validated in-memory plan under
+    /// `name@version` — the hot-swap path, where the plan was just
+    /// designed in-process rather than parsed from JSON.
+    ///
+    /// # Errors
+    /// Bad name/version and version collisions; on error the registry
+    /// is unchanged and `plan` is dropped.
+    pub fn register(
+        &self,
+        name: &str,
+        version: u32,
+        plan: Arc<RegisteredPlan>,
+    ) -> Result<PlanInfo, RegistryError> {
+        Self::validate_name(name)?;
+        if version == 0 {
+            return Err(RegistryError::InvalidVersion);
+        }
+        let info = PlanInfo {
+            name: name.into(),
+            version,
+            kind: plan.kind(),
+            dim: plan.dim(),
+            n_q: plan.n_q(),
+        };
+        let mut plans = self.plans();
+        let key = (name.to_string(), version);
+        if plans.contains_key(&key) {
+            return Err(RegistryError::VersionCollision {
+                name: name.into(),
+                version,
+            });
+        }
+        plans.insert(key, plan);
+        Ok(info)
+    }
+
     /// All registered plans, ordered by name then version.
     pub fn list(&self) -> Vec<PlanInfo> {
         self.plans()
@@ -400,6 +466,51 @@ impl PlanRegistry {
             loaded.push(info);
         }
         Ok(loaded)
+    }
+}
+
+/// Persist a plan artifact into the registry directory under the
+/// `name@version.json` naming [`PlanRegistry::load_dir`] reads back,
+/// via tmp-file + atomic rename (the dotted `.tmp` name fails the
+/// `.json` extension filter, so a crashed write is never loaded).
+///
+/// Version 1 lands on a bare `name.json` when the operator already
+/// seeded one (that file *is* `name@1` to `load_dir`; writing a
+/// sibling `name@1.json` would collide on restart).
+///
+/// # Errors
+/// Filesystem failures, as [`RegistryError::Io`].
+pub fn persist_plan(
+    dir: &Path,
+    name: &str,
+    version: u32,
+    json: &str,
+) -> Result<std::path::PathBuf, RegistryError> {
+    PlanRegistry::validate_name(name)?;
+    if version == 0 {
+        return Err(RegistryError::InvalidVersion);
+    }
+    let bare = dir.join(format!("{name}.json"));
+    let dest = if version == 1 && bare.exists() {
+        bare
+    } else {
+        dir.join(format!("{name}@{version}.json"))
+    };
+    let tmp = dir.join(format!(".{name}@{version}.json.tmp"));
+    let io = |e: std::io::Error, p: &Path| RegistryError::Io(format!("{}: {e}", p.display()));
+    std::fs::write(&tmp, json).map_err(|e| io(e, &tmp))?;
+    std::fs::rename(&tmp, &dest).map_err(|e| io(e, &dest))?;
+    Ok(dest)
+}
+
+/// Best-effort removal of a persisted plan artifact (both the
+/// versioned name and, for version 1, the bare `name.json` alias).
+/// Used on evict so a restart does not resurrect the plan; failures
+/// are ignored because the in-memory eviction already succeeded.
+pub fn unpersist_plan(dir: &Path, name: &str, version: u32) {
+    let _ = std::fs::remove_file(dir.join(format!("{name}@{version}.json")));
+    if version == 1 {
+        let _ = std::fs::remove_file(dir.join(format!("{name}.json")));
     }
 }
 
@@ -514,6 +625,87 @@ mod tests {
             Err(RegistryError::InvalidVersion)
         ));
         assert!(reg.is_empty(), "failed loads must not register anything");
+    }
+
+    #[test]
+    fn latest_and_register_drive_the_hot_swap_path() {
+        let reg = PlanRegistry::new(1, None);
+        assert!(matches!(
+            reg.latest("census"),
+            Err(RegistryError::NotFound { .. })
+        ));
+        let json = scalar_plan_json();
+        reg.load("census", 1, PlanKind::Scalar, &json).unwrap();
+        let (v, plan) = reg.latest("census").unwrap();
+        assert_eq!(v, 1);
+
+        // Re-registering the same Arc as the next version succeeds and
+        // becomes the new latest; colliding versions are rejected.
+        let info = reg.register("census", 2, plan.clone()).unwrap();
+        assert_eq!((info.version, info.kind), (2, PlanKind::Scalar));
+        assert_eq!(reg.latest("census").unwrap().0, 2);
+        assert!(matches!(
+            reg.register("census", 2, plan.clone()),
+            Err(RegistryError::VersionCollision { .. })
+        ));
+        assert!(reg.register("census", 0, plan.clone()).is_err());
+        assert!(reg.register("bad name", 3, plan).is_err());
+    }
+
+    #[test]
+    fn persisted_artifacts_round_trip_through_load_dir() {
+        let dir = std::env::temp_dir().join(format!("otr_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = scalar_plan_json();
+
+        // Fresh directory: version 1 gets the versioned name.
+        let p1 = persist_plan(&dir, "census", 1, &json).unwrap();
+        assert_eq!(p1.file_name().unwrap(), "census@1.json");
+        let p2 = persist_plan(&dir, "census", 2, &json).unwrap();
+        assert_eq!(p2.file_name().unwrap(), "census@2.json");
+        let reg = PlanRegistry::new(1, None);
+        let loaded = reg.load_dir(&dir).unwrap();
+        assert_eq!(
+            loaded.iter().map(|p| p.version).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+
+        // Serialized registry plans re-persist through to_json.
+        let (_, plan) = reg.latest("census").unwrap();
+        let rejson = plan.to_json().unwrap();
+        persist_plan(&dir, "census", 3, &rejson).unwrap();
+        assert!(PlanRegistry::new(1, None).load_dir(&dir).is_ok());
+
+        // Operator-seeded bare name.json: persisting version 1 lands on
+        // it instead of creating a colliding sibling.
+        let dir2 = dir.join("seeded");
+        std::fs::create_dir_all(&dir2).unwrap();
+        std::fs::write(dir2.join("census.json"), "stale").unwrap();
+        let p = persist_plan(&dir2, "census", 1, &json).unwrap();
+        assert_eq!(p.file_name().unwrap(), "census.json");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), json);
+        PlanRegistry::new(1, None).load_dir(&dir2).unwrap();
+
+        // No stray tmp files survive, and unpersist clears both names.
+        assert!(!std::fs::read_dir(&dir).unwrap().any(|e| e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        unpersist_plan(&dir2, "census", 1);
+        assert!(!dir2.join("census.json").exists());
+        for v in 1..=3 {
+            unpersist_plan(&dir, "census", v);
+        }
+        assert!(PlanRegistry::new(1, None)
+            .load_dir(&dir)
+            .unwrap()
+            .is_empty());
+
+        assert!(persist_plan(&dir, "census", 0, &json).is_err());
+        assert!(persist_plan(&dir, "bad name", 1, &json).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

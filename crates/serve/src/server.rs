@@ -47,21 +47,23 @@
 //! [`ServerHandle::shutdown`] interrupts idle connections promptly;
 //! [`Server::run`]'s accept loop is woken by a self-connection.
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use otr_data::ColumnarDataset;
+use otr_core::{plan_group_divergences, DriftConfig, DriftMonitor, RepairPlanner};
+use otr_data::{ColumnarDataset, Dataset, LabelledPoint};
 use otr_par::{thread_count, try_par_map_indexed};
 
 use crate::protocol::{
-    decode_header, write_frame, ErrorCode, Request, Response, ServerInfo, HEADER_LEN,
-    PROTOCOL_VERSION,
+    decode_header, write_frame, AuditRecord, AuditStratum, DriftReport, DriftStratum, ErrorCode,
+    Request, Response, ServerInfo, HEADER_LEN, PROTOCOL_VERSION,
 };
-use crate::registry::PlanRegistry;
+use crate::registry::{persist_plan, unpersist_plan, PlanRegistry, RegisteredPlan};
 
 /// How often blocked reads wake to check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
@@ -131,6 +133,11 @@ impl Default for ServeConfig {
     }
 }
 
+/// Rows a drift watch retains (most recent first dropped oldest) as
+/// the research snapshot for a triggered re-design. Bounds daemon
+/// memory on an endless archive stream.
+const MAX_WATCH_BUFFER_ROWS: usize = 1 << 20;
+
 /// Counters and the stop flag, shared by every connection thread.
 #[derive(Debug, Default)]
 struct Shared {
@@ -142,6 +149,41 @@ struct Shared {
     panics_caught: AtomicU64,
     requests: AtomicU64,
     rows_repaired: AtomicU64,
+    swaps: AtomicU64,
+    /// Active drift watches, keyed by plan name. One watch per name:
+    /// re-issuing `Watch` re-arms the monitor (preserving the audit
+    /// trail and swap count).
+    watches: Mutex<HashMap<String, WatchState>>,
+}
+
+impl Shared {
+    /// Lock the watch map, recovering from poisoning (the same
+    /// rationale as the registry's lock: all mutations either complete
+    /// or leave the map coherent, and the daemon must outlive a
+    /// panicked request).
+    fn watches(&self) -> std::sync::MutexGuard<'_, HashMap<String, WatchState>> {
+        self.watches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One armed drift watch: the monitor, the version it is armed
+/// against, the buffered archive rows a triggered re-design will use
+/// as its research snapshot, and the audit trail of past swaps.
+#[derive(Debug)]
+struct WatchState {
+    /// Plan version the monitor's reference marginals came from; also
+    /// the version whose repairs feed the monitor.
+    version: u32,
+    monitor: DriftMonitor,
+    /// Archive rows observed since the watch was (re)armed — the
+    /// research snapshot for the next re-design. Oldest rows are shed
+    /// past [`MAX_WATCH_BUFFER_ROWS`].
+    buffer: Vec<LabelledPoint>,
+    /// Hot swaps performed under this name, oldest first.
+    audit: Vec<AuditRecord>,
+    swaps: u64,
 }
 
 /// A bound (but not yet serving) `otrepaird` instance.
@@ -155,6 +197,7 @@ pub struct Server {
     max_conns: usize,
     deadline_ms: u64,
     chaos_panic_plan: Option<String>,
+    plans_dir: Option<PathBuf>,
 }
 
 /// A remote control for a running [`Server`]: stats and shutdown.
@@ -237,6 +280,7 @@ impl Server {
             max_conns: config.max_conns,
             deadline_ms: config.deadline_ms,
             chaos_panic_plan: config.chaos_panic_plan.clone(),
+            plans_dir: config.plans_dir.clone(),
         })
     }
 
@@ -305,6 +349,7 @@ impl Server {
                 max_conns: self.max_conns,
                 deadline_ms: self.deadline_ms,
                 chaos_panic_plan: self.chaos_panic_plan.clone(),
+                plans_dir: self.plans_dir.clone(),
             };
             workers.push(std::thread::spawn(move || {
                 // Release the governor slot when this thread exits —
@@ -361,6 +406,9 @@ struct ConnCtx {
     max_conns: usize,
     deadline_ms: u64,
     chaos_panic_plan: Option<String>,
+    /// When set, hot-loaded and hot-swapped plan versions are
+    /// persisted here so a daemon restart serves the same registry.
+    plans_dir: Option<PathBuf>,
 }
 
 /// The per-frame deadline clock. Armed by the first byte of a frame,
@@ -637,7 +685,18 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
             version,
             json,
         } => match ctx.registry.load(&name, version, kind, &json) {
-            Ok(_) => Response::PlanLoaded,
+            Ok(_) => {
+                // Plans loaded over the wire must survive a daemon
+                // restart: persist the artifact next to the preloaded
+                // ones. The load already succeeded; a persistence
+                // failure downgrades durability, not service.
+                if let Some(dir) = &ctx.plans_dir {
+                    if let Err(e) = persist_plan(dir, &name, version, &json) {
+                        eprintln!("otrepaird: could not persist {name}@{version}: {e}");
+                    }
+                }
+                Response::PlanLoaded
+            }
             Err(e) => Response::Error {
                 code: e.code().as_u16(),
                 message: e.to_string(),
@@ -645,7 +704,12 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
         },
         Request::ListPlans => Response::PlanList(ctx.registry.list()),
         Request::EvictPlan { name, version } => match ctx.registry.evict(&name, version) {
-            Ok(()) => Response::PlanEvicted,
+            Ok(()) => {
+                if let Some(dir) = &ctx.plans_dir {
+                    unpersist_plan(dir, &name, version);
+                }
+                Response::PlanEvicted
+            }
             Err(e) => Response::Error {
                 code: e.code().as_u16(),
                 message: e.to_string(),
@@ -666,6 +730,11 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
                         ctx.shared
                             .rows_repaired
                             .fetch_add(archive.len() as u64, Ordering::Relaxed);
+                        // Drift accounting runs *after* the repair:
+                        // this response is served by the version
+                        // resolved above; a swap it triggers only
+                        // affects later requests.
+                        observe_watch(&name, version, &archive, ctx);
                         Response::Repaired {
                             out_of_range,
                             columns,
@@ -682,6 +751,53 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
                 },
             }
         }
+        Request::Watch {
+            name,
+            threshold,
+            trips,
+            check_every,
+            min_rows,
+        } => arm_watch(
+            &name,
+            DriftConfig {
+                threshold,
+                trips,
+                check_every,
+                min_rows,
+            },
+            ctx,
+        ),
+        Request::DriftStatus { name } => match ctx.shared.watches().get(&name) {
+            Some(w) => Response::DriftReport(DriftReport {
+                version: w.version,
+                rows_seen: w.monitor.rows_seen(),
+                checks: w.monitor.checks(),
+                consecutive: w.monitor.consecutive(),
+                tripped: w.monitor.tripped(),
+                swaps: w.swaps,
+                strata: w
+                    .monitor
+                    .divergences()
+                    .iter()
+                    .map(|d| DriftStratum {
+                        u: d.u,
+                        k: d.k as u32,
+                        divergence: d.divergence,
+                    })
+                    .collect(),
+            }),
+            None => Response::Error {
+                code: ErrorCode::UnknownPlan.as_u16(),
+                message: format!("no drift watch armed on {name}"),
+            },
+        },
+        Request::Audit { name } => match ctx.shared.watches().get(&name) {
+            Some(w) => Response::AuditRecords(w.audit.clone()),
+            None => Response::Error {
+                code: ErrorCode::UnknownPlan.as_u16(),
+                message: format!("no drift watch armed on {name}"),
+            },
+        },
         Request::Info => Response::Info(ServerInfo {
             protocol_version: PROTOCOL_VERSION,
             plans: ctx.registry.len() as u32,
@@ -694,8 +810,174 @@ fn dispatch(req: Request, ctx: &ConnCtx) -> Response {
             deadline_kills: ctx.shared.deadline_kills.load(Ordering::Relaxed),
             panics_caught: ctx.shared.panics_caught.load(Ordering::Relaxed),
             max_conns: ctx.max_conns as u32,
+            watches: ctx.shared.watches().len() as u32,
+            swaps: ctx.shared.swaps.load(Ordering::Relaxed),
         }),
     }
+}
+
+/// Arm (or re-arm) a drift watch on the latest version of `name`.
+/// Re-arming replaces the monitor and buffer but keeps the audit trail
+/// and swap count — operators tune thresholds without losing history.
+fn arm_watch(name: &str, config: DriftConfig, ctx: &ConnCtx) -> Response {
+    let (version, plan) = match ctx.registry.latest(name) {
+        Ok(found) => found,
+        Err(e) => {
+            return Response::Error {
+                code: e.code().as_u16(),
+                message: e.to_string(),
+            }
+        }
+    };
+    let RegisteredPlan::Scalar(scalar) = plan.as_ref() else {
+        return Response::Error {
+            code: ErrorCode::PlanInvalid.as_u16(),
+            message: format!("drift watches require a scalar plan; {name} is joint"),
+        };
+    };
+    match DriftMonitor::for_plan(scalar, config) {
+        Ok(monitor) => {
+            let mut watches = ctx.shared.watches();
+            let (audit, swaps) = watches
+                .remove(name)
+                .map(|w| (w.audit, w.swaps))
+                .unwrap_or_default();
+            watches.insert(
+                name.to_string(),
+                WatchState {
+                    version,
+                    monitor,
+                    buffer: Vec::new(),
+                    audit,
+                    swaps,
+                },
+            );
+            Response::Watching { version }
+        }
+        Err(e) => Response::Error {
+            code: ErrorCode::BadPayload.as_u16(),
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Fold a just-repaired archive into the drift watch on `name` (when
+/// one is armed and this request was served by the watched version),
+/// hot-swapping in a re-designed plan if the monitor trips.
+fn observe_watch(name: &str, requested_version: u32, archive: &ColumnarDataset, ctx: &ConnCtx) {
+    let mut watches = ctx.shared.watches();
+    let Some(w) = watches.get_mut(name) else {
+        return;
+    };
+    // Repairs pinned to an *older* version are stale traffic, not
+    // evidence about the watched plan; `0` resolves to the latest,
+    // which is the watched version whenever the watch is healthy.
+    if requested_version != 0 && requested_version != w.version {
+        return;
+    }
+    let batch = archive.to_dataset();
+    if w.monitor.observe(&batch).is_err() {
+        // Dimension mismatch: the repair itself would have failed
+        // before we got here; nothing to book.
+        return;
+    }
+    w.buffer.extend_from_slice(batch.points());
+    if w.buffer.len() > MAX_WATCH_BUFFER_ROWS {
+        let excess = w.buffer.len() - MAX_WATCH_BUFFER_ROWS;
+        w.buffer.drain(..excess);
+    }
+    if w.monitor.tripped() {
+        swap_plan(name, w, ctx);
+    }
+}
+
+/// The hot-swap: warm re-design on the buffered archive rows, register
+/// as the next version of the same name, persist, audit, re-arm.
+fn swap_plan(name: &str, w: &mut WatchState, ctx: &ConnCtx) {
+    let Ok(current) = ctx.registry.get(name, w.version) else {
+        // Watched version evicted under us: the watch is orphaned;
+        // leave it tripped for DriftStatus to surface.
+        return;
+    };
+    let RegisteredPlan::Scalar(parent) = current.as_ref() else {
+        return;
+    };
+    let trigger = w.monitor.max_divergence();
+    let rows_observed = w.monitor.rows_seen();
+    let research = match Dataset::from_points(std::mem::take(&mut w.buffer)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("otrepaird: drift re-design for {name} has no usable buffer: {e}");
+            let _ = w.monitor.reset(parent);
+            return;
+        }
+    };
+    // Warm re-design: seeded from the parent's banked Sinkhorn duals,
+    // so the swap costs a fraction of a cold design (docs/determinism.md).
+    let new_plan = match RepairPlanner::new(parent.config).redesign(&research, parent) {
+        Ok(p) => p,
+        Err(e) => {
+            // Re-arm against the current plan instead of retrying on
+            // every subsequent repair with the same doomed buffer.
+            eprintln!("otrepaird: drift re-design for {name} failed: {e}; watch re-armed");
+            let _ = w.monitor.reset(parent);
+            return;
+        }
+    };
+    let e_before = plan_group_divergences(parent).unwrap_or_default();
+    let e_after = plan_group_divergences(&new_plan).unwrap_or_default();
+    let new_version = match ctx.registry.latest(name) {
+        Ok((v, _)) => v.saturating_add(1),
+        Err(_) => w.version.saturating_add(1),
+    };
+    if let Err(e) = w.monitor.reset(&new_plan) {
+        eprintln!("otrepaird: could not re-arm drift watch on {name}: {e}");
+        return;
+    }
+    let json = new_plan.to_json();
+    if let Err(e) = ctx.registry.register(
+        name,
+        new_version,
+        Arc::new(RegisteredPlan::Scalar(new_plan)),
+    ) {
+        eprintln!("otrepaird: could not register {name}@{new_version}: {e}");
+        return;
+    }
+    match (&ctx.plans_dir, &json) {
+        (Some(dir), Ok(json)) => {
+            if let Err(e) = persist_plan(dir, name, new_version, json) {
+                eprintln!("otrepaird: could not persist {name}@{new_version}: {e}");
+            }
+        }
+        (Some(_), Err(e)) => {
+            eprintln!("otrepaird: could not serialize {name}@{new_version}: {e}");
+        }
+        (None, _) => {}
+    }
+    w.audit.push(AuditRecord {
+        version: new_version,
+        parent: w.version,
+        rows_observed,
+        trigger_divergence: trigger,
+        strata: e_before
+            .iter()
+            .zip(&e_after)
+            .map(|(&(u, k, before), &(_, _, after))| AuditStratum {
+                u,
+                k: k as u32,
+                e_before: before,
+                e_after: after,
+            })
+            .collect(),
+    });
+    eprintln!(
+        "otrepaird: drift tripped on {name}@{} (sym-KL {trigger:.4} over {rows_observed} rows); \
+         hot-swapped to {name}@{new_version}",
+        w.version
+    );
+    w.version = new_version;
+    w.swaps += 1;
+    ctx.shared.swaps.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Start row of shard `c` when `n` rows split into `chunks` contiguous

@@ -45,6 +45,37 @@ impl Histogram {
         })
     }
 
+    /// Create an empty histogram whose bins are centred on a uniform
+    /// grid: bin `i` covers `[grid[i] - step/2, grid[i] + step/2)`.
+    ///
+    /// Used by the drift monitor to bin archival observations onto the
+    /// same support a repair plan recorded its research marginals on, so
+    /// the two pmfs are directly comparable state by state.
+    ///
+    /// # Errors
+    /// Requires at least two strictly increasing, uniformly spaced
+    /// finite grid points.
+    pub fn centred_on_grid(grid: &[f64]) -> Result<Self> {
+        if grid.len() < 2 {
+            return Err(StatsError::InvalidParameter {
+                name: "grid",
+                reason: format!("need at least 2 points, got {}", grid.len()),
+            });
+        }
+        let step = (grid[grid.len() - 1] - grid[0]) / (grid.len() - 1) as f64;
+        if !(step > 0.0) || !step.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "grid",
+                reason: format!("grid must be increasing and finite, step = {step}"),
+            });
+        }
+        Self::new(
+            grid[0] - step / 2.0,
+            grid[grid.len() - 1] + step / 2.0,
+            grid.len(),
+        )
+    }
+
     /// Build a histogram directly from data.
     ///
     /// # Errors
@@ -166,6 +197,23 @@ mod tests {
     fn centres_are_midpoints() {
         let h = Histogram::new(0.0, 1.0, 2).unwrap();
         assert_eq!(h.centres(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn grid_centred_bins_recover_the_grid() {
+        let grid = vec![-1.0, 0.0, 1.0, 2.0];
+        let h = Histogram::centred_on_grid(&grid).unwrap();
+        assert_eq!(h.bins(), 4);
+        for (c, g) in h.centres().iter().zip(&grid) {
+            assert!((c - g).abs() < 1e-12, "centre {c} vs grid {g}");
+        }
+        // Each grid point falls into its own bin.
+        for (i, &g) in grid.iter().enumerate() {
+            assert_eq!(h.bin_of(g), i);
+        }
+        assert!(Histogram::centred_on_grid(&[1.0]).is_err());
+        assert!(Histogram::centred_on_grid(&[1.0, 1.0]).is_err());
+        assert!(Histogram::centred_on_grid(&[2.0, 1.0]).is_err());
     }
 
     #[test]

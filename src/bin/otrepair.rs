@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         Some("design") => cmd_design(&args[1..]),
         Some("apply") => cmd_apply(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("drift") => cmd_drift(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -64,11 +65,13 @@ fn print_usage() {
            otrepair apply    --joint --plan <plan.json> --data <csv> --out <csv>\n\
                              [--seed N] [--threads N]\n\
            otrepair evaluate --data <csv> [--grid N] [--joint]\n\
+           otrepair drift    --data <csv> --out <csv> [--mean-shift V1,V2,..]\n\
+                             [--scale F1,F2,..] [--group-shift S:V1,V2,..]\n\
            otrepair serve    [--bind ADDR] [--plans DIR] [--threads N] [--shards N]\n\
                              [--batch-rows N] [--max-conns N] [--deadline-ms N]\n\
                              [--port-file PATH]\n\
-           otrepair client   <ping|info|plans|load|evict|repair> --addr HOST:PORT\n\
-                             [--retries N] [--timeout MS] …\n\
+           otrepair client   <ping|info|plans|load|evict|repair|watch|drift|audit>\n\
+                             --addr HOST:PORT [--retries N] [--timeout MS] …\n\
          \n\
          CSV format: header `s,u,x0,x1,…`; s/u in {{0,1}}; finite float features.\n\
          \n\
@@ -121,6 +124,10 @@ fn print_usage() {
              client evict  --addr A --name N --version V\n\
              client repair --addr A --name N --data <csv> --out <csv>\n\
                            [--version V] [--seed N]\n\
+             client watch  --addr A --name N [--threshold D] [--trips N]\n\
+                           [--check-every N] [--min-rows N]\n\
+             client drift  --addr A --name N\n\
+             client audit  --addr A --name N\n\
            Every client action retries transient failures (connection\n\
            drops, Overloaded, DeadlineExceeded) with exponential backoff:\n\
            --retries N bounds the retries (default 3; 0 = single attempt)\n\
@@ -129,7 +136,23 @@ fn print_usage() {
            is bit-deterministic in (plan, seed, archive).\n\
            Served repair output is byte-identical to an offline\n\
            `otrepair apply` with the same plan and --seed, whatever the\n\
-           server's shard or thread policy (docs/determinism.md)."
+           server's shard or thread policy (docs/determinism.md).\n\
+         \n\
+         DRIFT LIFECYCLE:\n\
+           `client watch` arms a streaming drift monitor on the latest\n\
+           version of a scalar plan: every subsequent served repair folds\n\
+           its archive rows into per-(s,u)-stratum histograms and compares\n\
+           them (symmetrized KL) against the plan's recorded research\n\
+           marginals at deterministic row-count checkpoints. After --trips\n\
+           consecutive over---threshold checkpoints the daemon re-designs\n\
+           the plan on the observed rows (warm-started from the plan's\n\
+           banked Sinkhorn duals), registers it as the next version of the\n\
+           same name, persists it to --plans (when set), and books an\n\
+           audit record. `client drift` shows the monitor state;\n\
+           `client audit` lists past swaps. `otrepair drift` (top level)\n\
+           applies a synthetic distribution shift to a CSV — the test\n\
+           injector used by ci/serve_session.sh. See docs/operations.md,\n\
+           \"Drift-aware lifecycle\"."
     );
 }
 
@@ -474,13 +497,70 @@ fn cmd_evaluate(args: &[String]) -> CliResult {
     }
     println!("  aggregate E = {:.6}", report.aggregate());
     if has_flag(args, "--joint") {
-        if data.dim() == 2 {
-            let joint = JointDependence::default().evaluate(&data)?;
-            println!("  joint 2-D E = {joint:.6}");
-        } else {
-            eprintln!("--joint requires 2-feature data; skipped");
+        let mut jd = JointDependence::default();
+        if let Some(g) = opt(args, "--joint-grid") {
+            jd.grid_size = g.parse()?;
+        } else if data.dim() > 2 {
+            // The shared product grid has grid_size^d cells; the 2-D
+            // default of 64 would be 262k+ cells at d = 3. Shrink it so
+            // `evaluate --joint` stays interactive on wide data.
+            jd.grid_size = 16;
         }
+        let joint = jd.evaluate(&data)?;
+        println!("  joint {}-D E = {joint:.6}", data.dim());
     }
+    Ok(())
+}
+
+/// Parse a comma-separated float list (`0.5,-0.5`).
+fn parse_floats(spec: &str) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    spec.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad float `{v}`: {e}").into())
+        })
+        .collect()
+}
+
+/// `otrepair drift`: apply a synthetic distribution shift to a CSV —
+/// the injector ci/serve_session.sh uses to exercise the drift-aware
+/// plan lifecycle end to end.
+fn cmd_drift(args: &[String]) -> CliResult {
+    let data_path = required(args, "--data")?;
+    let out_path = required(args, "--out")?;
+    let drift = match (
+        opt(args, "--mean-shift"),
+        opt(args, "--scale"),
+        opt(args, "--group-shift"),
+    ) {
+        (Some(spec), None, None) => Drift::MeanShift(parse_floats(spec)?),
+        (None, Some(spec), None) => {
+            let factors = parse_floats(spec)?;
+            Drift::VarianceScale {
+                centre: vec![0.0; factors.len()],
+                factors,
+            }
+        }
+        (None, None, Some(spec)) => {
+            let (s, shift) = spec
+                .split_once(':')
+                .ok_or("--group-shift expects `S:V1,V2,..` (e.g. 0:2.0,2.0)")?;
+            Drift::GroupShift {
+                s: s.trim().parse()?,
+                shift: parse_floats(shift)?,
+            }
+        }
+        (None, None, None) => {
+            return Err("pick a drift: --mean-shift, --scale, or --group-shift".into())
+        }
+        _ => return Err("--mean-shift, --scale, and --group-shift are mutually exclusive".into()),
+    };
+    let data = load_dataset(data_path)?;
+    let drifted = drift.apply(&data)?;
+    let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    ot_fair_repair::data::write_labelled_csv(BufWriter::new(out), &drifted)?;
+    eprintln!("wrote {} drifted rows to {out_path}", drifted.len());
     Ok(())
 }
 
@@ -507,10 +587,9 @@ fn cmd_client(args: &[String]) -> CliResult {
     use ot_fair_repair::serve::{PlanKind, RetryPolicy, RetryingClient};
     use std::time::Duration;
 
-    let action = args
-        .first()
-        .map(String::as_str)
-        .ok_or("client needs an action: ping | info | plans | load | evict | repair")?;
+    let action = args.first().map(String::as_str).ok_or(
+        "client needs an action: ping | info | plans | load | evict | repair | watch | drift | audit",
+    )?;
     let rest = &args[1..];
     let addr = opt(rest, "--addr").unwrap_or("127.0.0.1:7878");
     let mut policy = RetryPolicy::default();
@@ -524,7 +603,9 @@ fn cmd_client(args: &[String]) -> CliResult {
     let client = RetryingClient::new(addr, policy);
     match action {
         "ping" => {
-            client.ping().map_err(|e| format!("cannot reach {addr}: {e}"))?;
+            client
+                .ping()
+                .map_err(|e| format!("cannot reach {addr}: {e}"))?;
             println!("pong from {addr}");
         }
         "info" => {
@@ -552,6 +633,10 @@ fn cmd_client(args: &[String]) -> CliResult {
                 info.deadline_kills,
                 info.panics_caught
             );
+            println!(
+                "  lifecycle: {} drift watch(es) armed, {} hot swap(s) performed",
+                info.watches, info.swaps
+            );
         }
         "plans" => {
             let plans = client.list_plans()?;
@@ -559,7 +644,10 @@ fn cmd_client(args: &[String]) -> CliResult {
                 println!("no plans registered");
             }
             for p in plans {
-                println!("{}@{}  {}  dim={}  nQ={}", p.name, p.version, p.kind, p.dim, p.n_q);
+                println!(
+                    "{}@{}  {}  dim={}  nQ={}",
+                    p.name, p.version, p.kind, p.dim, p.n_q
+                );
             }
         }
         "load" => {
@@ -582,6 +670,65 @@ fn cmd_client(args: &[String]) -> CliResult {
             client.evict_plan(name, version)?;
             println!("evicted {name}@{version}");
         }
+        "watch" => {
+            let name = required(rest, "--name")?;
+            let mut config = DriftConfig::default();
+            if let Some(v) = opt(rest, "--threshold") {
+                config.threshold = v.parse()?;
+            }
+            if let Some(v) = opt(rest, "--trips") {
+                config.trips = v.parse()?;
+            }
+            if let Some(v) = opt(rest, "--check-every") {
+                config.check_every = v.parse()?;
+            }
+            if let Some(v) = opt(rest, "--min-rows") {
+                config.min_rows = v.parse()?;
+            }
+            let version = client.watch(name, &config)?;
+            println!(
+                "watching {name}@{version}: threshold {} sym-KL, {} trip(s), checkpoint every {} rows after {}",
+                config.threshold, config.trips, config.check_every, config.min_rows
+            );
+        }
+        "drift" => {
+            let name = required(rest, "--name")?;
+            let report = client.drift_status(name)?;
+            println!(
+                "{name}@{}: {} rows seen, {} checkpoints, streak {}, {} swap(s), tripped: {}",
+                report.version,
+                report.rows_seen,
+                report.checks,
+                report.consecutive,
+                report.swaps,
+                report.tripped
+            );
+            for st in &report.strata {
+                println!(
+                    "  (u={}, x{}): sym-KL s=0 {:.4}, s=1 {:.4}",
+                    st.u, st.k, st.divergence[0], st.divergence[1]
+                );
+            }
+        }
+        "audit" => {
+            let name = required(rest, "--name")?;
+            let records = client.audit(name)?;
+            if records.is_empty() {
+                println!("no hot swaps recorded for {name}");
+            }
+            for rec in records {
+                println!(
+                    "{name}@{} <- {name}@{}: tripped at sym-KL {:.4} over {} observed rows",
+                    rec.version, rec.parent, rec.trigger_divergence, rec.rows_observed
+                );
+                for st in &rec.strata {
+                    println!(
+                        "  (u={}, x{}): group divergence E {:.4} -> {:.4}",
+                        st.u, st.k, st.e_before, st.e_after
+                    );
+                }
+            }
+        }
         "repair" => {
             let name = required(rest, "--name")?;
             let data_path = required(rest, "--data")?;
@@ -594,18 +741,26 @@ fn cmd_client(args: &[String]) -> CliResult {
             eprintln!(
                 "repairing {} rows via {name}@{} at {addr} (seed {seed})",
                 archive.len(),
-                if version == 0 { "latest".into() } else { version.to_string() }
+                if version == 0 {
+                    "latest".into()
+                } else {
+                    version.to_string()
+                }
             );
             let repaired = client.repair_archive(name, version, seed, &archive)?;
             let out =
                 File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
             ot_fair_repair::data::write_labelled_csv_columnar(BufWriter::new(out), &repaired)?;
             let damage = dataset_damage_columnar(&archive, &repaired)?;
-            eprintln!("wrote {out_path}; mean RMSE displacement {:.4}", damage.mean_rmse());
+            eprintln!(
+                "wrote {out_path}; mean RMSE displacement {:.4}",
+                damage.mean_rmse()
+            );
         }
         other => {
             return Err(format!(
-                "unknown client action `{other}` (expected ping | info | plans | load | evict | repair)"
+                "unknown client action `{other}` (expected ping | info | plans | load | evict | \
+                 repair | watch | drift | audit)"
             )
             .into())
         }

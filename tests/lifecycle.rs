@@ -1,0 +1,288 @@
+//! Integration tests of the drift-aware plan lifecycle: a real
+//! `otrepaird` server whose drift watch trips on a shifted archive
+//! stream, hot-swaps in a warm re-designed plan as the next version of
+//! the same name, persists the new artifact, and keeps the serving
+//! determinism contract — the swapped-in version serves bytes
+//! identical to an offline `apply` of the persisted artifact, for any
+//! thread/shard policy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ot_fair_repair::data::{ColumnarDataset, Dataset, Drift, SimulationSpec};
+use ot_fair_repair::repair::{DriftConfig, RepairConfig, RepairPlan, RepairPlanner};
+use ot_fair_repair::serve::{Client, ErrorCode, PlanKind, ServeConfig, Server, ServerHandle};
+
+/// A running server on an OS-assigned loopback port.
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(mut config: ServeConfig) -> Self {
+        config.bind = "127.0.0.1:0".into();
+        let server = Server::bind(&config).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle().unwrap();
+        let thread = std::thread::spawn(move || server.run().unwrap());
+        Self {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).unwrap()
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn bits(columns: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    columns
+        .iter()
+        .map(|c| c.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn research_and_drifted_archive(seed: u64, n: usize) -> (Dataset, Dataset) {
+    let spec = SimulationSpec::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let research = spec.sample_dataset(800, &mut rng).unwrap();
+    let archive = spec.sample_dataset(n, &mut rng).unwrap();
+    let drifted = Drift::MeanShift(vec![3.0, 3.0]).apply(&archive).unwrap();
+    (research, drifted)
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("otrepaird-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tentpole, end to end over the wire: arm a watch, stream a
+/// drifted archive through `Repair` until the monitor trips, and
+/// require (1) a new version of the same name registered and served as
+/// latest, (2) the persisted artifact byte-reproducing the served
+/// repair offline, (3) an audit record naming the parent version and
+/// the trigger divergence.
+#[test]
+fn drift_trip_hot_swaps_a_new_version_that_matches_offline_apply() {
+    let (research, drifted) = research_and_drifted_archive(31, 2_400);
+    let plan = RepairPlanner::new(RepairConfig::with_n_q(16))
+        .design(&research)
+        .unwrap();
+    let json = plan.to_json().unwrap();
+    let dir = tmp_dir("lifecycle");
+
+    let server = TestServer::start(ServeConfig {
+        shards: 3,
+        plans_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+    client
+        .load_plan(PlanKind::Scalar, "census", 1, &json)
+        .unwrap();
+    // Satellite (b): a plan loaded over the wire lands in --plans too.
+    assert!(
+        dir.join("census@1.json").exists(),
+        "wire-loaded plan was not persisted"
+    );
+
+    let config = DriftConfig {
+        threshold: 0.2,
+        trips: 2,
+        check_every: 200,
+        min_rows: 400,
+    };
+    assert_eq!(client.watch("census", &config).unwrap(), 1);
+
+    // Before any rows: a live report, nothing tripped.
+    let report = client.drift_status("census").unwrap();
+    assert_eq!((report.version, report.rows_seen, report.swaps), (1, 0, 0));
+    assert!(!report.tripped);
+
+    // Stream the drifted archive through Repair in batches until the
+    // watch swaps. 2 400 heavily shifted rows at these thresholds trip
+    // well before the stream runs out.
+    let points = drifted.points();
+    let mut swapped = false;
+    for chunk in points.chunks(400) {
+        let batch = ColumnarDataset::from_dataset(&Dataset::from_points(chunk.to_vec()).unwrap());
+        client.repair("census", 0, 9, &batch).unwrap();
+        let report = client.drift_status("census").unwrap();
+        if report.swaps >= 1 {
+            swapped = true;
+            assert_eq!(report.version, 2, "swap must re-arm on the new version");
+            assert!(!report.tripped, "monitor must be reset after the swap");
+            break;
+        }
+    }
+    assert!(swapped, "drifted stream never tripped the watch");
+
+    // The swap registered version 2 of the same name and it is latest.
+    let plans = client.list_plans().unwrap();
+    assert_eq!(
+        plans
+            .iter()
+            .map(|p| (p.name.as_str(), p.version))
+            .collect::<Vec<_>>(),
+        vec![("census", 1), ("census", 2)]
+    );
+
+    // The audit trail names the lineage and the trigger.
+    let audit = client.audit("census").unwrap();
+    assert_eq!(audit.len(), 1);
+    let rec = &audit[0];
+    assert_eq!((rec.version, rec.parent), (2, 1));
+    assert!(
+        rec.trigger_divergence > config.threshold,
+        "trigger {} not above threshold",
+        rec.trigger_divergence
+    );
+    assert!(rec.rows_observed >= config.min_rows);
+    assert_eq!(rec.strata.len(), plan.feature_plans().len());
+    assert!(rec
+        .strata
+        .iter()
+        .all(|s| s.e_before.is_finite() && s.e_after.is_finite()));
+
+    // Acceptance: the hot-swapped version serves bytes identical to an
+    // offline apply of the persisted artifact.
+    let artifact = dir.join("census@2.json");
+    assert!(artifact.exists(), "swapped version was not persisted");
+    let offline_plan = RepairPlan::from_json(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+    let probe =
+        ColumnarDataset::from_dataset(&Dataset::from_points(points[..500].to_vec()).unwrap());
+    let offline = bits(
+        offline_plan
+            .repair_columnar_par(&probe, 77)
+            .unwrap()
+            .feature_columns(),
+    );
+    let served_latest = client.repair("census", 0, 77, &probe).unwrap();
+    let served_pinned = client.repair("census", 2, 77, &probe).unwrap();
+    assert_eq!(
+        bits(&served_latest.columns),
+        offline,
+        "latest (hot-swapped) bytes differ from offline apply of the persisted artifact"
+    );
+    assert_eq!(bits(&served_pinned.columns), offline);
+    // Version 1 still serves its own (different) bytes — immutable.
+    let served_v1 = client.repair("census", 1, 77, &probe).unwrap();
+    assert_ne!(
+        bits(&served_v1.columns),
+        offline,
+        "re-designed plan must actually differ for this test to bite"
+    );
+
+    // Info books the lifecycle counters.
+    let info = client.info().unwrap();
+    assert_eq!((info.watches, info.swaps), (1, 1));
+
+    // Satellite (d): the persisted swapped-in artifact serves identical
+    // bytes under any thread/shard policy — fresh daemons restarted
+    // from the plans directory at 1, 2, and 7 threads.
+    drop(client);
+    drop(server);
+    for threads in [1usize, 2, 7] {
+        let server = TestServer::start(ServeConfig {
+            threads,
+            shards: threads,
+            plans_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let mut client = server.client();
+        // The restarted registry rehydrates both persisted versions.
+        assert_eq!(client.list_plans().unwrap().len(), 2);
+        let served = client.repair("census", 2, 77, &probe).unwrap();
+        assert_eq!(
+            bits(&served.columns),
+            offline,
+            "threads={threads}: restarted swapped-in version changed bytes"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Watch misuse answers typed errors without disturbing the daemon:
+/// unknown names, joint plans, bad configs, and status/audit queries
+/// with no watch armed.
+#[test]
+fn watch_errors_are_typed_and_contained() {
+    let (research, _) = research_and_drifted_archive(32, 100);
+    let json = RepairPlanner::new(RepairConfig::with_n_q(12))
+        .design(&research)
+        .unwrap()
+        .to_json()
+        .unwrap();
+    let server = TestServer::start(ServeConfig::default());
+    let mut client = server.client();
+
+    let err = client.watch("ghost", &DriftConfig::default()).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::UnknownPlan), "{err}");
+    let err = client.drift_status("ghost").unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::UnknownPlan), "{err}");
+    let err = client.audit("ghost").unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::UnknownPlan), "{err}");
+
+    client.load_plan(PlanKind::Scalar, "p", 1, &json).unwrap();
+    let err = client
+        .watch(
+            "p",
+            &DriftConfig {
+                threshold: 0.0,
+                ..DriftConfig::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::BadPayload), "{err}");
+
+    // A healthy watch still arms afterwards, and re-arming replaces it.
+    assert_eq!(client.watch("p", &DriftConfig::default()).unwrap(), 1);
+    assert_eq!(client.watch("p", &DriftConfig::default()).unwrap(), 1);
+    assert_eq!(client.info().unwrap().watches, 1);
+}
+
+/// Repairs pinned to a non-watched (older) version must not feed the
+/// monitor: only traffic served by the watched version is evidence.
+#[test]
+fn pinned_stale_version_traffic_does_not_feed_the_watch() {
+    let (research, drifted) = research_and_drifted_archive(33, 900);
+    let planner = RepairPlanner::new(RepairConfig::with_n_q(12));
+    let json = planner.design(&research).unwrap().to_json().unwrap();
+    let server = TestServer::start(ServeConfig::default());
+    let mut client = server.client();
+    client.load_plan(PlanKind::Scalar, "p", 1, &json).unwrap();
+    client.load_plan(PlanKind::Scalar, "p", 2, &json).unwrap();
+    // Watch arms on the latest version (2). An unreachable trip count
+    // keeps the watch from swapping mid-test: this test measures row
+    // accounting, not the swap.
+    let config = DriftConfig {
+        trips: 1_000_000,
+        ..DriftConfig::default()
+    };
+    assert_eq!(client.watch("p", &config).unwrap(), 2);
+
+    let archive = ColumnarDataset::from_dataset(&drifted);
+    client.repair("p", 1, 5, &archive).unwrap(); // pinned to stale v1
+    let report = client.drift_status("p").unwrap();
+    assert_eq!(report.rows_seen, 0, "stale-version rows were booked");
+
+    client.repair("p", 2, 5, &archive).unwrap(); // the watched version
+    client.repair("p", 0, 5, &archive).unwrap(); // latest == watched
+    let report = client.drift_status("p").unwrap();
+    assert_eq!(report.rows_seen, 2 * archive.len() as u64);
+}
